@@ -1,0 +1,51 @@
+//! Per-stop clustering throughput on realistic trip lengths.
+
+use busprobe_core::{ClusterConfig, Clusterer, MatchedSample};
+use busprobe_network::StopSiteId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A trip visiting `stops` stops with `taps` samples each, 90 s apart.
+fn trip_samples(stops: usize, taps: usize) -> Vec<MatchedSample> {
+    let mut out = Vec::with_capacity(stops * taps);
+    for s in 0..stops {
+        for k in 0..taps {
+            out.push(MatchedSample {
+                time_s: s as f64 * 90.0 + k as f64 * 1.6,
+                site: StopSiteId(s as u32),
+                score: 5.0 + 0.1 * (k % 3) as f64,
+            });
+        }
+    }
+    out
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let clusterer = Clusterer::new(ClusterConfig::default());
+    let mut group = c.benchmark_group("clustering");
+    for (stops, taps) in [(10usize, 4usize), (30, 4), (30, 12)] {
+        let samples = trip_samples(stops, taps);
+        group.bench_with_input(
+            BenchmarkId::new("cluster", format!("{stops}stops_x_{taps}taps")),
+            &samples,
+            |b, s| b.iter(|| black_box(clusterer.cluster(black_box(s.clone())))),
+        );
+    }
+    // Candidate-pool extraction on a mixed cluster.
+    let mixed = busprobe_core::Cluster {
+        samples: (0..24)
+            .map(|k| MatchedSample {
+                time_s: k as f64,
+                site: StopSiteId(u32::from(k % 3 == 0)),
+                score: 4.0 + (k % 5) as f64 * 0.3,
+            })
+            .collect(),
+    };
+    group.bench_function("candidates_24_samples", |b| {
+        b.iter(|| black_box(black_box(&mixed).candidates()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bayesian fusion (Eq. 4) update and snapshot cost at city scale.
+
+use busprobe_core::{SegmentFusion, TrafficMap};
+use busprobe_network::{SegmentKey, StopSiteId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn keys(n: u32) -> Vec<SegmentKey> {
+    (0..n)
+        .map(|k| SegmentKey::new(StopSiteId(k), StopSiteId(k + 1)))
+        .collect()
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+
+    for n_segments in [150u32, 1500] {
+        let ks = keys(n_segments);
+        group.bench_with_input(
+            BenchmarkId::new("observe_1k_updates", n_segments),
+            &ks,
+            |b, ks| {
+                b.iter(|| {
+                    let mut fusion = SegmentFusion::paper_default();
+                    for i in 0..1000u32 {
+                        let key = ks[(i as usize) % ks.len()];
+                        fusion.observe(key, f64::from(i), 10.0 + f64::from(i % 7), 1.0);
+                    }
+                    black_box(fusion.len())
+                })
+            },
+        );
+
+        // Snapshot cost over a warm store.
+        let mut fusion = SegmentFusion::paper_default();
+        for (i, &key) in ks.iter().enumerate() {
+            fusion.observe(key, i as f64, 10.0, 1.0);
+        }
+        group.bench_with_input(BenchmarkId::new("snapshot", n_segments), &fusion, |b, f| {
+            b.iter(|| black_box(TrafficMap::from_fusion(black_box(f), 1e6, f64::INFINITY)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! §IV-D microbenchmark: Goertzel vs FFT on the phone's 30 ms audio
+//! windows. The paper's complexity argument — `O(K_g·N·M)` beats
+//! `O(K_f·N·log N)` when the band count `M` is small — shows up here as
+//! wall-clock time.
+
+use busprobe_mobile::{fft, Goertzel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|k| {
+            let t = k as f64 / 8000.0;
+            0.4 * (std::f64::consts::TAU * 1000.0 * t).sin()
+                + 0.3 * (std::f64::consts::TAU * 3000.0 * t).sin()
+                + 0.1 * ((k * 2654435761) % 97) as f64 / 97.0
+        })
+        .collect()
+}
+
+fn bench_band_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("band_extraction");
+    for n in [240usize, 480, 960] {
+        let samples = window(n);
+        // The app's real workload: the 2 beep bands + 5 reference bands.
+        let filters: Vec<Goertzel> = [1000.0, 3000.0, 500.0, 1500.0, 2000.0, 2500.0, 3500.0]
+            .iter()
+            .map(|&f| Goertzel::new(f, 8000.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("goertzel_7_bands", n), &samples, |b, s| {
+            b.iter(|| {
+                let total: f64 = filters.iter().map(|g| g.power(black_box(s))).sum();
+                black_box(total)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fft_full_spectrum", n),
+            &samples,
+            |b, s| b.iter(|| black_box(fft::power_spectrum(black_box(s)))),
+        );
+        // Goertzel with only the 2 beep bands (the minimum viable config).
+        let beep_only: Vec<Goertzel> = [1000.0, 3000.0]
+            .iter()
+            .map(|&f| Goertzel::new(f, 8000.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("goertzel_2_bands", n), &samples, |b, s| {
+            b.iter(|| {
+                let total: f64 = beep_only.iter().map(|g| g.power(black_box(s))).sum();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_band_extraction);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Simulator throughput: how much simulated service time the engine covers
+//! per wall-clock second (the substrate must be cheap enough to run the
+//! multi-day Fig. 11 sweeps).
+
+use busprobe_network::NetworkGenerator;
+use busprobe_sim::{Scenario, SimTime, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+
+    let small = NetworkGenerator::small(1).generate();
+    group.bench_with_input(
+        BenchmarkId::new("one_hour", "small_3_routes"),
+        &small,
+        |b, n| {
+            b.iter(|| {
+                let scenario = Scenario::new(n.clone(), 1)
+                    .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
+                black_box(Simulation::new(scenario).run())
+            })
+        },
+    );
+
+    let paper = NetworkGenerator::paper_region(1).generate();
+    group.bench_with_input(
+        BenchmarkId::new("one_hour", "paper_8_routes"),
+        &paper,
+        |b, n| {
+            b.iter(|| {
+                let scenario = Scenario::new(n.clone(), 1)
+                    .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
+                black_box(Simulation::new(scenario).run())
+            })
+        },
+    );
+
+    group.bench_function("network_generation_paper_region", |b| {
+        b.iter(|| black_box(NetworkGenerator::paper_region(black_box(7)).generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

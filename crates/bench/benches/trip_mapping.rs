@@ -1,0 +1,106 @@
+//! Per-trip mapping cost: the Viterbi dynamic program of Eq. (2) versus the
+//! brute-force product-space enumeration the paper describes. This is the
+//! scalability ablation DESIGN.md calls out: the DP makes city-scale
+//! crowdsourcing tractable.
+
+use busprobe_bench::World;
+use busprobe_core::{Cluster, MatchedSample, TripMapper};
+use busprobe_network::StopSiteId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A cluster sequence along route 0 where every cluster carries `pool`
+/// candidates (the true stop plus `pool-1` decoys).
+fn clusters_along_route(world: &World, stops: usize, pool: usize) -> Vec<Cluster> {
+    let route = &world.network.routes()[0];
+    let total_sites = world.network.sites().len() as u32;
+    (0..stops)
+        .map(|k| {
+            let truth = route.stops()[k % route.stop_count()].site;
+            let mut samples = vec![
+                MatchedSample {
+                    time_s: k as f64 * 90.0,
+                    site: truth,
+                    score: 5.5,
+                },
+                MatchedSample {
+                    time_s: k as f64 * 90.0 + 1.6,
+                    site: truth,
+                    score: 5.0,
+                },
+            ];
+            for d in 0..pool.saturating_sub(1) {
+                samples.push(MatchedSample {
+                    time_s: k as f64 * 90.0 + 3.2 + d as f64 * 1.6,
+                    site: StopSiteId((truth.0 + 7 + d as u32) % total_sites),
+                    score: 2.5,
+                });
+            }
+            Cluster { samples }
+        })
+        .collect()
+}
+
+/// Brute-force Eq. (2): enumerate all candidate sequences (the paper's
+/// N = Π B_k formulation). Only viable for tiny inputs.
+fn brute_force_score(mapper: &TripMapper, clusters: &[Cluster]) -> f64 {
+    let pools: Vec<Vec<busprobe_core::ClusterCandidate>> =
+        clusters.iter().map(Cluster::candidates).collect();
+    let mut best = f64::NEG_INFINITY;
+    let mut idx = vec![0usize; pools.len()];
+    loop {
+        let mut score = 0.0;
+        for (i, &k) in idx.iter().enumerate() {
+            let c = &pools[i][k];
+            let w = c.probability * c.mean_score;
+            if i == 0 {
+                score += w;
+            } else {
+                let prev = &pools[i - 1][idx[i - 1]];
+                score += w * mapper.order_weight(prev.site, c.site);
+            }
+        }
+        best = best.max(score);
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                return best;
+            }
+            idx[pos] += 1;
+            if idx[pos] < pools[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let world = World::small(3);
+    let mapper = TripMapper::new(&world.network);
+
+    let mut group = c.benchmark_group("trip_mapping");
+    for (stops, pool) in [(10usize, 2usize), (14, 3), (14, 4)] {
+        let clusters = clusters_along_route(&world, stops, pool);
+        group.bench_with_input(
+            BenchmarkId::new("viterbi", format!("{stops}x{pool}")),
+            &clusters,
+            |b, cl| b.iter(|| black_box(mapper.map_trip(black_box(cl)))),
+        );
+        // Brute force explodes as pool^stops; keep it to the small cases so
+        // the bench finishes, which is exactly the point being made.
+        if pool.pow(stops as u32) <= 1 << 20 {
+            group.bench_with_input(
+                BenchmarkId::new("brute_force", format!("{stops}x{pool}")),
+                &clusters,
+                |b, cl| b.iter(|| black_box(brute_force_score(&mapper, black_box(cl)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

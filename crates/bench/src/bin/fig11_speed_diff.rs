@@ -1,0 +1,117 @@
+//! Figure 11 reproduction: CDF of the speed difference Δv between the
+//! system's estimate v_A and the official feed v_T, split by speed class.
+//!
+//! "Δv is the lowest (mostly about 3–5) for low-speed traffics and the
+//! highest (mostly about 8–12) for high-speed traffics" — the estimate is
+//! most faithful exactly where it matters (congestion).
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin fig11_speed_diff`.
+
+use busprobe_bench::stats::quantile;
+use busprobe_bench::World;
+use busprobe_network::SegmentKey;
+use busprobe_sim::{OfficialTraffic, SimTime};
+use std::collections::HashMap;
+
+const WINDOW_S: f64 = 300.0;
+const DAYS: u64 = 4;
+
+fn main() {
+    println!("# Figure 11: |v_A - v_T| CDF by speed class, {DAYS} simulated days");
+    let mut low = Vec::new();
+    let mut medium = Vec::new();
+    let mut high = Vec::new();
+
+    for day in 0..DAYS {
+        let world = World::paper(7 + day);
+        let monitor = world.monitor();
+        let start = SimTime::from_hms(7, 0, 0);
+        let end = SimTime::from_hms(20, 0, 0);
+        let scenario = world.scenario(start, end);
+        let profile = scenario.profile.clone();
+        let output = busprobe_sim::Simulation::new(scenario).run();
+        let trips = world.uploads(&output, 1.0, 100 + day);
+
+        let mut buckets: HashMap<(SegmentKey, u32), (f64, usize)> = HashMap::new();
+        for trip in &trips {
+            let (_, observations) = monitor.observations_for(trip);
+            for obs in observations {
+                let w = SimTime::from_seconds(obs.time_s).window_index(WINDOW_S);
+                let e = buckets.entry((obs.key, w)).or_insert((0.0, 0));
+                e.0 += obs.speed_kmh();
+                e.1 += 1;
+            }
+        }
+        let official =
+            OfficialTraffic::tabulate(&world.network, &profile, start, end, WINDOW_S, 0.03, day);
+
+        for ((key, w), (sum, n)) in &buckets {
+            let v_a = sum / *n as f64;
+            let t = SimTime::from_seconds(f64::from(*w) * WINDOW_S);
+            let Some(v_t) = official.speed_kmh(*key, t) else {
+                continue;
+            };
+            let dv = (v_a - v_t).abs();
+            // Classes by estimated speed v_A, as in the paper. The paper's
+            // cutoffs (40/50 km/h) sit just below its buses' saturation
+            // speeds; our synthetic region has different free speeds, so
+            // the cutoffs shift to 35/45 km/h to keep the same meaning
+            // (below / around / above the bus saturation point).
+            if v_a < 35.0 {
+                low.push(dv);
+            } else if v_a <= 45.0 {
+                medium.push(dv);
+            } else {
+                high.push(dv);
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "{:>22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "class", "n", "p25", "median", "p75", "p90"
+    );
+    for (label, xs) in [
+        ("low (<35 km/h)", &low),
+        ("medium (35-45 km/h)", &medium),
+        ("high (>45 km/h)", &high),
+    ] {
+        if xs.is_empty() {
+            println!("{label:>22} {:>8} (no samples)", 0);
+            continue;
+        }
+        println!(
+            "{label:>22} {:>8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            xs.len(),
+            quantile(xs, 0.25).unwrap(),
+            quantile(xs, 0.5).unwrap(),
+            quantile(xs, 0.75).unwrap(),
+            quantile(xs, 0.9).unwrap(),
+        );
+    }
+
+    println!();
+    println!("# CDF probes (fraction of cases with Δv below x km/h)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "x_kmh", "low", "medium", "high"
+    );
+    for x in (0..=12).map(|k| 2.0 * k as f64) {
+        let frac = |xs: &Vec<f64>| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().filter(|&&d| d < x).count() as f64 / xs.len() as f64
+            }
+        };
+        println!(
+            "{x:>8.0} {:>10.3} {:>10.3} {:>10.3}",
+            frac(&low),
+            frac(&medium),
+            frac(&high)
+        );
+    }
+    println!();
+    println!("# paper shape: Δv smallest for low-speed traffic, largest for high-speed");
+}

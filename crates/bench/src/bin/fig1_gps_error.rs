@@ -1,0 +1,47 @@
+//! Figure 1 reproduction: CDF of GPS localization errors in a downtown
+//! urban canyon, stationary vs mobile on buses.
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin fig1_gps_error`.
+
+use busprobe_bench::stats::{cdf_at, quantile};
+use busprobe_sensors::{GpsErrorModel, GpsMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = GpsErrorModel::urban_canyon();
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 2000;
+
+    let stationary: Vec<f64> = (0..n)
+        .map(|_| model.sample_error_m(GpsMode::Stationary, &mut rng))
+        .collect();
+    let mobile: Vec<f64> = (0..n)
+        .map(|_| model.sample_error_m(GpsMode::OnBus, &mut rng))
+        .collect();
+
+    println!("# Figure 1: GPS localization errors (downtown urban canyon)");
+    println!("# {n} fixes per condition");
+    println!();
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "error_m", "cdf_stationary", "cdf_on_bus"
+    );
+    for x in (0..=40).map(|k| k as f64 * 10.0) {
+        println!(
+            "{x:>12.0} {:>16.4} {:>16.4}",
+            cdf_at(&stationary, x),
+            cdf_at(&mobile, x)
+        );
+    }
+    println!();
+    println!("# paper reference: median 40 m / 68 m, 90th pct ≈ 175 m / 300 m");
+    for (label, xs) in [("stationary", &stationary), ("on_bus", &mobile)] {
+        println!(
+            "{label:>12}: median {:7.1} m   p90 {:7.1} m   max {:7.1} m",
+            quantile(xs, 0.5).unwrap(),
+            quantile(xs, 0.9).unwrap(),
+            quantile(xs, 1.0).unwrap(),
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 2(b)/2(c) reproduction: fingerprint similarity statistics.
+//!
+//! * 2(b): CDF of *self*-similarity — scans of the same bus stop on
+//!   different runs, per route.
+//! * 2(c): CDF of *cross*-stop similarity — fingerprints of different
+//!   stops; the "overall" CDF scores every physical-stop pair, the
+//!   "effective" CDF merges the two kerbside stops of one site (the paper
+//!   found most high cross-scores come from exactly those pairs).
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin fig2_similarity`.
+
+use busprobe_bench::stats::cdf_at;
+use busprobe_bench::World;
+use busprobe_cellular::Fingerprint;
+use busprobe_core::matching::{similarity, MatchConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 8;
+
+fn main() {
+    let world = World::paper(7);
+    let config = MatchConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // ---- 2(b): self-similarity per route (first 5 routes, as the paper).
+    println!("# Figure 2(b): self-similarity of fingerprints at the same stop");
+    println!("# {ROUNDS} scan rounds per stop; pairwise Smith-Waterman scores");
+    println!();
+    let mut all_self = Vec::new();
+    for route in world.network.routes().iter().take(5) {
+        let mut scores = Vec::new();
+        for rs in route.stops() {
+            let pos = world.network.site(rs.site).position;
+            let scans: Vec<Fingerprint> = (0..ROUNDS)
+                .map(|_| world.scanner.scan(pos, &mut rng).fingerprint())
+                .collect();
+            for i in 0..scans.len() {
+                for j in i + 1..scans.len() {
+                    scores.push(similarity(&scans[i], &scans[j], &config));
+                }
+            }
+        }
+        print_cdf_row(&format!("route {}", route.name), &scores);
+        all_self.extend(scores);
+    }
+    print_cdf_row("ALL", &all_self);
+    let over3 = 1.0 - cdf_at(&all_self, 3.0);
+    let over4 = 1.0 - cdf_at(&all_self, 4.0);
+    println!();
+    println!("# share of self-similarity scores > 3: {over3:.2} (paper: ~0.9)");
+    println!("# share of self-similarity scores > 4: {over4:.2} (paper: >0.5)");
+
+    // ---- 2(c): cross-stop similarity over physical stops.
+    println!();
+    println!("# Figure 2(c): similarity of fingerprints of different stops");
+    let stops = world.network.stops();
+    let fingerprints: Vec<(usize, Fingerprint)> = stops
+        .iter()
+        .map(|s| {
+            (
+                s.site.index(),
+                world.scanner.scan(s.position, &mut rng).fingerprint(),
+            )
+        })
+        .collect();
+    let mut overall = Vec::new();
+    let mut effective = Vec::new();
+    for i in 0..fingerprints.len() {
+        for j in i + 1..fingerprints.len() {
+            let score = similarity(&fingerprints[i].1, &fingerprints[j].1, &config);
+            overall.push(score);
+            if fingerprints[i].0 != fingerprints[j].0 {
+                // Different logical sites: the "effective" population with
+                // opposite-side pairs merged away.
+                effective.push(score);
+            }
+        }
+    }
+    print_cdf_row("overall", &overall);
+    print_cdf_row("effective", &effective);
+    println!();
+    let zero_frac = effective.iter().filter(|&&s| s == 0.0).count() as f64 / effective.len() as f64;
+    println!(
+        "# effective pairs with score 0: {zero_frac:.2} (paper: >0.7); < 2: {:.2} (paper: >0.94)",
+        cdf_at(&effective, 2.0),
+    );
+}
+
+fn print_cdf_row(label: &str, scores: &[f64]) {
+    print!("{label:>12} n={:>6} | cdf at score:", scores.len());
+    for s in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        print!("  {s:.1}:{:.3}", cdf_at(scores, s));
+    }
+    println!();
+}

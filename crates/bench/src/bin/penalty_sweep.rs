@@ -1,0 +1,82 @@
+//! §III-C1 reproduction: the mismatch/gap penalty sweep.
+//!
+//! "We vary the value of mismatch penalty cost from 0.1 to 0.9 and
+//! simulate the matching accuracy. Choosing 0.3 as the penalty cost gives
+//! the best result."
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin penalty_sweep`.
+
+use busprobe_bench::World;
+use busprobe_core::{MatchConfig, Matcher, StopFingerprintDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let world = World::paper(7);
+    let mut rng = StdRng::seed_from_u64(31);
+    let sites = world.network.sites();
+
+    // One reference round for the database, five test rounds.
+    let db_round: Vec<busprobe_cellular::Fingerprint> = sites
+        .iter()
+        .map(|s| world.scanner.scan(s.position, &mut rng).fingerprint())
+        .collect();
+    let test_rounds: Vec<Vec<busprobe_cellular::Fingerprint>> = (0..5)
+        .map(|_| {
+            sites
+                .iter()
+                .map(|s| world.scanner.scan(s.position, &mut rng).fingerprint())
+                .collect()
+        })
+        .collect();
+
+    println!("# Mismatch-penalty sweep (gap penalty follows the mismatch penalty)");
+    println!();
+    println!(
+        "{:>9} {:>14} {:>12}",
+        "penalty", "accuracy_pct", "rejected_pct"
+    );
+
+    let mut best = (0.0, 0.0);
+    for step in 1..=9 {
+        let penalty = step as f64 * 0.1;
+        let config = MatchConfig {
+            mismatch_penalty: penalty,
+            gap_penalty: penalty,
+            ..MatchConfig::default()
+        };
+        let db: StopFingerprintDb = sites
+            .iter()
+            .zip(&db_round)
+            .map(|(s, fp)| (s.id, fp.clone()))
+            .collect();
+        let matcher = Matcher::new(db, config);
+
+        let mut correct = 0usize;
+        let mut rejected = 0usize;
+        let mut total = 0usize;
+        for round in &test_rounds {
+            for (site, fp) in sites.iter().zip(round) {
+                total += 1;
+                match matcher.best_match(fp) {
+                    Some(hit) if hit.site == site.id => correct += 1,
+                    Some(_) => {}
+                    None => rejected += 1,
+                }
+            }
+        }
+        let acc = 100.0 * correct as f64 / total as f64;
+        println!(
+            "{penalty:>9.1} {acc:>14.1} {:>12.1}",
+            100.0 * rejected as f64 / total as f64
+        );
+        if acc > best.1 {
+            best = (penalty, acc);
+        }
+    }
+    println!();
+    println!(
+        "# best penalty {:.1} at {:.1}% (paper: 0.3 gives the best result)",
+        best.0, best.1
+    );
+}

@@ -1,0 +1,89 @@
+//! Table II reproduction: bus-stop identification accuracy per route.
+//!
+//! Protocol (§IV-B): 8 rounds of cellular scans at every stop; one round
+//! becomes the fingerprint database, the other 7 are identified against
+//! it. Reported per route: total test sets, errors, error rate, and how
+//! many errors are 1 or 2 stops away from the truth.
+//!
+//! Run with `cargo run --release -p busprobe-bench --bin table2_identification`.
+
+use busprobe_bench::World;
+use busprobe_core::{MatchConfig, Matcher, StopFingerprintDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 8;
+
+fn main() {
+    let world = World::paper(7);
+    let mut rng = StdRng::seed_from_u64(22);
+
+    // Collect 8 scan rounds per site.
+    let sites = world.network.sites();
+    let mut rounds: Vec<Vec<busprobe_cellular::Fingerprint>> = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        rounds.push(
+            sites
+                .iter()
+                .map(|s| world.scanner.scan(s.position, &mut rng).fingerprint())
+                .collect(),
+        );
+    }
+
+    // Round 0 is the database.
+    let db: StopFingerprintDb = sites
+        .iter()
+        .zip(&rounds[0])
+        .map(|(s, fp)| (s.id, fp.clone()))
+        .collect();
+    let matcher = Matcher::new(db, MatchConfig::default());
+
+    println!("# Table II: bus stop identification accuracy");
+    println!("# database = round 0; rounds 1-7 identified (first 4 routes, as the paper)");
+    println!();
+    println!(
+        "{:>8} {:>7} {:>8} {:>11} {:>14} {:>14} {:>10}",
+        "route", "total", "errors", "error_rate", "1_stop_error", "2_stop_error", "rejected"
+    );
+
+    for route in world.network.routes().iter().take(4) {
+        let mut total = 0usize;
+        let mut errors = 0usize;
+        let mut one_stop = 0usize;
+        let mut two_stop = 0usize;
+        let mut rejected = 0usize;
+        for rs in route.stops() {
+            let truth_idx = route.position_of(rs.site).expect("stop on route");
+            for round in &rounds[1..] {
+                total += 1;
+                match matcher.best_match(&round[rs.site.index()]) {
+                    None => {
+                        rejected += 1;
+                        errors += 1;
+                    }
+                    Some(hit) if hit.site == rs.site => {}
+                    Some(hit) => {
+                        errors += 1;
+                        match route.position_of(hit.site) {
+                            Some(idx) if idx.abs_diff(truth_idx) == 1 => one_stop += 1,
+                            Some(idx) if idx.abs_diff(truth_idx) == 2 => two_stop += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>8} {:>7} {:>8} {:>10.1}% {:>14} {:>14} {:>10}",
+            route.name,
+            total,
+            errors,
+            100.0 * errors as f64 / total as f64,
+            one_stop,
+            two_stop,
+            rejected
+        );
+    }
+    println!();
+    println!("# paper: error rate < 8% on all four routes; most errors 1 stop away");
+}

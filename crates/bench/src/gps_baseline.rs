@@ -1,0 +1,255 @@
+//! A GPS-based probe baseline (a simplified VTrack, the paper's ref \[22\]).
+//!
+//! The alternative design the paper argues against: phones sample GPS at
+//! 0.5 Hz while riding, fixes are map-matched to the nearest road segment,
+//! and per-segment speeds come from consecutive matched fixes. It works —
+//! but pays the urban-canyon error (Fig. 1) in misattribution and the
+//! Table III GPS power draw in battery.
+
+use busprobe_geo::Point;
+use busprobe_network::{SegmentKey, TransitNetwork};
+use busprobe_sensors::{GpsErrorModel, GpsMode};
+use busprobe_sim::{BusTrace, SimTime};
+use rand::Rng;
+
+/// One map-matched GPS fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedFix {
+    /// Fix timestamp.
+    pub time: SimTime,
+    /// Reported (erroneous) position.
+    pub position: Point,
+    /// The segment the fix was attributed to.
+    pub segment: SegmentKey,
+    /// Arc offset along that segment's straight line, metres.
+    pub offset_m: f64,
+}
+
+/// Speed estimate produced by the GPS pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsSpeedObservation {
+    /// The segment the observation belongs to.
+    pub key: SegmentKey,
+    /// Estimated speed, m/s.
+    pub speed_mps: f64,
+    /// Midpoint timestamp.
+    pub time: SimTime,
+}
+
+/// The GPS probe pipeline over a transit network.
+#[derive(Debug)]
+pub struct GpsTracker<'a> {
+    network: &'a TransitNetwork,
+    error_model: GpsErrorModel,
+    /// Sampling interval, seconds (the paper cites 0.5 Hz as already low).
+    pub sample_interval_s: f64,
+}
+
+impl<'a> GpsTracker<'a> {
+    /// Creates a tracker with the urban-canyon error calibration.
+    #[must_use]
+    pub fn new(network: &'a TransitNetwork) -> Self {
+        GpsTracker {
+            network,
+            error_model: GpsErrorModel::urban_canyon(),
+            sample_interval_s: 2.0,
+        }
+    }
+
+    /// Map-matches a position to the nearest segment (straight line between
+    /// its endpoint sites).
+    #[must_use]
+    pub fn match_position(&self, p: Point) -> Option<(SegmentKey, f64, f64)> {
+        let mut best: Option<(SegmentKey, f64, f64)> = None;
+        for seg in self.network.segments() {
+            let a = self.network.site(seg.key.from).position;
+            let b = self.network.site(seg.key.to).position;
+            let ab = b - a;
+            let len_sq = ab.dot(ab);
+            let t = if len_sq == 0.0 {
+                0.0
+            } else {
+                ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0)
+            };
+            let q = a.lerp(b, t);
+            let d = p.distance(q);
+            if best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((seg.key, t * len_sq.sqrt(), d));
+            }
+        }
+        best
+    }
+
+    /// Runs the whole pipeline on one bus trace: sample noisy fixes, match
+    /// them, and derive per-segment speeds from consecutive fixes that
+    /// landed on the same segment.
+    pub fn track<R: Rng + ?Sized>(
+        &self,
+        trace: &BusTrace,
+        rng: &mut R,
+    ) -> Vec<GpsSpeedObservation> {
+        let Some(first) = trace.points.first() else {
+            return Vec::new();
+        };
+        let Some(last) = trace.points.last() else {
+            return Vec::new();
+        };
+
+        // 1. Sample fixes along the ride.
+        let mut fixes: Vec<MatchedFix> = Vec::new();
+        let mut t = first.time;
+        while t <= last.time {
+            if let Some(true_pos) = trace.position_at(t) {
+                let reported = self.error_model.sample_fix(true_pos, GpsMode::OnBus, rng);
+                if let Some((segment, offset_m, _)) = self.match_position(reported) {
+                    fixes.push(MatchedFix {
+                        time: t,
+                        position: reported,
+                        segment,
+                        offset_m,
+                    });
+                }
+            }
+            t = t + self.sample_interval_s;
+        }
+
+        // 2. Smooth before differencing, as any serious GPS pipeline
+        //    (VTrack's HMM, Kalman trackers) effectively does: average the
+        //    matched offsets per (segment, 20 s bin), then take speeds
+        //    between consecutive bins of one segment. Differencing raw
+        //    fixes 2 s apart would only measure the GPS error itself.
+        const BIN_S: f64 = 20.0;
+        /// (offset sum, time sum, count) accumulated per bin.
+        type BinAcc = (f64, f64, usize);
+        let mut bins: std::collections::BTreeMap<(SegmentKey, u64), BinAcc> =
+            std::collections::BTreeMap::new();
+        for fix in &fixes {
+            let bin = (fix.time.seconds() / BIN_S) as u64;
+            let e = bins.entry((fix.segment, bin)).or_insert((0.0, 0.0, 0));
+            e.0 += fix.offset_m;
+            e.1 += fix.time.seconds();
+            e.2 += 1;
+        }
+        let mut out = Vec::new();
+        let entries: Vec<((SegmentKey, u64), BinAcc)> = bins.into_iter().collect();
+        for w in entries.windows(2) {
+            let ((seg_a, bin_a), (off_a, t_a, n_a)) = w[0];
+            let ((seg_b, bin_b), (off_b, t_b, n_b)) = w[1];
+            if seg_a != seg_b || bin_b != bin_a + 1 {
+                continue;
+            }
+            let (off_a, t_a) = (off_a / n_a as f64, t_a / n_a as f64);
+            let (off_b, t_b) = (off_b / n_b as f64, t_b / n_b as f64);
+            let dt = t_b - t_a;
+            if dt <= 1.0 {
+                continue;
+            }
+            let speed = (off_b - off_a).abs() / dt;
+            // Urban-canyon residuals can still imply absurd speeds; a real
+            // pipeline filters them too.
+            if speed > 40.0 {
+                continue;
+            }
+            out.push(GpsSpeedObservation {
+                key: seg_a,
+                speed_mps: speed,
+                time: SimTime::from_seconds((t_a + t_b) / 2.0),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+    use busprobe_sim::Simulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn traced_world() -> (World, busprobe_sim::SimOutput) {
+        let world = World::small(33);
+        let scenario = world
+            .scenario(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0))
+            .with_traces(2);
+        let output = Simulation::new(scenario).run();
+        (world, output)
+    }
+
+    #[test]
+    fn match_position_snaps_to_nearest_segment() {
+        let world = World::small(33);
+        let tracker = GpsTracker::new(&world.network);
+        let seg = world.network.segments().next().unwrap();
+        let a = world.network.site(seg.key.from).position;
+        let b = world.network.site(seg.key.to).position;
+        let mid = a.lerp(b, 0.5);
+        let (key, offset, dist) = tracker.match_position(mid).unwrap();
+        // Midpoint of a segment matches that segment (or its reverse twin,
+        // which shares the geometry).
+        assert!(key == seg.key || key == seg.key.reversed());
+        assert!(dist < 1.0);
+        assert!((offset - a.distance(b) / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tracker_produces_observations_from_traces() {
+        let (world, output) = traced_world();
+        let tracker = GpsTracker::new(&world.network);
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs: Vec<GpsSpeedObservation> = output
+            .traces
+            .iter()
+            .flat_map(|t| tracker.track(t, &mut rng))
+            .collect();
+        assert!(!obs.is_empty(), "traces yield GPS speed observations");
+        for o in &obs {
+            assert!(o.speed_mps >= 0.0 && o.speed_mps <= 40.0);
+        }
+    }
+
+    #[test]
+    fn gps_errors_cause_cross_segment_attribution() {
+        // With a median 68 m error on ~500 m segments, a visible fraction
+        // of fixes lands on the wrong segment: count fixes whose matched
+        // segment is not on the bus's route.
+        let (world, output) = traced_world();
+        let tracker = GpsTracker::new(&world.network);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = &output.traces[0];
+        let bus = trace.bus;
+        let route_id = output
+            .stop_visits
+            .iter()
+            .find(|v| v.bus == bus)
+            .unwrap()
+            .route;
+        let route = world.network.route(route_id);
+        let on_route: std::collections::HashSet<_> = route.segment_keys().collect();
+
+        let mut total = 0;
+        let mut off_route = 0;
+        let mut t = trace.points.first().unwrap().time;
+        let end = trace.points.last().unwrap().time;
+        while t <= end {
+            if let Some(true_pos) = trace.position_at(t) {
+                let fix =
+                    GpsErrorModel::urban_canyon().sample_fix(true_pos, GpsMode::OnBus, &mut rng);
+                if let Some((key, _, _)) = tracker.match_position(fix) {
+                    total += 1;
+                    if !on_route.contains(&key) && !on_route.contains(&key.reversed()) {
+                        off_route += 1;
+                    }
+                }
+            }
+            t = t + 2.0;
+        }
+        assert!(total > 50);
+        let frac = f64::from(off_route) / f64::from(total);
+        assert!(
+            frac > 0.05,
+            "urban-canyon GPS should misattribute a visible share of fixes: {frac:.3}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Small statistics helpers shared by the experiment binaries.
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the samples, or `None` when
+/// empty. Uses nearest-rank on a sorted copy.
+#[must_use]
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let idx = ((xs.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(xs[idx])
+}
+
+/// Arithmetic mean, or `None` when empty.
+#[must_use]
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Fraction of samples strictly below `x`.
+#[must_use]
+pub fn cdf_at(samples: &[f64], x: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s < x).count() as f64 / samples.len() as f64
+}
+
+/// Renders a textual CDF: `points` evenly spaced probes over the sample
+/// range, one `value cumulative_fraction` row per line.
+#[must_use]
+pub fn render_cdf(samples: &[f64], points: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if samples.is_empty() {
+        return out;
+    }
+    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for k in 0..=points {
+        let x = lo + (hi - lo) * k as f64 / points as f64;
+        let _ = writeln!(out, "{x:10.2} {:8.4}", cdf_at(samples, x + 1e-12));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(100.0));
+        assert_eq!(quantile(&xs, 0.5), Some(51.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn mean_of_known_data() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let xs = vec![1.0, 2.0, 2.0, 5.0];
+        assert_eq!(cdf_at(&xs, 0.0), 0.0);
+        assert_eq!(cdf_at(&xs, 2.0), 0.25);
+        assert_eq!(cdf_at(&xs, 10.0), 1.0);
+    }
+
+    #[test]
+    fn render_cdf_has_rows() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let text = render_cdf(&xs, 4);
+        assert_eq!(text.lines().count(), 5);
+    }
+}

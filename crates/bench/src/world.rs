@@ -1,0 +1,176 @@
+//! The assembled experiment world: one seed → region, radio environment,
+//! fingerprint database and simulation scenario.
+
+use busprobe_cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe_core::{MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+use busprobe_mobile::{CellularSample, Trip};
+use busprobe_network::{NetworkGenerator, TransitNetwork};
+use busprobe_sensors::trip_observations;
+use busprobe_sim::{RiderTrip, Scenario, SimOutput, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Everything an experiment needs, built deterministically from one seed.
+#[derive(Debug)]
+pub struct World {
+    /// The study region.
+    pub network: TransitNetwork,
+    /// The radio environment.
+    pub scanner: Scanner,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl World {
+    /// The paper's region: 7 km × 4 km, 8 routes, >60 stop sites.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        let network = NetworkGenerator::paper_region(seed).generate();
+        World::with_network(network, seed)
+    }
+
+    /// A small fast world for tests and smoke runs.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        let network = NetworkGenerator::small(seed).generate();
+        World::with_network(network, seed)
+    }
+
+    fn with_network(network: TransitNetwork, seed: u64) -> Self {
+        let region = network.grid().spec().region();
+        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
+        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
+        World {
+            network,
+            scanner,
+            seed,
+        }
+    }
+
+    /// War-collects `rounds` noisy scans at every stop site and builds the
+    /// fingerprint database the way §IV-A describes (the most mutually
+    /// similar sample is elected per stop).
+    #[must_use]
+    pub fn build_db(&self, rounds: usize) -> StopFingerprintDb {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1B5_4A32_D192_ED03);
+        let mut samples = BTreeMap::new();
+        for site in self.network.sites() {
+            let fps = (0..rounds.max(1))
+                .map(|_| self.scanner.scan(site.position, &mut rng).fingerprint())
+                .collect();
+            samples.insert(site.id, fps);
+        }
+        StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default())
+    }
+
+    /// A ready backend: network + war-collected database.
+    #[must_use]
+    pub fn monitor(&self) -> TrafficMonitor {
+        TrafficMonitor::new(
+            self.network.clone(),
+            self.build_db(5),
+            MonitorConfig::default(),
+        )
+    }
+
+    /// A simulation scenario over this world's network.
+    #[must_use]
+    pub fn scenario(&self, start: SimTime, end: SimTime) -> Scenario {
+        Scenario::new(self.network.clone(), self.seed).with_span(start, end)
+    }
+
+    /// Runs a scenario.
+    #[must_use]
+    pub fn simulate(&self, start: SimTime, end: SimTime) -> SimOutput {
+        Simulation::new(self.scenario(start, end)).run()
+    }
+
+    /// Converts simulated rider journeys into phone uploads: each rider
+    /// participates with probability `participation`; a participant's
+    /// phone records a cellular scan at every beep heard on their bus.
+    #[must_use]
+    pub fn uploads(&self, output: &SimOutput, participation: f64, seed: u64) -> Vec<Trip> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trips = Vec::new();
+        for rider in &output.rider_trips {
+            if rng.gen_range(0.0..1.0) >= participation {
+                continue;
+            }
+            if let Some(trip) = self.upload_for(rider, output, &mut rng) {
+                trips.push(trip);
+            }
+        }
+        trips
+    }
+
+    /// The upload a single participant would produce, if any samples exist.
+    #[must_use]
+    pub fn upload_for(
+        &self,
+        rider: &RiderTrip,
+        output: &SimOutput,
+        rng: &mut StdRng,
+    ) -> Option<Trip> {
+        let obs = trip_observations(rider, output, &self.scanner, rng);
+        if obs.len() < 2 {
+            return None;
+        }
+        Some(Trip {
+            samples: obs
+                .into_iter()
+                .map(|o| CellularSample {
+                    time_s: o.time.seconds(),
+                    scan: o.scan,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = World::small(3);
+        let b = World::small(3);
+        assert_eq!(a.network.sites().len(), b.network.sites().len());
+        let db_a = a.build_db(3);
+        let db_b = b.build_db(3);
+        assert_eq!(db_a, db_b);
+    }
+
+    #[test]
+    fn db_covers_every_site() {
+        let w = World::small(4);
+        let db = w.build_db(3);
+        assert_eq!(db.len(), w.network.sites().len());
+    }
+
+    #[test]
+    fn uploads_respect_participation() {
+        let w = World::small(5);
+        let out = w.simulate(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
+        let all = w.uploads(&out, 1.0, 1);
+        let none = w.uploads(&out, 0.0, 1);
+        assert!(!all.is_empty());
+        assert!(none.is_empty());
+        let half = w.uploads(&out, 0.5, 1);
+        assert!(half.len() < all.len());
+    }
+
+    #[test]
+    fn end_to_end_pipeline_produces_traffic() {
+        let w = World::small(6);
+        let monitor = w.monitor();
+        let out = w.simulate(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 30, 0));
+        let trips = w.uploads(&out, 1.0, 2);
+        let reports = monitor.ingest_batch(&trips);
+        let total_obs: usize = reports.iter().map(|r| r.observations).sum();
+        assert!(total_obs > 0, "uploads must produce speed observations");
+        let map = monitor.snapshot(SimTime::from_hms(9, 30, 0).seconds());
+        assert!(!map.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+use busprobe_geo::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A GSM cell identifier.
+///
+/// Real deployments use opaque numeric cell IDs (the paper's Fig. 3 shows
+/// values like 3486, 3893); the generator assigns random-looking 4–5 digit
+/// ids so output resembles the published examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellTowerId(pub u32);
+
+impl fmt::Display for CellTowerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One cell tower: identity, location and transmit power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellTower {
+    /// Broadcast cell id.
+    pub id: CellTowerId,
+    /// Antenna location.
+    pub position: Point,
+    /// Effective isotropic radiated power in dBm.
+    pub tx_power_dbm: f64,
+}
+
+/// Parameters of the synthetic tower deployment.
+///
+/// Defaults are tuned so that, combined with
+/// [`PropagationModel::default`](crate::PropagationModel::default), a
+/// location hears 4–7 towers and a tower's service radius is a few hundred
+/// metres — the figures the paper reports for urban Singapore (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Nominal lattice spacing between towers, metres.
+    pub spacing_m: f64,
+    /// Placement jitter as a fraction of the spacing (0 = perfect lattice).
+    pub jitter_frac: f64,
+    /// Mean transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Uniform transmit-power spread (± this many dB).
+    pub tx_power_jitter_db: f64,
+    /// Extra margin around the region also seeded with towers, metres
+    /// (towers outside the study area are audible inside it).
+    pub margin_m: f64,
+}
+
+impl Default for DeploymentSpec {
+    fn default() -> Self {
+        DeploymentSpec {
+            spacing_m: 450.0,
+            jitter_frac: 0.35,
+            tx_power_dbm: 33.0,
+            tx_power_jitter_db: 3.0,
+            margin_m: 600.0,
+        }
+    }
+}
+
+/// The set of towers serving a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TowerDeployment {
+    region: BBox,
+    towers: Vec<CellTower>,
+}
+
+impl TowerDeployment {
+    /// Generates a jittered-lattice deployment over `region` (inflated by
+    /// the spec's margin). Deterministic for a given `(spec, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's spacing is not strictly positive.
+    #[must_use]
+    pub fn generate(region: BBox, spec: DeploymentSpec, seed: u64) -> Self {
+        assert!(spec.spacing_m > 0.0, "tower spacing must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let padded = region.inflated(spec.margin_m);
+        let nx = (padded.width() / spec.spacing_m).ceil() as usize;
+        let ny = (padded.height() / spec.spacing_m).ceil() as usize;
+
+        let mut used_ids = HashSet::new();
+        let mut towers = Vec::with_capacity((nx + 1) * (ny + 1));
+        for iy in 0..=ny {
+            for ix in 0..=nx {
+                let base = Point::new(
+                    padded.min.x + ix as f64 * spec.spacing_m,
+                    padded.min.y + iy as f64 * spec.spacing_m,
+                );
+                let jitter = spec.spacing_m * spec.jitter_frac;
+                let position = Point::new(
+                    base.x + rng.gen_range(-jitter..=jitter),
+                    base.y + rng.gen_range(-jitter..=jitter),
+                );
+                // Random-looking but unique 4–5 digit ids like the paper's.
+                let id = loop {
+                    let candidate = rng.gen_range(1000u32..40000);
+                    if used_ids.insert(candidate) {
+                        break CellTowerId(candidate);
+                    }
+                };
+                let tx = spec.tx_power_dbm
+                    + rng.gen_range(-spec.tx_power_jitter_db..=spec.tx_power_jitter_db);
+                towers.push(CellTower {
+                    id,
+                    position,
+                    tx_power_dbm: tx,
+                });
+            }
+        }
+        TowerDeployment { region, towers }
+    }
+
+    /// Builds a deployment from an explicit tower list (for tests/imports).
+    #[must_use]
+    pub fn from_towers(region: BBox, towers: Vec<CellTower>) -> Self {
+        TowerDeployment { region, towers }
+    }
+
+    /// The study region this deployment serves.
+    #[must_use]
+    pub fn region(&self) -> BBox {
+        self.region
+    }
+
+    /// All towers.
+    #[must_use]
+    pub fn towers(&self) -> &[CellTower] {
+        &self.towers
+    }
+
+    /// Number of towers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.towers.len()
+    }
+
+    /// Whether the deployment has no towers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.towers.is_empty()
+    }
+
+    /// Finds a tower by id (linear scan; deployments are small).
+    #[must_use]
+    pub fn get(&self, id: CellTowerId) -> Option<&CellTower> {
+        self.towers.iter().find(|t| t.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> BBox {
+        BBox::new(Point::ORIGIN, Point::new(7000.0, 4000.0))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TowerDeployment::generate(region(), DeploymentSpec::default(), 5);
+        let b = TowerDeployment::generate(region(), DeploymentSpec::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_layout() {
+        let a = TowerDeployment::generate(region(), DeploymentSpec::default(), 1);
+        let b = TowerDeployment::generate(region(), DeploymentSpec::default(), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tower_count_scales_with_density() {
+        let sparse = TowerDeployment::generate(
+            region(),
+            DeploymentSpec {
+                spacing_m: 900.0,
+                ..DeploymentSpec::default()
+            },
+            1,
+        );
+        let dense = TowerDeployment::generate(
+            region(),
+            DeploymentSpec {
+                spacing_m: 300.0,
+                ..DeploymentSpec::default()
+            },
+            1,
+        );
+        assert!(dense.len() > 4 * sparse.len());
+    }
+
+    #[test]
+    fn ids_are_unique_and_plausible() {
+        let d = TowerDeployment::generate(region(), DeploymentSpec::default(), 3);
+        let mut seen = HashSet::new();
+        for t in d.towers() {
+            assert!(seen.insert(t.id), "duplicate id {}", t.id);
+            assert!(t.id.0 >= 1000 && t.id.0 < 40000);
+        }
+    }
+
+    #[test]
+    fn towers_extend_past_region_margin() {
+        let d = TowerDeployment::generate(region(), DeploymentSpec::default(), 3);
+        let outside = d
+            .towers()
+            .iter()
+            .filter(|t| !region().contains(t.position))
+            .count();
+        assert!(
+            outside > 0,
+            "margin towers should exist outside the study area"
+        );
+    }
+
+    #[test]
+    fn get_by_id() {
+        let d = TowerDeployment::generate(region(), DeploymentSpec::default(), 3);
+        let first = d.towers()[0];
+        assert_eq!(d.get(first.id), Some(&first));
+        assert!(d.get(CellTowerId(0)).is_none());
+    }
+
+    #[test]
+    fn tx_power_within_spread() {
+        let spec = DeploymentSpec::default();
+        let d = TowerDeployment::generate(region(), spec, 4);
+        for t in d.towers() {
+            assert!((t.tx_power_dbm - spec.tx_power_dbm).abs() <= spec.tx_power_jitter_db + 1e-9);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = TowerDeployment::generate(region(), DeploymentSpec::default(), 6);
+        let back: TowerDeployment =
+            serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,55 @@
+//! Cell-tower deployment, radio propagation and cellular fingerprints.
+//!
+//! The paper's location reference is the set of GSM cell towers a phone can
+//! hear, ordered by received signal strength: "We order their cell IDs
+//! according to their Received Signal Strengths (RSS) and use such an
+//! ordered set to signature each bus stop in cellular space" (§III-A).
+//! Typically 4–7 towers are visible at a stop, and an urban tower covers
+//! about 200–900 m.
+//!
+//! Since the real Singapore GSM network is unavailable, this crate builds a
+//! synthetic one whose *fingerprint statistics* reproduce the paper's
+//! measurement study (Fig. 2):
+//!
+//! * [`TowerDeployment`] — a jittered lattice of towers over the region with
+//!   varied transmit power,
+//! * [`PropagationModel`] — log-distance path loss plus **spatially
+//!   correlated, time-invariant shadowing** (a deterministic value-noise
+//!   field per tower) plus per-scan measurement noise. The static shadowing
+//!   is what makes a stop's RSS *ranking* stable across visits while still
+//!   differing between stops; the per-scan noise is what makes repeated
+//!   visits imperfect replicas,
+//! * [`Scanner`] — produces [`CellScan`]s (RSS-descending observations,
+//!   capped at the modem's neighbour-set size),
+//! * [`Fingerprint`] — the ordered cell-ID set used for matching.
+//!
+//! # Examples
+//!
+//! ```
+//! use busprobe_cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+//! use busprobe_geo::{BBox, Point};
+//! use rand::SeedableRng;
+//!
+//! let region = BBox::new(Point::ORIGIN, Point::new(7000.0, 4000.0));
+//! let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), 1);
+//! let scanner = Scanner::new(deployment, PropagationModel::default(), 1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let scan = scanner.scan(busprobe_geo::Point::new(3500.0, 2000.0), &mut rng);
+//! assert!(scan.len() >= 3, "urban locations hear several towers");
+//! let fp = scan.fingerprint();
+//! assert_eq!(fp.len(), scan.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deployment;
+mod fingerprint;
+mod noise;
+mod propagation;
+mod scan;
+
+pub use deployment::{CellTower, CellTowerId, DeploymentSpec, TowerDeployment};
+pub use fingerprint::{DuplicateCellError, Fingerprint};
+pub use propagation::PropagationModel;
+pub use scan::{CellObservation, CellScan, Scanner};

@@ -1,0 +1,179 @@
+//! Deterministic pseudo-random fields used for time-invariant shadowing.
+//!
+//! Shadow fading is caused by buildings and terrain, so it is a property of
+//! *where you stand*, not of when you scan. Modelling it as a smooth random
+//! field of position (rather than i.i.d. noise per scan) is what gives a bus
+//! stop a stable cellular signature across visits — the effect the paper's
+//! whole fingerprinting approach rests on.
+
+use busprobe_geo::Point;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer for hashing lattice
+/// coordinates into reproducible random values.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a set of seeds into a uniform value in `[0, 1)`.
+fn hash_to_unit(seeds: &[u64]) -> f64 {
+    let mut h = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &s in seeds {
+        h = splitmix64(h ^ s);
+    }
+    // 53 significant bits → uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal deviate derived deterministically from the seeds
+/// (Box–Muller on two hashed uniforms).
+fn hash_to_normal(seeds: &[u64], salt: u64) -> f64 {
+    let u1 = hash_to_unit(seeds).max(1e-12);
+    let mut seeds2 = seeds.to_vec();
+    seeds2.push(salt ^ 0xABCD_EF01_2345_6789);
+    let u2 = hash_to_unit(&seeds2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A smooth, deterministic Gaussian random field: value noise on a square
+/// lattice with bilinear interpolation.
+///
+/// Two evaluations at the same `(channel, position)` always agree; values
+/// decorrelate over roughly one lattice cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueField {
+    seed: u64,
+    /// Lattice cell size in metres (spatial correlation length).
+    cell_m: f64,
+    /// Standard deviation of the field.
+    sigma: f64,
+}
+
+impl ValueField {
+    /// Creates a field with correlation length `cell_m` and standard
+    /// deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not strictly positive or `sigma` is negative.
+    #[must_use]
+    pub fn new(seed: u64, cell_m: f64, sigma: f64) -> Self {
+        assert!(cell_m > 0.0, "correlation length must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        ValueField {
+            seed,
+            cell_m,
+            sigma,
+        }
+    }
+
+    /// Field value for `channel` (e.g. a tower id) at `pos`.
+    #[must_use]
+    pub fn sample(&self, channel: u64, pos: Point) -> f64 {
+        let gx = pos.x / self.cell_m;
+        let gy = pos.y / self.cell_m;
+        let x0 = gx.floor();
+        let y0 = gy.floor();
+        let fx = gx - x0;
+        let fy = gy - y0;
+        // Smoothstep weights avoid visible lattice creases.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let corner = |dx: i64, dy: i64| {
+            let ix = (x0 as i64 + dx) as u64;
+            let iy = (y0 as i64 + dy) as u64;
+            hash_to_normal(&[self.seed, channel, ix, iy], ix ^ iy.rotate_left(17))
+        };
+        let v00 = corner(0, 0);
+        let v10 = corner(1, 0);
+        let v01 = corner(0, 1);
+        let v11 = corner(1, 1);
+        let top = v00 + (v10 - v00) * sx;
+        let bottom = v01 + (v11 - v01) * sx;
+        self.sigma * (top + (bottom - top) * sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_deterministic() {
+        let f = ValueField::new(42, 150.0, 6.0);
+        let p = Point::new(1234.5, 678.9);
+        assert_eq!(f.sample(7, p), f.sample(7, p));
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let f = ValueField::new(42, 150.0, 6.0);
+        let p = Point::new(100.0, 100.0);
+        assert_ne!(f.sample(1, p), f.sample(2, p));
+    }
+
+    #[test]
+    fn nearby_points_are_correlated_far_points_not() {
+        let f = ValueField::new(7, 150.0, 6.0);
+        let a = f.sample(3, Point::new(500.0, 500.0));
+        let near = f.sample(3, Point::new(505.0, 500.0));
+        assert!((a - near).abs() < 1.0, "5 m apart should be nearly equal");
+        // Statistically, far samples decorrelate: check the variance of
+        // differences over many pairs is comparable to 2σ².
+        let mut sum_sq = 0.0;
+        let n = 200;
+        for k in 0..n {
+            let x = 1000.0 + 311.0 * k as f64;
+            let d = f.sample(3, Point::new(x, 200.0)) - f.sample(3, Point::new(x, 3200.0));
+            sum_sq += d * d;
+        }
+        let var = sum_sq / n as f64;
+        assert!(
+            var > 6.0 * 6.0 * 0.8,
+            "far samples should decorrelate, var={var}"
+        );
+    }
+
+    #[test]
+    fn sigma_scales_amplitude() {
+        let base = ValueField::new(1, 100.0, 1.0);
+        let scaled = ValueField::new(1, 100.0, 3.0);
+        let p = Point::new(77.0, 33.0);
+        assert!((scaled.sample(5, p) - 3.0 * base.sample(5, p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sigma_is_flat() {
+        let f = ValueField::new(1, 100.0, 0.0);
+        assert_eq!(f.sample(9, Point::new(12.0, 34.0)), 0.0);
+    }
+
+    #[test]
+    fn field_statistics_are_roughly_standard() {
+        let f = ValueField::new(99, 150.0, 1.0);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let n = 2000;
+        for k in 0..n {
+            // Sample on a sparse lattice so values are independent.
+            let v = f.sample(
+                0,
+                Point::new((k % 50) as f64 * 450.0, (k / 50) as f64 * 450.0),
+            );
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.35, "var={var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        let _ = ValueField::new(0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+/// Radio propagation parameters: log-distance path loss with static
+/// shadowing and per-scan measurement noise.
+///
+/// Received power at distance `d` metres from a tower transmitting
+/// `P` dBm is
+///
+/// ```text
+/// RSS(d) = P − L₀ − 10·n·log₁₀(max(d, 1)) − S(tower, position) + ε
+/// ```
+///
+/// where `L₀` is the reference loss at 1 m, `n` the path-loss exponent,
+/// `S` a zero-mean Gaussian *random field* of position (time-invariant —
+/// buildings do not move between bus trips) and `ε` fresh per-scan
+/// measurement noise.
+///
+/// The defaults put a tower's audible radius at roughly 500–900 m and a
+/// location's visible set at 4–7 towers, matching §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Reference path loss at 1 m, dB.
+    pub ref_loss_db: f64,
+    /// Path-loss exponent (3–4 in built-up urban areas).
+    pub path_loss_exponent: f64,
+    /// Standard deviation of the static shadowing field, dB.
+    pub shadowing_sigma_db: f64,
+    /// Correlation length of the shadowing field, metres.
+    pub shadowing_corr_m: f64,
+    /// Standard deviation of per-scan measurement noise, dB.
+    pub noise_sigma_db: f64,
+    /// Receiver sensitivity: towers below this RSS are invisible, dBm.
+    pub sensitivity_dbm: f64,
+    /// Maximum towers a modem reports (serving cell + neighbour set).
+    pub max_visible: usize,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        PropagationModel {
+            ref_loss_db: 38.0,
+            path_loss_exponent: 3.5,
+            shadowing_sigma_db: 6.0,
+            shadowing_corr_m: 160.0,
+            noise_sigma_db: 1.4,
+            sensitivity_dbm: -102.0,
+            max_visible: 7,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Deterministic (noise- and shadow-free) RSS at `distance_m` from a
+    /// tower transmitting `tx_power_dbm`.
+    ///
+    /// Distances under 1 m are clamped to 1 m.
+    #[must_use]
+    pub fn median_rss_dbm(&self, tx_power_dbm: f64, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        tx_power_dbm - self.ref_loss_db - 10.0 * self.path_loss_exponent * d.log10()
+    }
+
+    /// The distance at which the median RSS falls to the sensitivity
+    /// threshold — the nominal service radius of a tower.
+    #[must_use]
+    pub fn nominal_range_m(&self, tx_power_dbm: f64) -> f64 {
+        let budget = tx_power_dbm - self.ref_loss_db - self.sensitivity_dbm;
+        10f64.powf(budget / (10.0 * self.path_loss_exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_decreases_with_distance() {
+        let m = PropagationModel::default();
+        let near = m.median_rss_dbm(33.0, 100.0);
+        let far = m.median_rss_dbm(33.0, 800.0);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn rss_clamps_below_one_metre() {
+        let m = PropagationModel::default();
+        assert_eq!(m.median_rss_dbm(33.0, 0.0), m.median_rss_dbm(33.0, 1.0));
+    }
+
+    #[test]
+    fn default_range_matches_paper_urban_coverage() {
+        // §II-A: "the coverage of a typical cell tower is about 200–900 m".
+        let m = PropagationModel::default();
+        let range = m.nominal_range_m(33.0);
+        assert!(
+            (200.0..=900.0).contains(&range),
+            "nominal range {range:.0} m outside the paper's urban band"
+        );
+    }
+
+    #[test]
+    fn nominal_range_is_where_rss_meets_sensitivity() {
+        let m = PropagationModel::default();
+        let r = m.nominal_range_m(33.0);
+        assert!((m.median_rss_dbm(33.0, r) - m.sensitivity_dbm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_power_longer_range() {
+        let m = PropagationModel::default();
+        assert!(m.nominal_range_m(36.0) > m.nominal_range_m(30.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = PropagationModel::default();
+        let back: PropagationModel =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

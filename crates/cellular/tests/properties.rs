@@ -1,0 +1,122 @@
+//! Radio-environment invariants over many seeds: what the fingerprinting
+//! methodology assumes about scans must hold unconditionally.
+
+use busprobe_cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe_geo::{BBox, Point};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scanner(seed: u64) -> Scanner {
+    let region = BBox::new(Point::ORIGIN, Point::new(4000.0, 3000.0));
+    let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
+    Scanner::new(deployment, PropagationModel::default(), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scans are RSS-sorted, duplicate-free, sensitivity-floored and capped
+    /// at the modem's neighbour-set size — everywhere, under any seed.
+    #[test]
+    fn prop_scan_wellformedness(seed in 0u64..200, x in 0.0f64..4000.0, y in 0.0f64..3000.0) {
+        let s = scanner(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let scan = s.scan(Point::new(x, y), &mut rng);
+        prop_assert!(scan.len() <= s.model().max_visible);
+        let mut seen = std::collections::HashSet::new();
+        for w in scan.observations() {
+            prop_assert!(w.rss_dbm >= s.model().sensitivity_dbm);
+            prop_assert!(seen.insert(w.tower), "duplicate tower in scan");
+        }
+        for w in scan.observations().windows(2) {
+            prop_assert!(w[0].rss_dbm >= w[1].rss_dbm);
+        }
+    }
+
+    /// The noise-free expected scan is position-deterministic and its
+    /// fingerprint is the mode of noisy scans: most noisy scans share most
+    /// of its membership.
+    #[test]
+    fn prop_expected_scan_is_representative(seed in 0u64..50, x in 500.0f64..3500.0, y in 500.0f64..2500.0) {
+        let s = scanner(seed);
+        let p = Point::new(x, y);
+        let expected = s.expected_scan(p).fingerprint();
+        prop_assume!(expected.len() >= 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let mut agree = 0;
+        let trials = 10;
+        for _ in 0..trials {
+            let fp = s.scan(p, &mut rng).fingerprint();
+            if expected.common_cells(&fp) * 2 >= expected.len() {
+                agree += 1;
+            }
+        }
+        prop_assert!(agree >= trials * 7 / 10, "only {agree}/{trials} scans resemble expectation");
+    }
+
+    /// RSS falls monotonically with distance in the *median* model (no
+    /// shadowing), for any transmit power.
+    #[test]
+    fn prop_median_rss_monotone(tx in 20.0f64..40.0, d1 in 1.0f64..2000.0, d2 in 1.0f64..2000.0) {
+        let m = PropagationModel::default();
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.median_rss_dbm(tx, near) >= m.median_rss_dbm(tx, far));
+    }
+
+    /// Walking away from a location changes the fingerprint gradually: at
+    /// 50 m most towers persist, at 2 km none may be required to.
+    #[test]
+    fn prop_fingerprints_vary_smoothly(seed in 0u64..50) {
+        let s = scanner(seed);
+        let a = Point::new(2000.0, 1500.0);
+        let near = Point::new(2050.0, 1500.0);
+        let fa = s.expected_scan(a).fingerprint();
+        let fn_ = s.expected_scan(near).fingerprint();
+        prop_assume!(fa.len() >= 4);
+        prop_assert!(
+            fa.common_cells(&fn_) * 2 >= fa.len(),
+            "50 m apart must share most towers: {fa} vs {fn_}"
+        );
+    }
+}
+
+#[test]
+fn deployment_density_matches_urban_band_across_seeds() {
+    // The §III-A claim (4–7 visible towers) is a property of the default
+    // deployment + propagation pair, not of a lucky seed.
+    for seed in 0..8 {
+        let s = scanner(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut in_band = 0;
+        let mut total = 0;
+        for ix in 1..8 {
+            for iy in 1..6 {
+                let p = Point::new(ix as f64 * 500.0, iy as f64 * 500.0);
+                let n = s.scan(p, &mut rng).len();
+                total += 1;
+                if (4..=7).contains(&n) {
+                    in_band += 1;
+                }
+            }
+        }
+        assert!(
+            f64::from(in_band) / f64::from(total) > 0.7,
+            "seed {seed}: {in_band}/{total} locations in the 4-7 band"
+        );
+    }
+}
+
+#[test]
+fn shadowing_is_stable_across_scanner_instances() {
+    // Two Scanner instances over the same world must agree exactly: the
+    // fingerprint database built yesterday is valid today.
+    let region = BBox::new(Point::ORIGIN, Point::new(4000.0, 3000.0));
+    let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), 9);
+    let s1 = Scanner::new(deployment.clone(), PropagationModel::default(), 9);
+    let s2 = Scanner::new(deployment, PropagationModel::default(), 9);
+    for k in 0..20 {
+        let p = Point::new(100.0 + 180.0 * k as f64, 70.0 + 140.0 * k as f64);
+        assert_eq!(s1.expected_scan(p), s2.expected_scan(p));
+    }
+}

@@ -1,0 +1,317 @@
+//! Full Smith–Waterman alignment with traceback.
+//!
+//! [`similarity`](crate::matching::similarity) only needs the score; this
+//! module additionally recovers *which* cells matched, mismatched or
+//! gapped — the information Table I displays and the right tool for
+//! debugging why a sample matched (or refused to match) a stop.
+
+use crate::matching::MatchConfig;
+use busprobe_cellular::{CellTowerId, Fingerprint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of an alignment, in upload order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignOp {
+    /// The same cell id at both positions.
+    Match(CellTowerId),
+    /// Different cell ids aligned against each other.
+    Mismatch(CellTowerId, CellTowerId),
+    /// A cell of the uploaded sample skipped (no database counterpart).
+    GapInDatabase(CellTowerId),
+    /// A cell of the database fingerprint skipped.
+    GapInUpload(CellTowerId),
+}
+
+/// A scored local alignment between an uploaded sample and a stored
+/// fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Alignment operations covering the best-scoring local region.
+    pub ops: Vec<AlignOp>,
+    /// The Smith–Waterman score (identical to
+    /// [`similarity`](crate::matching::similarity)).
+    pub score: f64,
+}
+
+impl Alignment {
+    /// Number of matched cells.
+    #[must_use]
+    pub fn matches(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, AlignOp::Match(_)))
+            .count()
+    }
+
+    /// Number of mismatched pairs.
+    #[must_use]
+    pub fn mismatches(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, AlignOp::Mismatch(..)))
+            .count()
+    }
+
+    /// Number of gaps (on either side).
+    #[must_use]
+    pub fn gaps(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, AlignOp::GapInDatabase(_) | AlignOp::GapInUpload(_)))
+            .count()
+    }
+}
+
+impl fmt::Display for Alignment {
+    /// Renders the alignment as three lines: upload cells, markers
+    /// (`|` match, `x` mismatch, `-` gap) and database cells — the format
+    /// of the paper's Table I.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut top = Vec::new();
+        let mut mid = Vec::new();
+        let mut bottom = Vec::new();
+        for op in &self.ops {
+            let (t, m, b) = match op {
+                AlignOp::Match(c) => (c.to_string(), "|".to_string(), c.to_string()),
+                AlignOp::Mismatch(u, d) => (u.to_string(), "x".to_string(), d.to_string()),
+                AlignOp::GapInDatabase(u) => (u.to_string(), "-".to_string(), String::new()),
+                AlignOp::GapInUpload(d) => (String::new(), "-".to_string(), d.to_string()),
+            };
+            let w = t.len().max(b.len()).max(1);
+            top.push(format!("{t:>w$}"));
+            mid.push(format!("{m:>w$}"));
+            bottom.push(format!("{b:>w$}"));
+        }
+        writeln!(f, "upload   : {}", top.join("  "))?;
+        writeln!(f, "           {}", mid.join("  "))?;
+        write!(f, "database : {}", bottom.join("  "))?;
+        writeln!(f)?;
+        write!(
+            f,
+            "score {:.1} ({} matches, {} mismatches, {} gaps)",
+            self.score,
+            self.matches(),
+            self.mismatches(),
+            self.gaps()
+        )
+    }
+}
+
+/// Computes the best local alignment between `upload` and `database` with
+/// full traceback.
+///
+/// # Examples
+///
+/// The Table I instance:
+///
+/// ```
+/// use busprobe_cellular::{CellTowerId, Fingerprint};
+/// use busprobe_core::alignment::align;
+/// use busprobe_core::MatchConfig;
+///
+/// let fp = |ids: &[u32]| {
+///     Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+/// };
+/// let a = align(&fp(&[1, 2, 3, 4, 5]), &fp(&[1, 7, 3, 5]), &MatchConfig::default());
+/// assert!((a.score - 2.4).abs() < 1e-9);
+/// assert_eq!((a.matches(), a.mismatches(), a.gaps()), (3, 1, 1));
+/// ```
+#[must_use]
+pub fn align(upload: &Fingerprint, database: &Fingerprint, config: &MatchConfig) -> Alignment {
+    let xs = upload.cells();
+    let ys = database.cells();
+    if xs.is_empty() || ys.is_empty() {
+        return Alignment {
+            ops: Vec::new(),
+            score: 0.0,
+        };
+    }
+
+    // Full DP table with traceback pointers.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Step {
+        Stop,
+        Diag,
+        Up,   // consume upload cell (gap in database)
+        Left, // consume database cell (gap in upload)
+    }
+    let (n, m) = (xs.len(), ys.len());
+    let mut h = vec![vec![0.0f64; m + 1]; n + 1];
+    let mut steps = vec![vec![Step::Stop; m + 1]; n + 1];
+    let mut best = (0.0f64, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = h[i - 1][j - 1]
+                + if xs[i - 1] == ys[j - 1] {
+                    config.match_score
+                } else {
+                    -config.mismatch_penalty
+                };
+            let up = h[i - 1][j] - config.gap_penalty;
+            let left = h[i][j - 1] - config.gap_penalty;
+            let (value, step) = [(diag, Step::Diag), (up, Step::Up), (left, Step::Left)]
+                .into_iter()
+                .fold(
+                    (0.0, Step::Stop),
+                    |acc, cand| if cand.0 > acc.0 { cand } else { acc },
+                );
+            h[i][j] = value;
+            steps[i][j] = step;
+            if value > best.0 {
+                best = (value, i, j);
+            }
+        }
+    }
+
+    // Traceback from the best cell to the first zero.
+    let (score, mut i, mut j) = best;
+    let mut ops = Vec::new();
+    while i > 0 && j > 0 && h[i][j] > 0.0 {
+        match steps[i][j] {
+            Step::Diag => {
+                ops.push(if xs[i - 1] == ys[j - 1] {
+                    AlignOp::Match(xs[i - 1])
+                } else {
+                    AlignOp::Mismatch(xs[i - 1], ys[j - 1])
+                });
+                i -= 1;
+                j -= 1;
+            }
+            Step::Up => {
+                ops.push(AlignOp::GapInDatabase(xs[i - 1]));
+                i -= 1;
+            }
+            Step::Left => {
+                ops.push(AlignOp::GapInUpload(ys[j - 1]));
+                j -= 1;
+            }
+            Step::Stop => break,
+        }
+    }
+    ops.reverse();
+    Alignment { ops, score }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::similarity;
+    use proptest::prelude::*;
+
+    fn fp(ids: &[u32]) -> Fingerprint {
+        Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn table_i_traceback() {
+        let a = align(
+            &fp(&[1, 2, 3, 4, 5]),
+            &fp(&[1, 7, 3, 5]),
+            &MatchConfig::default(),
+        );
+        assert!((a.score - 2.4).abs() < 1e-9);
+        assert_eq!(a.matches(), 3);
+        assert_eq!(a.mismatches(), 1);
+        assert_eq!(a.gaps(), 1);
+        assert_eq!(a.ops.first(), Some(&AlignOp::Match(CellTowerId(1))));
+        assert_eq!(a.ops.last(), Some(&AlignOp::Match(CellTowerId(5))));
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let a = align(&fp(&[9, 8, 7]), &fp(&[9, 8, 7]), &MatchConfig::default());
+        assert_eq!(a.score, 3.0);
+        assert_eq!(a.matches(), 3);
+        assert_eq!(a.mismatches() + a.gaps(), 0);
+    }
+
+    #[test]
+    fn disjoint_sequences_align_empty() {
+        let a = align(&fp(&[1, 2]), &fp(&[3, 4]), &MatchConfig::default());
+        assert_eq!(a.score, 0.0);
+        assert!(a.ops.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_align_empty() {
+        let empty = Fingerprint::new(vec![]).unwrap();
+        let a = align(&empty, &fp(&[1]), &MatchConfig::default());
+        assert_eq!(a.score, 0.0);
+        assert!(a.ops.is_empty());
+    }
+
+    #[test]
+    fn display_contains_all_cells_of_the_local_region() {
+        let a = align(
+            &fp(&[1, 2, 3, 4, 5]),
+            &fp(&[1, 7, 3, 5]),
+            &MatchConfig::default(),
+        );
+        let text = a.to_string();
+        assert!(text.contains("upload"));
+        assert!(text.contains("database"));
+        assert!(text.contains("score 2.4"));
+    }
+
+    /// The ops must re-derive the score exactly.
+    fn score_of(ops: &[AlignOp], config: &MatchConfig) -> f64 {
+        ops.iter()
+            .map(|op| match op {
+                AlignOp::Match(_) => config.match_score,
+                AlignOp::Mismatch(..) => -config.mismatch_penalty,
+                AlignOp::GapInDatabase(_) | AlignOp::GapInUpload(_) => -config.gap_penalty,
+            })
+            .sum()
+    }
+
+    fn arb_fp() -> impl Strategy<Value = Fingerprint> {
+        proptest::collection::vec(0u32..20, 0..10).prop_map(|ids| {
+            let mut seen = std::collections::HashSet::new();
+            Fingerprint::new(
+                ids.into_iter()
+                    .filter(|c| seen.insert(*c))
+                    .map(CellTowerId)
+                    .collect(),
+            )
+            .unwrap()
+        })
+    }
+
+    proptest! {
+        /// Traceback agrees with the score-only implementation, and the
+        /// listed operations sum to exactly that score.
+        #[test]
+        fn prop_traceback_consistent_with_score(a in arb_fp(), b in arb_fp()) {
+            let config = MatchConfig::default();
+            let alignment = align(&a, &b, &config);
+            let fast = similarity(&a, &b, &config);
+            prop_assert!((alignment.score - fast).abs() < 1e-9);
+            prop_assert!((score_of(&alignment.ops, &config) - alignment.score).abs() < 1e-9);
+        }
+
+        /// Ops consume subsequences of both inputs in order.
+        #[test]
+        fn prop_ops_respect_input_order(a in arb_fp(), b in arb_fp()) {
+            let alignment = align(&a, &b, &MatchConfig::default());
+            let upload_cells: Vec<CellTowerId> = alignment
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    AlignOp::Match(c) => Some(*c),
+                    AlignOp::Mismatch(u, _) => Some(*u),
+                    AlignOp::GapInDatabase(u) => Some(*u),
+                    AlignOp::GapInUpload(_) => None,
+                })
+                .collect();
+            // upload_cells must appear as a contiguous run inside a.cells().
+            if !upload_cells.is_empty() {
+                let joined: Vec<_> = a.cells().to_vec();
+                let found = joined
+                    .windows(upload_cells.len())
+                    .any(|w| w == upload_cells.as_slice());
+                prop_assert!(found, "{upload_cells:?} not contiguous in {joined:?}");
+            }
+        }
+    }
+}

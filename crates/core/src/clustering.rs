@@ -1,0 +1,346 @@
+//! Per-bus-stop clustering of matched cellular samples (§III-C2).
+//!
+//! When a bus serves a stop, several passengers tap in sequence, producing
+//! several samples of the same place moments apart. Co-clustering them
+//! "allow\[s\] us information redundancy for better reliability in
+//! identifying the correct bus stop" and yields the arrival/departing
+//! points used for travel-time extraction (Fig. 6).
+//!
+//! Two samples `e_i`, `e_j` land in the same cluster when (Eq. 1)
+//!
+//! ```text
+//! (t̄ − |t_j − t_i|)/t̄  +  L(e_i, e_j)  >  ε
+//! L(e_i, e_j) = (s̄ − |s_j − s_i|)/s̄   if b_i = b_j, else 0
+//! ```
+//!
+//! with the paper's parameters s̄ = 7, t̄ = 30 s and ε = 0.6 (Fig. 5 shows
+//! the accuracy plateau the threshold is drawn from).
+
+use busprobe_network::StopSiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One cellular sample after per-sample matching.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchedSample {
+    /// Sample timestamp, seconds.
+    pub time_s: f64,
+    /// Best-matching bus stop.
+    pub site: StopSiteId,
+    /// Similarity score of that match.
+    pub score: f64,
+}
+
+/// Parameters of Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Maximum possible similarity score s̄.
+    pub max_score: f64,
+    /// Maximum time between samples of one stop, t̄ (seconds).
+    pub max_interval_s: f64,
+    /// Clustering threshold ε.
+    pub epsilon: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // §III-C2: "parameters s̄ and t̄ are set to 7 and 30 secs" and "in
+        // our later system implementation, we choose ε = 0.6".
+        ClusterConfig {
+            max_score: 7.0,
+            max_interval_s: 30.0,
+            epsilon: 0.6,
+        }
+    }
+}
+
+/// A cluster of samples presumed to belong to one stop visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Member samples in time order.
+    pub samples: Vec<MatchedSample>,
+}
+
+/// One candidate bus stop of a cluster with its Eq. (2) statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCandidate {
+    /// Candidate stop.
+    pub site: StopSiteId,
+    /// `p_k(i)`: fraction of the cluster's samples matched to this stop.
+    pub probability: f64,
+    /// `s̄_k(i)`: mean similarity of those samples.
+    pub mean_score: f64,
+}
+
+impl Cluster {
+    /// First sample time — the bus's arrival point at the stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster (the clusterer never emits one).
+    #[must_use]
+    pub fn arrival_s(&self) -> f64 {
+        self.samples.first().expect("clusters are non-empty").time_s
+    }
+
+    /// Last sample time — the departing point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster (the clusterer never emits one).
+    #[must_use]
+    pub fn departure_s(&self) -> f64 {
+        self.samples.last().expect("clusters are non-empty").time_s
+    }
+
+    /// Number of member samples (`E_k`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the cluster has no samples (never true for clusterer output).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The candidate pool `{b_k(i)}` with probabilities and mean scores
+    /// (§III-C3), sorted by descending probability then score.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<ClusterCandidate> {
+        let mut by_site: BTreeMap<StopSiteId, (usize, f64)> = BTreeMap::new();
+        for s in &self.samples {
+            let e = by_site.entry(s.site).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += s.score;
+        }
+        let total = self.samples.len() as f64;
+        let mut out: Vec<ClusterCandidate> = by_site
+            .into_iter()
+            .map(|(site, (n, score_sum))| ClusterCandidate {
+                site,
+                probability: n as f64 / total,
+                mean_score: score_sum / n as f64,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .expect("finite")
+                .then(b.mean_score.partial_cmp(&a.mean_score).expect("finite"))
+        });
+        out
+    }
+
+    /// The majority candidate stop.
+    #[must_use]
+    pub fn majority_site(&self) -> Option<StopSiteId> {
+        self.candidates().first().map(|c| c.site)
+    }
+}
+
+/// Sequential agglomerative clusterer implementing Eq. (1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clusterer {
+    config: ClusterConfig,
+}
+
+impl Clusterer {
+    /// Creates a clusterer with `config`.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        Clusterer { config }
+    }
+
+    /// The active parameters.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Eq. (1) affinity between two samples.
+    #[must_use]
+    pub fn affinity(&self, a: &MatchedSample, b: &MatchedSample) -> f64 {
+        let c = &self.config;
+        let time_term = (c.max_interval_s - (b.time_s - a.time_s).abs()) / c.max_interval_s;
+        let score_term = if a.site == b.site {
+            (c.max_score - (b.score - a.score).abs()) / c.max_score
+        } else {
+            0.0
+        };
+        time_term + score_term
+    }
+
+    /// Partitions time-ordered samples into clusters: each sample joins the
+    /// current cluster when its affinity with the cluster's latest sample
+    /// exceeds ε, otherwise it starts a new cluster.
+    ///
+    /// Samples are sorted by time first (uploads may interleave).
+    #[must_use]
+    pub fn cluster(&self, mut samples: Vec<MatchedSample>) -> Vec<Cluster> {
+        samples.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for sample in samples {
+            match clusters.last_mut() {
+                Some(cluster)
+                    if self.affinity(cluster.samples.last().expect("non-empty"), &sample)
+                        > self.config.epsilon =>
+                {
+                    cluster.samples.push(sample);
+                }
+                _ => clusters.push(Cluster {
+                    samples: vec![sample],
+                }),
+            }
+        }
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(time_s: f64, site: u32, score: f64) -> MatchedSample {
+        MatchedSample {
+            time_s,
+            site: StopSiteId(site),
+            score,
+        }
+    }
+
+    fn clusterer() -> Clusterer {
+        Clusterer::new(ClusterConfig::default())
+    }
+
+    #[test]
+    fn same_stop_close_in_time_clusters() {
+        let clusters = clusterer().cluster(vec![s(0.0, 1, 5.0), s(3.0, 1, 5.5), s(6.0, 1, 4.8)]);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+        assert_eq!(clusters[0].arrival_s(), 0.0);
+        assert_eq!(clusters[0].departure_s(), 6.0);
+    }
+
+    #[test]
+    fn distant_in_time_splits() {
+        // Same stop matched twice 100 s apart: two visits (or a mismatch) —
+        // time term (30-100)/30 ≈ −2.3 plus score term ≤ 1 stays below ε.
+        let clusters = clusterer().cluster(vec![s(0.0, 1, 5.0), s(100.0, 1, 5.0)]);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn different_stops_very_close_in_time_still_cluster() {
+        // Eq. (1): with dt = 2 s the time term alone is 28/30 ≈ 0.93 > ε,
+        // so a noisy minority match joins the majority cluster.
+        let clusters = clusterer().cluster(vec![
+            s(0.0, 1, 5.0),
+            s(2.0, 9, 2.1), // mismatched sample amid the taps
+            s(4.0, 1, 5.2),
+        ]);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].majority_site(), Some(StopSiteId(1)));
+    }
+
+    #[test]
+    fn different_stops_moderate_gap_split() {
+        // dt = 20 s: time term 10/30 ≈ 0.33 < ε and no score term.
+        let clusters = clusterer().cluster(vec![s(0.0, 1, 5.0), s(20.0, 2, 5.0)]);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn same_stop_moderate_gap_clusters_via_score_term() {
+        // dt = 20 s but same stop with similar score: 0.33 + ~1.0 > ε.
+        let clusters = clusterer().cluster(vec![s(0.0, 1, 5.0), s(20.0, 1, 4.8)]);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let clusters = clusterer().cluster(vec![s(6.0, 1, 5.0), s(0.0, 1, 5.0), s(3.0, 1, 5.0)]);
+        assert_eq!(clusters.len(), 1);
+        let times: Vec<f64> = clusters[0].samples.iter().map(|x| x.time_s).collect();
+        assert_eq!(times, vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn candidate_pool_statistics() {
+        let clusters = clusterer().cluster(vec![
+            s(0.0, 1, 5.0),
+            s(2.0, 1, 6.0),
+            s(4.0, 9, 3.0),
+            s(6.0, 1, 4.0),
+        ]);
+        assert_eq!(clusters.len(), 1);
+        let cands = clusters[0].candidates();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].site, StopSiteId(1));
+        assert!((cands[0].probability - 0.75).abs() < 1e-12);
+        assert!((cands[0].mean_score - 5.0).abs() < 1e-12);
+        assert_eq!(cands[1].site, StopSiteId(9));
+        assert!((cands[1].probability - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        assert!(clusterer().cluster(vec![]).is_empty());
+    }
+
+    #[test]
+    fn affinity_matches_equation_one() {
+        let c = clusterer();
+        // Same stop, identical time and score: 1 + 1 = 2.
+        assert!((c.affinity(&s(0.0, 1, 5.0), &s(0.0, 1, 5.0)) - 2.0).abs() < 1e-12);
+        // Different stops at the time horizon: 0 + 0 = 0.
+        assert!((c.affinity(&s(0.0, 1, 5.0), &s(30.0, 2, 5.0))).abs() < 1e-12);
+        // Symmetric in time.
+        assert!(
+            (c.affinity(&s(0.0, 1, 5.0), &s(10.0, 1, 4.0))
+                - c.affinity(&s(10.0, 1, 4.0), &s(0.0, 1, 5.0)))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clusters_partition_and_preserve_order(
+            times in proptest::collection::vec(0.0f64..500.0, 0..40),
+            sites in proptest::collection::vec(0u32..5, 40),
+        ) {
+            let samples: Vec<MatchedSample> = times
+                .iter()
+                .zip(&sites)
+                .map(|(&t, &site)| s(t, site, 4.0))
+                .collect();
+            let n = samples.len();
+            let clusters = clusterer().cluster(samples);
+            let total: usize = clusters.iter().map(Cluster::len).sum();
+            prop_assert_eq!(total, n, "clustering is a partition");
+            // Time-ordered within and across clusters.
+            let mut last = f64::NEG_INFINITY;
+            for c in &clusters {
+                prop_assert!(!c.is_empty());
+                for m in &c.samples {
+                    prop_assert!(m.time_s >= last);
+                    last = m.time_s;
+                }
+            }
+        }
+
+        #[test]
+        fn prop_candidate_probabilities_sum_to_one(
+            sites in proptest::collection::vec(0u32..4, 1..20),
+        ) {
+            let samples: Vec<MatchedSample> =
+                sites.iter().enumerate().map(|(k, &site)| s(k as f64, site, 4.0)).collect();
+            let cluster = Cluster { samples };
+            let total: f64 = cluster.candidates().iter().map(|c| c.probability).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

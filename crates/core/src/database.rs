@@ -1,0 +1,176 @@
+//! The bus-stop fingerprint database (Fig. 4, "bus stop database").
+//!
+//! One cellular [`Fingerprint`] is stored per *logical* stop site; the two
+//! physical stops on opposite sides of a road share one signature ("for
+//! all bus stops, we aggregate the bus stops located at the same location
+//! but different sides of the road as one", §III-B). The database can be
+//! built offline from manual war-collection or online from accumulated
+//! samples; the paper picks, per stop, "the sample with the highest
+//! similarity with the rest samples".
+
+use crate::matching::{similarity, MatchConfig};
+use busprobe_cellular::Fingerprint;
+use busprobe_network::StopSiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maps each logical bus stop to its stored cellular signature.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StopFingerprintDb {
+    entries: BTreeMap<StopSiteId, Fingerprint>,
+}
+
+impl StopFingerprintDb {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        StopFingerprintDb::default()
+    }
+
+    /// Builds the database by electing, for each site, the sample with the
+    /// highest summed similarity to that site's other samples (§IV-A's
+    /// manual collection procedure). Sites with no samples are omitted;
+    /// a site with one sample stores it as-is.
+    #[must_use]
+    pub fn build_from_samples(
+        samples: &BTreeMap<StopSiteId, Vec<Fingerprint>>,
+        config: &MatchConfig,
+    ) -> Self {
+        let mut db = StopFingerprintDb::new();
+        for (&site, fps) in samples {
+            let best = match fps.len() {
+                0 => continue,
+                1 => fps[0].clone(),
+                _ => {
+                    let mut best_idx = 0;
+                    let mut best_total = f64::NEG_INFINITY;
+                    for (i, candidate) in fps.iter().enumerate() {
+                        let total: f64 = fps
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i)
+                            .map(|(_, other)| similarity(candidate, other, config))
+                            .sum();
+                        if total > best_total {
+                            best_total = total;
+                            best_idx = i;
+                        }
+                    }
+                    fps[best_idx].clone()
+                }
+            };
+            db.insert(site, best);
+        }
+        db
+    }
+
+    /// Stores (or replaces) the fingerprint of `site`. Returns the previous
+    /// entry, if any — supporting the paper's online database updates.
+    pub fn insert(&mut self, site: StopSiteId, fp: Fingerprint) -> Option<Fingerprint> {
+        self.entries.insert(site, fp)
+    }
+
+    /// The stored fingerprint of `site`.
+    #[must_use]
+    pub fn get(&self, site: StopSiteId) -> Option<&Fingerprint> {
+        self.entries.get(&site)
+    }
+
+    /// Iterates over `(site, fingerprint)` entries in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (StopSiteId, &Fingerprint)> {
+        self.entries.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of fingerprinted stops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes a stop's entry (e.g. a decommissioned stop).
+    pub fn remove(&mut self, site: StopSiteId) -> Option<Fingerprint> {
+        self.entries.remove(&site)
+    }
+}
+
+impl FromIterator<(StopSiteId, Fingerprint)> for StopFingerprintDb {
+    fn from_iter<I: IntoIterator<Item = (StopSiteId, Fingerprint)>>(iter: I) -> Self {
+        StopFingerprintDb {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_cellular::CellTowerId;
+
+    fn fp(ids: &[u32]) -> Fingerprint {
+        Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut db = StopFingerprintDb::new();
+        assert!(db.is_empty());
+        assert!(db.insert(StopSiteId(1), fp(&[1, 2])).is_none());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(StopSiteId(1)), Some(&fp(&[1, 2])));
+        let old = db.insert(StopSiteId(1), fp(&[3, 4]));
+        assert_eq!(old, Some(fp(&[1, 2])));
+        assert_eq!(db.remove(StopSiteId(1)), Some(fp(&[3, 4])));
+        assert!(db.get(StopSiteId(1)).is_none());
+    }
+
+    #[test]
+    fn build_elects_most_central_sample() {
+        let mut samples = BTreeMap::new();
+        // Two near-identical scans and one outlier: the database must not
+        // store the outlier.
+        samples.insert(
+            StopSiteId(0),
+            vec![fp(&[1, 2, 3, 4]), fp(&[1, 2, 3, 5]), fp(&[9, 8, 7, 6])],
+        );
+        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+        let stored = db.get(StopSiteId(0)).unwrap();
+        assert!(
+            stored.contains(CellTowerId(1)),
+            "outlier must lose the election: {stored}"
+        );
+    }
+
+    #[test]
+    fn build_handles_single_and_empty_sites() {
+        let mut samples = BTreeMap::new();
+        samples.insert(StopSiteId(0), vec![fp(&[5, 6])]);
+        samples.insert(StopSiteId(1), vec![]);
+        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(StopSiteId(0)), Some(&fp(&[5, 6])));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: StopFingerprintDb = [(StopSiteId(0), fp(&[1])), (StopSiteId(1), fp(&[2]))]
+            .into_iter()
+            .collect();
+        assert_eq!(db.len(), 2);
+        let sites: Vec<StopSiteId> = db.iter().map(|(s, _)| s).collect();
+        assert_eq!(sites, vec![StopSiteId(0), StopSiteId(1)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let db: StopFingerprintDb = [(StopSiteId(3), fp(&[7, 8, 9]))].into_iter().collect();
+        let back: StopFingerprintDb =
+            serde_json::from_str(&serde_json::to_string(&db).unwrap()).unwrap();
+        assert_eq!(db, back);
+    }
+}

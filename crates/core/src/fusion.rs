@@ -1,0 +1,326 @@
+//! Bayesian fusion of repeated speed estimates (§III-D, Eq. 4).
+//!
+//! "When we consider the trip reports from massive mobile phones, for each
+//! road segment, there are typically more than one speed estimation." The
+//! update combines the historic mean `v` (variance σ²) with a new estimate
+//! `v'` (variance σ'²):
+//!
+//! ```text
+//! v_new = (v/σ² + v'/σ'²) / (1/σ² + 1/σ'²)
+//! σ²_new = 1 / (1/σ² + 1/σ'²)
+//! ```
+//!
+//! i.e. inverse-variance weighting; every report tightens the estimate.
+//! Between the paper's 5-minute refresh periods the variance is inflated so
+//! stale history gradually yields to fresh traffic.
+
+use busprobe_network::SegmentKey;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A Gaussian speed belief for one road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BayesianSpeed {
+    /// Mean speed, m/s.
+    pub mean_mps: f64,
+    /// Belief variance, (m/s)².
+    pub variance: f64,
+}
+
+impl BayesianSpeed {
+    /// Creates a belief from a first observation.
+    #[must_use]
+    pub fn from_observation(mean_mps: f64, variance: f64) -> Self {
+        BayesianSpeed { mean_mps, variance }
+    }
+
+    /// Applies the Eq. (4) update with a new observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either variance is not strictly positive.
+    pub fn update(&mut self, obs_mean_mps: f64, obs_variance: f64) {
+        assert!(
+            self.variance > 0.0 && obs_variance > 0.0,
+            "variances must be positive"
+        );
+        let w_old = 1.0 / self.variance;
+        let w_new = 1.0 / obs_variance;
+        self.mean_mps = (self.mean_mps * w_old + obs_mean_mps * w_new) / (w_old + w_new);
+        self.variance = 1.0 / (w_old + w_new);
+    }
+
+    /// Inflates the variance (forgetting factor ≥ 1) so newer traffic can
+    /// move the belief — applied at each refresh-period rollover.
+    pub fn age(&mut self, inflation: f64) {
+        self.variance *= inflation.max(1.0);
+    }
+}
+
+/// Per-segment fusion state with the paper's periodic refresh.
+///
+/// Serializable so a server restart can resume with its accumulated
+/// traffic state (see `TrafficMonitor::export_state`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentFusion {
+    /// Refresh period `T`, seconds (the paper uses 5 minutes).
+    period_s: f64,
+    /// Variance inflation applied per elapsed period.
+    inflation_per_period: f64,
+    /// (belief, last update time) per segment.
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    states: BTreeMap<SegmentKey, (BayesianSpeed, f64)>,
+    /// Per-(segment, period) beliefs, fused independently per window — the
+    /// retained speed time series (what Fig. 10 plots).
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    windows: BTreeMap<SegmentKey, BTreeMap<u32, BayesianSpeed>>,
+}
+
+impl SegmentFusion {
+    /// Creates a fusion store with refresh period `period_s` and per-period
+    /// variance inflation `inflation_per_period` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not strictly positive.
+    #[must_use]
+    pub fn new(period_s: f64, inflation_per_period: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        SegmentFusion {
+            period_s,
+            inflation_per_period,
+            states: BTreeMap::new(),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's configuration: T = 5 min, gentle forgetting.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        SegmentFusion::new(300.0, 4.0)
+    }
+
+    /// Folds one observation into the segment's belief.
+    pub fn observe(&mut self, key: SegmentKey, time_s: f64, mean_mps: f64, variance: f64) {
+        // Per-window series: each period fuses its own observations.
+        let window = (time_s / self.period_s).max(0.0) as u32;
+        self.windows
+            .entry(key)
+            .or_default()
+            .entry(window)
+            .and_modify(|b| b.update(mean_mps, variance))
+            .or_insert_with(|| BayesianSpeed::from_observation(mean_mps, variance));
+        match self.states.get_mut(&key) {
+            Some((belief, last)) => {
+                let elapsed_periods = ((time_s - *last) / self.period_s).max(0.0);
+                if elapsed_periods > 0.0 {
+                    belief.age(self.inflation_per_period.powf(elapsed_periods));
+                }
+                belief.update(mean_mps, variance);
+                *last = (*last).max(time_s);
+            }
+            None => {
+                self.states.insert(
+                    key,
+                    (BayesianSpeed::from_observation(mean_mps, variance), time_s),
+                );
+            }
+        }
+    }
+
+    /// Current belief for a segment.
+    #[must_use]
+    pub fn belief(&self, key: SegmentKey) -> Option<BayesianSpeed> {
+        self.states.get(&key).map(|(b, _)| *b)
+    }
+
+    /// When the segment last received an observation.
+    #[must_use]
+    pub fn last_update_s(&self, key: SegmentKey) -> Option<f64> {
+        self.states.get(&key).map(|(_, t)| *t)
+    }
+
+    /// Iterates over `(segment, belief, last update)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SegmentKey, BayesianSpeed, f64)> + '_ {
+        self.states.iter().map(|(&k, &(b, t))| (k, b, t))
+    }
+
+    /// The retained per-period speed series of one segment: `(window start
+    /// seconds, belief)` pairs in time order. Empty if never observed.
+    #[must_use]
+    pub fn window_series(&self, key: SegmentKey) -> Vec<(f64, BayesianSpeed)> {
+        self.windows
+            .get(&key)
+            .map(|m| {
+                m.iter()
+                    .map(|(&w, &b)| (f64::from(w) * self.period_s, b))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of segments with a belief.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no segment has been observed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_network::StopSiteId;
+    use proptest::prelude::*;
+
+    fn key() -> SegmentKey {
+        SegmentKey::new(StopSiteId(0), StopSiteId(1))
+    }
+
+    #[test]
+    fn update_matches_equation_four() {
+        let mut b = BayesianSpeed::from_observation(10.0, 4.0);
+        b.update(14.0, 4.0);
+        // Equal variances: simple average; variance halves.
+        assert!((b.mean_mps - 12.0).abs() < 1e-12);
+        assert!((b.variance - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precise_observation_dominates() {
+        let mut b = BayesianSpeed::from_observation(10.0, 100.0);
+        b.update(20.0, 0.01);
+        assert!((b.mean_mps - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn variance_contracts_monotonically() {
+        let mut b = BayesianSpeed::from_observation(10.0, 4.0);
+        for _ in 0..10 {
+            let before = b.variance;
+            b.update(11.0, 4.0);
+            assert!(b.variance < before);
+        }
+    }
+
+    #[test]
+    fn aging_inflates_variance() {
+        let mut b = BayesianSpeed::from_observation(10.0, 2.0);
+        b.age(4.0);
+        assert_eq!(b.variance, 8.0);
+        b.age(0.5); // clamped to 1: aging never sharpens a belief
+        assert_eq!(b.variance, 8.0);
+    }
+
+    #[test]
+    fn fusion_tracks_changing_traffic() {
+        let mut f = SegmentFusion::paper_default();
+        // Morning: 5 m/s reports.
+        for k in 0..5 {
+            f.observe(key(), 100.0 * k as f64, 5.0, 1.0);
+        }
+        assert!((f.belief(key()).unwrap().mean_mps - 5.0).abs() < 0.1);
+        // Hours later, traffic clears: 14 m/s reports. With aging, the
+        // belief must move most of the way within a few reports.
+        for k in 0..5 {
+            f.observe(key(), 20_000.0 + 100.0 * k as f64, 14.0, 1.0);
+        }
+        let after = f.belief(key()).unwrap().mean_mps;
+        assert!(after > 12.0, "belief stuck at {after}");
+    }
+
+    #[test]
+    fn without_aging_history_dominates() {
+        let mut f = SegmentFusion::new(300.0, 1.0);
+        for k in 0..50 {
+            f.observe(key(), k as f64, 5.0, 1.0);
+        }
+        f.observe(key(), 20_000.0, 14.0, 1.0);
+        let after = f.belief(key()).unwrap().mean_mps;
+        assert!(
+            after < 6.0,
+            "one fresh report cannot beat 50 stale ones without aging"
+        );
+    }
+
+    #[test]
+    fn unknown_segment_has_no_belief() {
+        let f = SegmentFusion::paper_default();
+        assert!(f.belief(key()).is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn observe_tracks_bookkeeping() {
+        let mut f = SegmentFusion::paper_default();
+        f.observe(key(), 10.0, 8.0, 1.0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.last_update_s(key()), Some(10.0));
+        let items: Vec<_> = f.iter().collect();
+        assert_eq!(items.len(), 1);
+    }
+
+    #[test]
+    fn window_series_retains_per_period_estimates() {
+        let mut f = SegmentFusion::paper_default();
+        // Two observations in window 0, one in window 2.
+        f.observe(key(), 10.0, 6.0, 1.0);
+        f.observe(key(), 200.0, 8.0, 1.0);
+        f.observe(key(), 650.0, 12.0, 1.0);
+        let series = f.window_series(key());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 0.0);
+        assert!(
+            (series[0].1.mean_mps - 7.0).abs() < 1e-9,
+            "window 0 fuses 6 and 8"
+        );
+        assert_eq!(series[1].0, 600.0);
+        assert!((series[1].1.mean_mps - 12.0).abs() < 1e-9);
+        // Untouched segment: empty series.
+        assert!(f
+            .window_series(SegmentKey::new(StopSiteId(8), StopSiteId(9)))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_variance_update_panics() {
+        let mut b = BayesianSpeed::from_observation(10.0, 1.0);
+        b.update(10.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fused_mean_is_between_inputs(v0 in 1.0f64..30.0, v1 in 1.0f64..30.0,
+                                             s0 in 0.1f64..10.0, s1 in 0.1f64..10.0) {
+            let mut b = BayesianSpeed::from_observation(v0, s0);
+            b.update(v1, s1);
+            let lo = v0.min(v1);
+            let hi = v0.max(v1);
+            prop_assert!(b.mean_mps >= lo - 1e-9 && b.mean_mps <= hi + 1e-9);
+            prop_assert!(b.variance < s0.min(s1));
+        }
+
+        #[test]
+        fn prop_update_order_is_irrelevant(obs in proptest::collection::vec(
+            (1.0f64..30.0, 0.5f64..5.0), 2..6)) {
+            let mut a = BayesianSpeed::from_observation(obs[0].0, obs[0].1);
+            for &(m, v) in &obs[1..] {
+                a.update(m, v);
+            }
+            let mut rev = obs.clone();
+            rev.reverse();
+            let mut b = BayesianSpeed::from_observation(rev[0].0, rev[0].1);
+            for &(m, v) in &rev[1..] {
+                b.update(m, v);
+            }
+            prop_assert!((a.mean_mps - b.mean_mps).abs() < 1e-9);
+            prop_assert!((a.variance - b.variance).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! GeoJSON export of traffic maps.
+//!
+//! The paper renders its output as a coloured road map (Fig. 9). The
+//! standard interchange for that today is GeoJSON: one `LineString`
+//! feature per road segment, with speed, level and provenance properties —
+//! drop the file onto geojson.io / QGIS / Leaflet and you have the figure.
+
+use crate::inference::{EstimateSource, RegionalMap};
+use crate::map::TrafficMap;
+use busprobe_geo::LocalProjection;
+use busprobe_network::{SegmentKey, TransitNetwork};
+use serde_json::{json, Value};
+
+/// Converts one segment into a GeoJSON feature.
+fn feature(
+    network: &TransitNetwork,
+    projection: &LocalProjection,
+    key: SegmentKey,
+    speed_kmh: f64,
+    level: &str,
+    source: &str,
+) -> Value {
+    let a = network.site(key.from).position;
+    let b = network.site(key.to).position;
+    let (lat_a, lon_a) = projection.to_wgs84(a);
+    let (lat_b, lon_b) = projection.to_wgs84(b);
+    json!({
+        "type": "Feature",
+        "geometry": {
+            "type": "LineString",
+            "coordinates": [[lon_a, lat_a], [lon_b, lat_b]],
+        },
+        "properties": {
+            "from": network.site(key.from).name,
+            "to": network.site(key.to).name,
+            "speed_kmh": (speed_kmh * 10.0).round() / 10.0,
+            "level": level,
+            "source": source,
+        },
+    })
+}
+
+/// Exports a measured [`TrafficMap`] as a GeoJSON `FeatureCollection`.
+///
+/// `projection` anchors the synthetic metric frame to real coordinates
+/// (pick any city's lat/lon for visualization).
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_core::geojson::map_to_geojson;
+/// use busprobe_core::{SegmentFusion, TrafficMap};
+/// use busprobe_geo::LocalProjection;
+/// use busprobe_network::NetworkGenerator;
+///
+/// let network = NetworkGenerator::small(1).generate();
+/// let mut fusion = SegmentFusion::paper_default();
+/// fusion.observe(network.segments().next().unwrap().key, 0.0, 10.0, 1.0);
+/// let map = TrafficMap::from_fusion(&fusion, 0.0, 600.0);
+///
+/// let geojson = map_to_geojson(&map, &network, &LocalProjection::new(1.34, 103.70));
+/// assert_eq!(geojson["type"], "FeatureCollection");
+/// assert_eq!(geojson["features"].as_array().unwrap().len(), 1);
+/// ```
+#[must_use]
+pub fn map_to_geojson(
+    map: &TrafficMap,
+    network: &TransitNetwork,
+    projection: &LocalProjection,
+) -> Value {
+    let features: Vec<Value> = map
+        .segments
+        .iter()
+        .map(|(&key, e)| {
+            feature(
+                network,
+                projection,
+                key,
+                e.speed_kmh(),
+                &e.level.to_string(),
+                "measured",
+            )
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// Exports a [`RegionalMap`] (measured + inferred segments) as GeoJSON,
+/// with the provenance recorded per feature.
+#[must_use]
+pub fn regional_to_geojson(
+    map: &RegionalMap,
+    network: &TransitNetwork,
+    projection: &LocalProjection,
+) -> Value {
+    let features: Vec<Value> = map
+        .segments
+        .iter()
+        .map(|(&key, (e, source))| {
+            feature(
+                network,
+                projection,
+                key,
+                e.speed_kmh(),
+                &e.level.to_string(),
+                match source {
+                    EstimateSource::Measured => "measured",
+                    EstimateSource::Inferred => "inferred",
+                },
+            )
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::SegmentFusion;
+    use crate::inference::{infer_regional, InferenceConfig};
+    use busprobe_network::NetworkGenerator;
+
+    fn setup() -> (TransitNetwork, TrafficMap) {
+        let network = NetworkGenerator::small(4).generate();
+        let mut fusion = SegmentFusion::paper_default();
+        for (k, seg) in network.segments().take(3).enumerate() {
+            fusion.observe(seg.key, 0.0, 5.0 + k as f64, 1.0);
+        }
+        let map = TrafficMap::from_fusion(&fusion, 0.0, 600.0);
+        (network, map)
+    }
+
+    #[test]
+    fn feature_collection_structure() {
+        let (network, map) = setup();
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = map_to_geojson(&map, &network, &projection);
+        assert_eq!(gj["type"], "FeatureCollection");
+        let features = gj["features"].as_array().unwrap();
+        assert_eq!(features.len(), 3);
+        for f in features {
+            assert_eq!(f["type"], "Feature");
+            assert_eq!(f["geometry"]["type"], "LineString");
+            let coords = f["geometry"]["coordinates"].as_array().unwrap();
+            assert_eq!(coords.len(), 2);
+            assert!(f["properties"]["speed_kmh"].as_f64().unwrap() > 0.0);
+            assert_eq!(f["properties"]["source"], "measured");
+        }
+    }
+
+    #[test]
+    fn coordinates_are_near_the_anchor() {
+        let (network, map) = setup();
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = map_to_geojson(&map, &network, &projection);
+        for f in gj["features"].as_array().unwrap() {
+            for c in f["geometry"]["coordinates"].as_array().unwrap() {
+                let lon = c[0].as_f64().unwrap();
+                let lat = c[1].as_f64().unwrap();
+                assert!((lat - 1.34).abs() < 0.2, "lat {lat}");
+                assert!((lon - 103.70).abs() < 0.2, "lon {lon}");
+            }
+        }
+    }
+
+    #[test]
+    fn regional_export_records_provenance() {
+        let (network, map) = setup();
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = regional_to_geojson(&regional, &network, &projection);
+        let features = gj["features"].as_array().unwrap();
+        assert!(features.len() > 3, "inferred segments add features");
+        let inferred = features
+            .iter()
+            .filter(|f| f["properties"]["source"] == "inferred")
+            .count();
+        assert!(inferred > 0);
+    }
+
+    #[test]
+    fn empty_map_exports_empty_collection() {
+        let network = NetworkGenerator::small(4).generate();
+        let projection = LocalProjection::new(0.0, 0.0);
+        let gj = map_to_geojson(&TrafficMap::default(), &network, &projection);
+        assert_eq!(gj["features"].as_array().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Regional traffic inference — the paper's stated future work (§VI):
+//! "deriving the overall traffic of a region from the bus covered road
+//! segments. There have been some existing models in transportation
+//! domain, which can be applied with our data feed."
+//!
+//! The implementation follows the standard sparse-probe smoothing idea of
+//! the cited arterial-estimation literature: traffic conditions are
+//! spatially correlated along connected roads, so an unobserved segment is
+//! estimated from its graph neighbours, with confidence decaying per hop.
+//! Concretely, beliefs diffuse over the stop-adjacency graph: a segment
+//! with no estimate receives the inverse-variance-weighted mean of its
+//! neighbours' beliefs, each inflated by a per-hop variance factor, for up
+//! to `max_hops` rounds.
+
+use crate::fusion::BayesianSpeed;
+use crate::map::{SegmentEstimate, SpeedLevel, TrafficMap};
+use busprobe_network::{SegmentKey, TransitNetwork};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Parameters of the diffusion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Maximum graph distance (in segments) an estimate may travel.
+    pub max_hops: usize,
+    /// Variance multiplier applied per hop (> 1: confidence decays with
+    /// distance from a real measurement).
+    pub variance_growth: f64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            max_hops: 2,
+            variance_growth: 3.0,
+        }
+    }
+}
+
+/// How a map entry was obtained after inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimateSource {
+    /// Backed by at least one real bus observation.
+    Measured,
+    /// Diffused from neighbouring measured segments.
+    Inferred,
+}
+
+/// A traffic map extended to uncovered segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionalMap {
+    /// Snapshot time, seconds.
+    pub time_s: f64,
+    /// All estimates with their provenance.
+    pub segments: BTreeMap<SegmentKey, (SegmentEstimate, EstimateSource)>,
+}
+
+impl RegionalMap {
+    /// Entries that are genuinely measured.
+    #[must_use]
+    pub fn measured_count(&self) -> usize {
+        self.segments
+            .values()
+            .filter(|(_, s)| *s == EstimateSource::Measured)
+            .count()
+    }
+
+    /// Entries filled in by diffusion.
+    #[must_use]
+    pub fn inferred_count(&self) -> usize {
+        self.segments
+            .values()
+            .filter(|(_, s)| *s == EstimateSource::Inferred)
+            .count()
+    }
+
+    /// The estimate for `key`, if present from either source.
+    #[must_use]
+    pub fn get(&self, key: SegmentKey) -> Option<&(SegmentEstimate, EstimateSource)> {
+        self.segments.get(&key)
+    }
+
+    /// Coverage of the network after inference.
+    #[must_use]
+    pub fn coverage(&self, network: &TransitNetwork) -> f64 {
+        if network.segment_count() == 0 {
+            return 0.0;
+        }
+        self.segments.len() as f64 / network.segment_count() as f64
+    }
+}
+
+/// Extends a measured [`TrafficMap`] to uncovered segments of `network`.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_core::inference::{infer_regional, InferenceConfig};
+/// use busprobe_core::{SegmentFusion, TrafficMap};
+/// use busprobe_network::NetworkGenerator;
+///
+/// let network = NetworkGenerator::small(1).generate();
+/// let mut fusion = SegmentFusion::paper_default();
+/// let first = network.segments().next().unwrap().key;
+/// fusion.observe(first, 0.0, 10.0, 1.0);
+/// let map = TrafficMap::from_fusion(&fusion, 0.0, 600.0);
+///
+/// let regional = infer_regional(&map, &network, InferenceConfig::default());
+/// assert!(regional.segments.len() > map.len(), "neighbours get estimates");
+/// ```
+#[must_use]
+pub fn infer_regional(
+    map: &TrafficMap,
+    network: &TransitNetwork,
+    config: InferenceConfig,
+) -> RegionalMap {
+    // Adjacency: segments sharing a stop site (either endpoint, either
+    // direction) are neighbours — traffic state is continuous across an
+    // intersection or stop.
+    let mut by_site: HashMap<u32, Vec<SegmentKey>> = HashMap::new();
+    for seg in network.segments() {
+        by_site.entry(seg.key.from.0).or_default().push(seg.key);
+        by_site.entry(seg.key.to.0).or_default().push(seg.key);
+    }
+    let neighbours = |key: SegmentKey| -> Vec<SegmentKey> {
+        let mut out = Vec::new();
+        for site in [key.from.0, key.to.0] {
+            if let Some(list) = by_site.get(&site) {
+                out.extend(list.iter().copied().filter(|&k| k != key));
+            }
+        }
+        out
+    };
+
+    let mut beliefs: BTreeMap<SegmentKey, (BayesianSpeed, EstimateSource, f64)> = map
+        .segments
+        .iter()
+        .map(|(&k, e)| {
+            (
+                k,
+                (
+                    BayesianSpeed {
+                        mean_mps: e.speed_mps,
+                        variance: e.variance,
+                    },
+                    EstimateSource::Measured,
+                    e.updated_s,
+                ),
+            )
+        })
+        .collect();
+
+    for _hop in 0..config.max_hops {
+        let mut additions: BTreeMap<SegmentKey, (BayesianSpeed, EstimateSource, f64)> =
+            BTreeMap::new();
+        for seg in network.segments() {
+            if beliefs.contains_key(&seg.key) || additions.contains_key(&seg.key) {
+                continue;
+            }
+            // Inverse-variance blend of known neighbours.
+            let mut weight_sum = 0.0;
+            let mut mean_acc = 0.0;
+            let mut newest = f64::NEG_INFINITY;
+            let mut found = false;
+            for n in neighbours(seg.key) {
+                if let Some((belief, _, updated)) = beliefs.get(&n) {
+                    let w = 1.0 / (belief.variance * config.variance_growth);
+                    weight_sum += w;
+                    mean_acc += w * belief.mean_mps;
+                    newest = newest.max(*updated);
+                    found = true;
+                }
+            }
+            if found {
+                additions.insert(
+                    seg.key,
+                    (
+                        BayesianSpeed {
+                            mean_mps: mean_acc / weight_sum,
+                            variance: 1.0 / weight_sum,
+                        },
+                        EstimateSource::Inferred,
+                        newest,
+                    ),
+                );
+            }
+        }
+        if additions.is_empty() {
+            break;
+        }
+        beliefs.extend(additions);
+    }
+
+    RegionalMap {
+        time_s: map.time_s,
+        segments: beliefs
+            .into_iter()
+            .map(|(k, (belief, source, updated))| {
+                (
+                    k,
+                    (
+                        SegmentEstimate {
+                            speed_mps: belief.mean_mps,
+                            variance: belief.variance,
+                            level: SpeedLevel::from_kmh(belief.mean_mps * 3.6),
+                            updated_s: updated,
+                        },
+                        source,
+                    ),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::SegmentFusion;
+    use busprobe_network::NetworkGenerator;
+
+    fn measured_map(network: &TransitNetwork, keys: &[SegmentKey], speed: f64) -> TrafficMap {
+        let _ = network;
+        let mut fusion = SegmentFusion::paper_default();
+        for &k in keys {
+            fusion.observe(k, 100.0, speed, 1.0);
+        }
+        TrafficMap::from_fusion(&fusion, 100.0, 600.0)
+    }
+
+    #[test]
+    fn neighbours_of_a_measured_segment_get_estimates() {
+        let network = NetworkGenerator::small(2).generate();
+        let route = &network.routes()[0];
+        let key = route.segment_keys().next().unwrap();
+        let map = measured_map(&network, &[key], 8.0);
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        assert_eq!(regional.measured_count(), 1);
+        assert!(regional.inferred_count() >= 1, "adjacent segments inferred");
+        // The directly adjacent downstream segment exists and is inferred.
+        let keys: Vec<SegmentKey> = route.segment_keys().collect();
+        let (est, source) = regional.get(keys[1]).expect("downstream inferred");
+        assert_eq!(*source, EstimateSource::Inferred);
+        assert!(
+            (est.speed_mps - 8.0).abs() < 1e-9,
+            "single-source diffusion copies the mean"
+        );
+        assert!(
+            est.variance > map.get(key).unwrap().variance,
+            "confidence decays"
+        );
+    }
+
+    #[test]
+    fn inference_respects_hop_limit() {
+        let network = NetworkGenerator::small(2).generate();
+        let route = &network.routes()[0];
+        let keys: Vec<SegmentKey> = route.segment_keys().collect();
+        let map = measured_map(&network, &[keys[0]], 8.0);
+        let one_hop = infer_regional(
+            &map,
+            &network,
+            InferenceConfig {
+                max_hops: 1,
+                variance_growth: 3.0,
+            },
+        );
+        let three_hops = infer_regional(
+            &map,
+            &network,
+            InferenceConfig {
+                max_hops: 3,
+                variance_growth: 3.0,
+            },
+        );
+        assert!(three_hops.segments.len() > one_hop.segments.len());
+        assert!(one_hop.get(keys[1]).is_some());
+    }
+
+    #[test]
+    fn inferred_mean_blends_neighbours() {
+        let network = NetworkGenerator::small(2).generate();
+        let route = &network.routes()[0];
+        let keys: Vec<SegmentKey> = route.segment_keys().collect();
+        // Measure segments 0 and 2 at different speeds; segment 1 sits
+        // between them and must land in between.
+        let mut fusion = SegmentFusion::paper_default();
+        fusion.observe(keys[0], 100.0, 6.0, 1.0);
+        fusion.observe(keys[2], 100.0, 12.0, 1.0);
+        let map = TrafficMap::from_fusion(&fusion, 100.0, 600.0);
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        let (est, source) = regional.get(keys[1]).expect("middle segment inferred");
+        assert_eq!(*source, EstimateSource::Inferred);
+        assert!(
+            est.speed_mps > 6.0 && est.speed_mps < 12.0,
+            "got {}",
+            est.speed_mps
+        );
+    }
+
+    #[test]
+    fn measured_entries_are_never_overwritten() {
+        let network = NetworkGenerator::small(2).generate();
+        let route = &network.routes()[0];
+        let keys: Vec<SegmentKey> = route.segment_keys().collect();
+        let map = measured_map(&network, &keys[..3], 9.0);
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        for &k in &keys[..3] {
+            let (est, source) = regional.get(k).unwrap();
+            assert_eq!(*source, EstimateSource::Measured);
+            assert!((est.speed_mps - map.get(k).unwrap().speed_mps).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_map_infers_nothing() {
+        let network = NetworkGenerator::small(2).generate();
+        let map = TrafficMap::default();
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        assert!(regional.segments.is_empty());
+        assert_eq!(regional.coverage(&network), 0.0);
+    }
+
+    #[test]
+    fn coverage_grows_with_inference() {
+        let network = NetworkGenerator::small(2).generate();
+        let route = &network.routes()[0];
+        let keys: Vec<SegmentKey> = route.segment_keys().collect();
+        let map = measured_map(&network, &keys, 9.0);
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        assert!(regional.coverage(&network) > map.coverage(&network));
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-sample fingerprint matching (§III-C1).
+//!
+//! "While the cell tower RSS values may vary, their rank always preserves.
+//! Thus we use the modified Smith-Waterman algorithm which focuses on the
+//! orders rather than the absolute RSS value to score the similarity of
+//! different sets." The alignment compares the RSS-descending cell-ID
+//! sequences; matches score +1, mismatches and gaps cost 0.3 (the value the
+//! paper selected by sweeping 0.1–0.9).
+
+use crate::database::StopFingerprintDb;
+use busprobe_cellular::Fingerprint;
+use busprobe_network::StopSiteId;
+use serde::{Deserialize, Serialize};
+
+/// Scoring parameters of the modified Smith–Waterman alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Reward for an aligned identical cell ID.
+    pub match_score: f64,
+    /// Penalty for aligning two different cell IDs.
+    pub mismatch_penalty: f64,
+    /// Penalty for skipping a cell ID on either side.
+    pub gap_penalty: f64,
+    /// Acceptance threshold γ: samples whose best score is below this are
+    /// discarded as noise (§III-C1 sets γ = 2 from Fig. 2b/2c).
+    pub accept_threshold: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            match_score: 1.0,
+            mismatch_penalty: 0.3,
+            gap_penalty: 0.3,
+            accept_threshold: 2.0,
+        }
+    }
+}
+
+/// Smith–Waterman local-alignment similarity between two RSS-ordered cell
+/// sequences. Symmetric, non-negative, and at most
+/// `match_score · min(len_a, len_b)`.
+///
+/// # Examples
+///
+/// The worked example of Table I: uploading `1,2,3,4,5` against the stored
+/// fingerprint `1,7,3,5` aligns 3 matches, 1 gap and 1 mismatch for
+/// `3·1.0 − 0.3 − 0.3 = 2.4`.
+///
+/// ```
+/// use busprobe_cellular::{CellTowerId, Fingerprint};
+/// use busprobe_core::matching::{similarity, MatchConfig};
+///
+/// let fp = |ids: &[u32]| {
+///     Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+/// };
+/// let score = similarity(&fp(&[1, 2, 3, 4, 5]), &fp(&[1, 7, 3, 5]), &MatchConfig::default());
+/// assert!((score - 2.4).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn similarity(a: &Fingerprint, b: &Fingerprint, config: &MatchConfig) -> f64 {
+    let xs = a.cells();
+    let ys = b.cells();
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    // Two-row dynamic program; H[i][j] = best local alignment ending at
+    // (i, j), floored at zero (local alignment restarts freely).
+    let mut prev = vec![0.0f64; ys.len() + 1];
+    let mut cur = vec![0.0f64; ys.len() + 1];
+    let mut best = 0.0f64;
+    for &x in xs {
+        for (j, &y) in ys.iter().enumerate() {
+            let diag = prev[j]
+                + if x == y {
+                    config.match_score
+                } else {
+                    -config.mismatch_penalty
+                };
+            let up = prev[j + 1] - config.gap_penalty;
+            let left = cur[j] - config.gap_penalty;
+            let h = diag.max(up).max(left).max(0.0);
+            cur[j + 1] = h;
+            if h > best {
+                best = h;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0.0;
+    }
+    best
+}
+
+/// A successful match of one cellular sample to a bus stop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// The matched logical bus stop.
+    pub site: StopSiteId,
+    /// Alignment similarity score.
+    pub score: f64,
+    /// Number of cell IDs the sample shares with the stored fingerprint
+    /// (the paper's tie-breaker).
+    pub common_cells: usize,
+}
+
+/// Matches uploaded samples against a [`StopFingerprintDb`].
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    db: StopFingerprintDb,
+    config: MatchConfig,
+}
+
+impl Matcher {
+    /// Creates a matcher over `db`.
+    #[must_use]
+    pub fn new(db: StopFingerprintDb, config: MatchConfig) -> Self {
+        Matcher { db, config }
+    }
+
+    /// The scoring configuration.
+    #[must_use]
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The fingerprint database.
+    #[must_use]
+    pub fn db(&self) -> &StopFingerprintDb {
+        &self.db
+    }
+
+    /// The best-matching bus stop for `sample`, or `None` when every score
+    /// falls below the acceptance threshold γ ("all cellular samples whose
+    /// highest similarity score is lower than 2 are discarded").
+    ///
+    /// Ties on score are broken by the larger number of common cell IDs,
+    /// then by smaller site id for determinism.
+    #[must_use]
+    pub fn best_match(&self, sample: &Fingerprint) -> Option<MatchResult> {
+        let mut best: Option<MatchResult> = None;
+        for (site, stored) in self.db.iter() {
+            let score = similarity(sample, stored, &self.config);
+            if score < self.config.accept_threshold {
+                continue;
+            }
+            let candidate = MatchResult {
+                site,
+                score,
+                common_cells: sample.common_cells(stored),
+            };
+            best = match best {
+                None => Some(candidate),
+                Some(b) => {
+                    let better = candidate.score > b.score + 1e-12
+                        || ((candidate.score - b.score).abs() <= 1e-12
+                            && candidate.common_cells > b.common_cells);
+                    Some(if better { candidate } else { b })
+                }
+            };
+        }
+        best
+    }
+
+    /// All bus stops whose similarity with `sample` passes the acceptance
+    /// threshold, best first. The per-trip mapper consumes these candidate
+    /// pools.
+    #[must_use]
+    pub fn candidates(&self, sample: &Fingerprint) -> Vec<MatchResult> {
+        let mut out: Vec<MatchResult> = self
+            .db
+            .iter()
+            .filter_map(|(site, stored)| {
+                let score = similarity(sample, stored, &self.config);
+                (score >= self.config.accept_threshold).then(|| MatchResult {
+                    site,
+                    score,
+                    common_cells: sample.common_cells(stored),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then(b.common_cells.cmp(&a.common_cells))
+                .then(a.site.cmp(&b.site))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_cellular::CellTowerId;
+    use proptest::prelude::*;
+
+    fn fp(ids: &[u32]) -> Fingerprint {
+        Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+    }
+
+    fn config() -> MatchConfig {
+        MatchConfig::default()
+    }
+
+    #[test]
+    fn table_i_worked_example() {
+        // Table I: c_upload = 1,2,3,4,5 vs c_database = 1,7,3,5 scores 2.4
+        // (3 matches, 1 gap, 1 mismatch).
+        let score = similarity(&fp(&[1, 2, 3, 4, 5]), &fp(&[1, 7, 3, 5]), &config());
+        assert!((score - 2.4).abs() < 1e-9, "got {score}");
+    }
+
+    #[test]
+    fn identical_sets_score_their_length() {
+        let a = fp(&[4, 8, 15, 16, 23]);
+        assert_eq!(similarity(&a, &a, &config()), 5.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let score = similarity(&fp(&[1, 2, 3]), &fp(&[4, 5, 6]), &config());
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn empty_fingerprint_scores_zero() {
+        let empty = Fingerprint::new(vec![]).unwrap();
+        assert_eq!(similarity(&empty, &fp(&[1, 2]), &config()), 0.0);
+        assert_eq!(similarity(&fp(&[1, 2]), &empty, &config()), 0.0);
+    }
+
+    #[test]
+    fn rank_swap_costs_less_than_membership_change() {
+        let base = fp(&[1, 2, 3, 4, 5]);
+        let swapped = fp(&[2, 1, 3, 4, 5]); // adjacent rank swap
+        let replaced = fp(&[9, 8, 3, 4, 5]); // two towers replaced
+        let s_swap = similarity(&base, &swapped, &config());
+        let s_repl = similarity(&base, &replaced, &config());
+        assert!(s_swap > s_repl, "swap {s_swap} vs replace {s_repl}");
+        // A single adjacent swap still aligns 4 of 5 in order.
+        assert!(s_swap >= 4.0 - 0.4);
+    }
+
+    #[test]
+    fn best_match_picks_highest_score() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3, 4, 5]));
+        db.insert(StopSiteId(1), fp(&[1, 2, 9, 8, 7]));
+        let matcher = Matcher::new(db, config());
+        let hit = matcher.best_match(&fp(&[1, 2, 3, 4, 6])).unwrap();
+        assert_eq!(hit.site, StopSiteId(0));
+        assert_eq!(hit.common_cells, 4);
+    }
+
+    #[test]
+    fn below_threshold_is_discarded() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 9, 10, 11]));
+        let matcher = Matcher::new(db, config());
+        // Only one common cell → score 1.0 < γ = 2.
+        assert!(matcher.best_match(&fp(&[1, 2, 3, 4])).is_none());
+    }
+
+    #[test]
+    fn tie_broken_by_common_cells() {
+        // Both stops align only the run 1,2 for score 2.0. The second stop
+        // additionally shares cell 31, but in *crossing* order (before the
+        // run in the database, after it in the sample), so the alignment
+        // cannot use it — only the common-cell tie-breaker sees it.
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 40, 41]));
+        db.insert(StopSiteId(1), fp(&[31, 1, 2, 50]));
+        let matcher = Matcher::new(db, config());
+        let sample = fp(&[1, 2, 31]);
+        let cands = matcher.candidates(&sample);
+        assert!(
+            (cands[0].score - cands[1].score).abs() < 1e-12,
+            "scores tie at 2.0"
+        );
+        let hit = matcher.best_match(&sample).unwrap();
+        assert_eq!(hit.site, StopSiteId(1), "more common cells wins the tie");
+        assert_eq!(hit.common_cells, 3);
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_filtered() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3, 4, 5]));
+        db.insert(StopSiteId(1), fp(&[1, 2, 3, 9, 8]));
+        db.insert(StopSiteId(2), fp(&[40, 41, 42]));
+        let matcher = Matcher::new(db, config());
+        let cands = matcher.candidates(&fp(&[1, 2, 3, 4, 5]));
+        assert_eq!(cands.len(), 2, "disjoint stop filtered out");
+        assert_eq!(cands[0].site, StopSiteId(0));
+        assert!(cands[0].score >= cands[1].score);
+    }
+
+    #[test]
+    fn paper_fig3_style_fingerprints_are_distinct() {
+        // Neighbouring stops from Fig. 3 share some towers but never score
+        // as high as a self-match.
+        let s1 = fp(&[2103, 3486, 3893, 22, 65]);
+        let s2 = fp(&[65, 3353, 22, 2103]);
+        let self_score = similarity(&s1, &s1, &config());
+        let cross = similarity(&s1, &s2, &config());
+        assert!(self_score >= 5.0 - 1e-9);
+        assert!(cross < self_score / 2.0);
+    }
+
+    fn arb_fp(max_len: usize) -> impl Strategy<Value = Fingerprint> {
+        proptest::collection::vec(0u32..30, 0..max_len).prop_map(|ids| {
+            let mut seen = std::collections::HashSet::new();
+            let cells: Vec<CellTowerId> = ids
+                .into_iter()
+                .filter(|c| seen.insert(*c))
+                .map(CellTowerId)
+                .collect();
+            Fingerprint::new(cells).unwrap()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_similarity_symmetric(a in arb_fp(10), b in arb_fp(10)) {
+            let c = config();
+            prop_assert!((similarity(&a, &b, &c) - similarity(&b, &a, &c)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_similarity_bounded(a in arb_fp(10), b in arb_fp(10)) {
+            let c = config();
+            let s = similarity(&a, &b, &c);
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= c.match_score * a.len().min(b.len()) as f64 + 1e-9);
+        }
+
+        #[test]
+        fn prop_self_similarity_is_maximal(a in arb_fp(10), b in arb_fp(10)) {
+            let c = config();
+            prop_assert!(similarity(&a, &b, &c) <= similarity(&a, &a, &c) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The backend server: ingest trips, publish traffic maps (Fig. 4).
+//!
+//! [`TrafficMonitor`] owns the whole §III-C/§III-D pipeline behind a
+//! thread-safe facade. Uploads arrive concurrently from many phones, so
+//! ingestion is parallel: matching, clustering and mapping of one trip are
+//! pure reads of shared state; only the final fusion step takes the write
+//! lock.
+
+use crate::clustering::{Clusterer, MatchedSample};
+use crate::database::StopFingerprintDb;
+use crate::estimation::{SpeedObservation, TripEstimator};
+use crate::fusion::SegmentFusion;
+use crate::map::TrafficMap;
+use crate::mapping::{MappedVisit, TripMapper};
+use crate::matching::Matcher;
+use crate::updater::{DbUpdater, UpdaterConfig};
+use crate::{ClusterConfig, EstimatorConfig, MatchConfig};
+use busprobe_mobile::Trip;
+use busprobe_network::TransitNetwork;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Complete backend configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Per-sample matching parameters.
+    pub matching: MatchConfig,
+    /// Eq. (1) clustering parameters.
+    pub clustering: ClusterConfig,
+    /// Eq. (3) estimation parameters.
+    pub estimation: EstimatorConfig,
+    /// Harvest high-confidence samples into the online database updater
+    /// during ingest (Fig. 4's online update path). Off by default.
+    pub online_db_update: bool,
+    /// Online updater parameters (used when `online_db_update` is set).
+    pub updater: UpdaterConfig,
+}
+
+/// A serializable snapshot of the server's mutable state, for restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorState {
+    /// Accumulated traffic beliefs and time series.
+    pub fusion: SegmentFusion,
+    /// The (possibly online-updated) fingerprint database.
+    pub database: StopFingerprintDb,
+    /// Digests of already-ingested uploads.
+    pub seen: Vec<u64>,
+}
+
+/// Diagnostics for one ingested trip.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// The upload was a byte-identical duplicate of one already ingested
+    /// (retry storms) and was skipped entirely.
+    pub duplicate: bool,
+    /// Samples in the upload.
+    pub samples: usize,
+    /// Samples that passed the γ acceptance threshold.
+    pub matched: usize,
+    /// Clusters formed.
+    pub clusters: usize,
+    /// Stop visits after per-trip mapping.
+    pub visits: usize,
+    /// Speed observations folded into the map.
+    pub observations: usize,
+}
+
+/// The backend server.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_core::{MonitorConfig, StopFingerprintDb, TrafficMonitor};
+/// use busprobe_network::NetworkGenerator;
+///
+/// let network = NetworkGenerator::small(1).generate();
+/// let monitor = TrafficMonitor::new(network, StopFingerprintDb::new(), MonitorConfig::default());
+/// let map = monitor.snapshot(0.0);
+/// assert!(map.is_empty(), "no uploads yet");
+/// ```
+#[derive(Debug)]
+pub struct TrafficMonitor {
+    network: Arc<TransitNetwork>,
+    matcher: RwLock<Matcher>,
+    clusterer: Clusterer,
+    config: MonitorConfig,
+    fusion: Mutex<SegmentFusion>,
+    updater: Mutex<DbUpdater>,
+    /// Digests of ingested uploads, for duplicate suppression.
+    seen: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl TrafficMonitor {
+    /// Creates a monitor for `network` with the stop-fingerprint database
+    /// `db`.
+    #[must_use]
+    pub fn new(network: TransitNetwork, db: StopFingerprintDb, config: MonitorConfig) -> Self {
+        TrafficMonitor {
+            network: Arc::new(network),
+            matcher: RwLock::new(Matcher::new(db, config.matching)),
+            clusterer: Clusterer::new(config.clustering),
+            updater: Mutex::new(DbUpdater::new(config.updater)),
+            config,
+            fusion: Mutex::new(SegmentFusion::paper_default()),
+            seen: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// Content digest of an upload: phones retry on flaky links, so the
+    /// server must treat byte-identical resubmissions as one trip.
+    fn digest(trip: &Trip) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &trip.samples {
+            s.time_s.to_bits().hash(&mut h);
+            for o in s.scan.observations() {
+                o.tower.hash(&mut h);
+                o.rss_dbm.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// The study region.
+    #[must_use]
+    pub fn network(&self) -> &TransitNetwork {
+        &self.network
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Runs one trip upload through matching → clustering → mapping →
+    /// estimation and folds the result into the shared traffic state.
+    pub fn ingest_trip(&self, trip: &Trip) -> IngestReport {
+        if !self.seen.lock().insert(Self::digest(trip)) {
+            return IngestReport {
+                duplicate: true,
+                samples: trip.samples.len(),
+                ..IngestReport::default()
+            };
+        }
+        let (report, visits, observations) = self.pipeline(trip);
+        if self.config.online_db_update {
+            self.harvest(trip, &visits);
+        }
+        let mut fusion = self.fusion.lock();
+        for obs in observations {
+            fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
+        }
+        report
+    }
+
+    /// Feeds the online updater: for every confidently-identified visit,
+    /// the trip samples taken during that visit are fresh fingerprints of
+    /// that stop.
+    fn harvest(&self, trip: &Trip, visits: &[MappedVisit]) {
+        let mut updater = self.updater.lock();
+        for visit in visits {
+            if visit.confidence < self.config.updater.min_confidence {
+                continue;
+            }
+            for sample in &trip.samples {
+                if sample.time_s >= visit.arrival_s - 1.0
+                    && sample.time_s <= visit.departure_s + 1.0
+                {
+                    updater.record(visit.site, sample.scan.fingerprint(), visit.confidence);
+                }
+            }
+        }
+    }
+
+    /// Applies the online updater: stops with enough fresh harvested
+    /// samples get their fingerprints re-elected, and the matcher swaps to
+    /// the refreshed database. Returns how many entries changed.
+    pub fn refresh_database(&self) -> usize {
+        let mut db = self.matcher.read().db().clone();
+        let changed = self.updater.lock().refresh(&mut db, &self.config.matching);
+        if changed > 0 {
+            *self.matcher.write() = Matcher::new(db, self.config.matching);
+        }
+        changed
+    }
+
+    /// A copy of the current fingerprint database (for persistence).
+    #[must_use]
+    pub fn database(&self) -> StopFingerprintDb {
+        self.matcher.read().db().clone()
+    }
+
+    /// Snapshots the server's mutable state for persistence.
+    #[must_use]
+    pub fn export_state(&self) -> MonitorState {
+        MonitorState {
+            fusion: self.fusion.lock().clone(),
+            database: self.database(),
+            seen: self.seen.lock().iter().copied().collect(),
+        }
+    }
+
+    /// Reconstructs a monitor from a persisted state (server restart).
+    #[must_use]
+    pub fn restore(network: TransitNetwork, config: MonitorConfig, state: MonitorState) -> Self {
+        TrafficMonitor {
+            network: Arc::new(network),
+            matcher: RwLock::new(Matcher::new(state.database, config.matching)),
+            clusterer: Clusterer::new(config.clustering),
+            updater: Mutex::new(DbUpdater::new(config.updater)),
+            config,
+            fusion: Mutex::new(state.fusion),
+            seen: Mutex::new(state.seen.into_iter().collect()),
+        }
+    }
+
+    /// Runs the pipeline on one trip *without* touching the shared traffic
+    /// state, returning the diagnostics and the raw per-segment speed
+    /// observations. Useful for evaluation harnesses that bucket
+    /// observations themselves.
+    #[must_use]
+    pub fn observations_for(&self, trip: &Trip) -> (IngestReport, Vec<SpeedObservation>) {
+        let (report, _, observations) = self.pipeline(trip);
+        (report, observations)
+    }
+
+    /// The full §III-C/§III-D pipeline for one trip.
+    fn pipeline(&self, trip: &Trip) -> (IngestReport, Vec<MappedVisit>, Vec<SpeedObservation>) {
+        let mut report = IngestReport {
+            samples: trip.samples.len(),
+            ..Default::default()
+        };
+
+        // Per-sample matching (γ filter included).
+        let matcher = self.matcher.read();
+        let matched: Vec<MatchedSample> = trip
+            .samples
+            .iter()
+            .filter_map(|s| {
+                matcher
+                    .best_match(&s.scan.fingerprint())
+                    .map(|hit| MatchedSample {
+                        time_s: s.time_s,
+                        site: hit.site,
+                        score: hit.score,
+                    })
+            })
+            .collect();
+        drop(matcher);
+        report.matched = matched.len();
+        if matched.is_empty() {
+            return (report, Vec::new(), Vec::new());
+        }
+
+        // Per-stop clustering.
+        let clusters = self.clusterer.cluster(matched);
+        report.clusters = clusters.len();
+
+        // Per-trip mapping.
+        let mapper = TripMapper::new(&self.network);
+        let Some(visits) = mapper.map_trip(&clusters) else {
+            return (report, Vec::new(), Vec::new());
+        };
+        report.visits = visits.len();
+
+        // Traffic estimation.
+        let estimator = TripEstimator::new(&self.network, self.config.estimation);
+        let observations = estimator.estimate(&visits);
+        report.observations = observations.len();
+        (report, visits, observations)
+    }
+
+    /// Ingests many trips using all available cores (crossbeam scoped
+    /// threads); returns per-trip reports in input order.
+    #[must_use]
+    pub fn ingest_batch(&self, trips: &[Trip]) -> Vec<IngestReport> {
+        let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+        let chunk = trips.len().div_ceil(workers).max(1);
+        let mut reports = vec![IngestReport::default(); trips.len()];
+        crossbeam::scope(|scope| {
+            for (trip_chunk, report_chunk) in trips.chunks(chunk).zip(reports.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (trip, slot) in trip_chunk.iter().zip(report_chunk.iter_mut()) {
+                        *slot = self.ingest_trip(trip);
+                    }
+                });
+            }
+        })
+        .expect("ingest workers do not panic");
+        reports
+    }
+
+    /// Publishes the instant traffic map as of `time_s`, keeping segments
+    /// updated within the last 30 minutes (six refresh periods).
+    #[must_use]
+    pub fn snapshot(&self, time_s: f64) -> TrafficMap {
+        TrafficMap::from_fusion(&self.fusion.lock(), time_s, 1800.0)
+    }
+
+    /// Publishes a map with an explicit staleness horizon.
+    #[must_use]
+    pub fn snapshot_with_max_age(&self, time_s: f64, max_age_s: f64) -> TrafficMap {
+        TrafficMap::from_fusion(&self.fusion.lock(), time_s, max_age_s)
+    }
+
+    /// The retained speed time series of one segment: `(window start
+    /// seconds, mean speed km/h)` per 5-minute reporting period — the
+    /// Fig. 10 curve for that segment.
+    #[must_use]
+    pub fn speed_series_kmh(&self, key: busprobe_network::SegmentKey) -> Vec<(f64, f64)> {
+        self.fusion
+            .lock()
+            .window_series(key)
+            .into_iter()
+            .map(|(t, b)| (t, b.mean_mps * 3.6))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+    use busprobe_mobile::CellularSample;
+    use busprobe_network::NetworkGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    /// Builds a monitor whose DB holds noise-free fingerprints of every
+    /// site, plus the scanner to fabricate uploads.
+    fn setup(seed: u64) -> (TrafficMonitor, Scanner) {
+        let network = NetworkGenerator::small(seed).generate();
+        let region = network.grid().spec().region();
+        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
+        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
+        let mut samples = BTreeMap::new();
+        for site in network.sites() {
+            samples.insert(
+                site.id,
+                vec![scanner.expected_scan(site.position).fingerprint()],
+            );
+        }
+        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+        let monitor = TrafficMonitor::new(network, db, MonitorConfig::default());
+        (monitor, scanner)
+    }
+
+    /// Fabricates a trip riding route 0 from stop 0 to `stops - 1`, with
+    /// `taps` beeps per stop and `hop_s` seconds between stops.
+    fn ride(
+        monitor: &TrafficMonitor,
+        scanner: &Scanner,
+        stops: usize,
+        taps: usize,
+        hop_s: f64,
+        seed: u64,
+    ) -> Trip {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let route = &monitor.network().routes()[0];
+        let mut samples = Vec::new();
+        for (k, rs) in route.stops().iter().take(stops).enumerate() {
+            let pos = monitor.network().site(rs.site).position;
+            for tap in 0..taps {
+                samples.push(CellularSample {
+                    time_s: k as f64 * hop_s + tap as f64 * 2.0,
+                    scan: scanner.scan(pos, &mut rng),
+                });
+            }
+        }
+        Trip { samples }
+    }
+
+    #[test]
+    fn clean_trip_flows_through_the_pipeline() {
+        let (monitor, scanner) = setup(7);
+        let trip = ride(&monitor, &scanner, 4, 3, 90.0, 1);
+        let report = monitor.ingest_trip(&trip);
+        assert_eq!(report.samples, 12);
+        assert!(report.matched >= 10, "most scans match: {report:?}");
+        assert!(report.clusters >= 3, "{report:?}");
+        assert!(report.visits >= 3, "{report:?}");
+        assert!(report.observations >= 2, "{report:?}");
+        let map = monitor.snapshot(400.0);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn empty_trip_is_harmless() {
+        let (monitor, _) = setup(8);
+        let report = monitor.ingest_trip(&Trip { samples: vec![] });
+        assert_eq!(report, IngestReport::default());
+        assert!(monitor.snapshot(0.0).is_empty());
+    }
+
+    #[test]
+    fn garbage_scans_are_rejected() {
+        let (monitor, _) = setup(9);
+        // Samples with empty scans: nothing can match.
+        let trip = Trip {
+            samples: (0..5)
+                .map(|k| CellularSample {
+                    time_s: k as f64 * 10.0,
+                    scan: busprobe_cellular::CellScan::new(vec![]),
+                })
+                .collect(),
+        };
+        let report = monitor.ingest_trip(&trip);
+        assert_eq!(report.matched, 0);
+        assert_eq!(report.observations, 0);
+    }
+
+    #[test]
+    fn batch_ingest_equals_sequential() {
+        let (monitor_a, scanner) = setup(10);
+        let (monitor_b, _) = setup(10);
+        let trips: Vec<Trip> = (0..8)
+            .map(|k| ride(&monitor_a, &scanner, 5, 2, 80.0, 100 + k))
+            .collect();
+        let seq: Vec<IngestReport> = trips.iter().map(|t| monitor_a.ingest_trip(t)).collect();
+        let par = monitor_b.ingest_batch(&trips);
+        assert_eq!(seq, par, "parallel ingest must match sequential reports");
+        // Final maps agree too (fusion is order-insensitive for equal
+        // variances... up to aging; compare coverage).
+        assert_eq!(monitor_a.snapshot(1e4).len(), monitor_b.snapshot(1e4).len());
+    }
+
+    #[test]
+    fn snapshot_age_filter_applies() {
+        let (monitor, scanner) = setup(11);
+        let trip = ride(&monitor, &scanner, 4, 2, 90.0, 3);
+        monitor.ingest_trip(&trip);
+        assert!(!monitor.snapshot_with_max_age(400.0, 1800.0).is_empty());
+        assert!(monitor.snapshot_with_max_age(1e6, 60.0).is_empty());
+    }
+
+    #[test]
+    fn state_survives_a_restart() {
+        let (monitor, scanner) = setup(13);
+        let trip = ride(&monitor, &scanner, 5, 3, 80.0, 6);
+        monitor.ingest_trip(&trip);
+        let before = monitor.snapshot(600.0);
+        assert!(!before.is_empty());
+
+        // Persist to JSON, restart, restore.
+        let state_json = serde_json::to_string(&monitor.export_state()).unwrap();
+        let state: MonitorState = serde_json::from_str(&state_json).unwrap();
+        let restored = TrafficMonitor::restore(monitor.network().clone(), *monitor.config(), state);
+
+        // The map is identical and a duplicate replay is still rejected.
+        assert_eq!(restored.snapshot(600.0), before);
+        let report = restored.ingest_trip(&trip);
+        assert!(report.duplicate, "seen-set survives the restart");
+        // Fresh traffic keeps flowing into the restored state.
+        let trip2 = ride(&restored, &scanner, 5, 3, 85.0, 7);
+        let report2 = restored.ingest_trip(&trip2);
+        assert!(!report2.duplicate);
+        assert!(report2.observations > 0);
+    }
+
+    #[test]
+    fn estimated_speeds_are_physical() {
+        let (monitor, scanner) = setup(12);
+        let trip = ride(&monitor, &scanner, 6, 3, 75.0, 4);
+        monitor.ingest_trip(&trip);
+        for e in monitor.snapshot(600.0).segments.values() {
+            assert!(
+                e.speed_mps > 0.5 && e.speed_mps < 30.0,
+                "speed {}",
+                e.speed_mps
+            );
+        }
+    }
+}

@@ -1,0 +1,217 @@
+use crate::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned bounding box in the local metric frame.
+///
+/// Used to describe study regions (the paper's area is 7 km × 4 km) and to
+/// index spatial entities such as cell towers and bus stops.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_geo::{BBox, Point};
+///
+/// let region = BBox::new(Point::new(0.0, 0.0), Point::new(7000.0, 4000.0));
+/// assert_eq!(region.area(), 28_000_000.0);
+/// assert!(region.contains(Point::new(3500.0, 2000.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// South-west corner.
+    pub min: Point,
+    /// North-east corner.
+    pub max: Point,
+}
+
+impl BBox {
+    /// Creates a bounding box from two opposite corners (in any order).
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box covering all `points`, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut bb = BBox {
+            min: first,
+            max: first,
+        };
+        for p in iter {
+            bb = bb.expanded_to(p);
+        }
+        Some(bb)
+    }
+
+    /// Width (east-west extent) in metres.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (north-south extent) in metres.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square metres.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The box grown (or shrunk, for negative `margin`) by `margin` metres on
+    /// every side. Shrinking collapses to the centre rather than inverting.
+    #[must_use]
+    pub fn inflated(&self, margin: f64) -> BBox {
+        let c = self.center();
+        let half_w = (self.width() / 2.0 + margin).max(0.0);
+        let half_h = (self.height() / 2.0 + margin).max(0.0);
+        BBox {
+            min: Point::new(c.x - half_w, c.y - half_h),
+            max: Point::new(c.x + half_w, c.y + half_h),
+        }
+    }
+
+    /// Smallest box covering `self` and `p`.
+    #[must_use]
+    pub fn expanded_to(&self, p: Point) -> BBox {
+        BBox {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Whether the two boxes overlap (shared boundary counts).
+    #[must_use]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Clamps `p` to the nearest point inside the box.
+    #[must_use]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let bb = BBox::new(Point::new(10.0, -5.0), Point::new(-10.0, 5.0));
+        assert_eq!(bb.min, Point::new(-10.0, -5.0));
+        assert_eq!(bb.max, Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn from_points_single_is_degenerate() {
+        let bb = BBox::from_points([Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(bb.area(), 0.0);
+        assert!(bb.contains(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let bb = BBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        assert!(bb.contains(Point::new(0.0, 0.0)));
+        assert!(bb.contains(Point::new(10.0, 10.0)));
+        assert!(!bb.contains(Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn inflate_and_deflate() {
+        let bb = BBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let big = bb.inflated(5.0);
+        assert_eq!(big.width(), 20.0);
+        let collapsed = bb.inflated(-50.0);
+        assert_eq!(collapsed.area(), 0.0);
+        assert_eq!(collapsed.center(), bb.center());
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = BBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let b = BBox::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        let c = BBox::new(Point::new(11.0, 11.0), Point::new(12.0, 12.0));
+        let touching = BBox::new(Point::new(10.0, 0.0), Point::new(20.0, 10.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&touching));
+    }
+
+    #[test]
+    fn clamp_pulls_point_inside() {
+        let bb = BBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        assert_eq!(bb.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+        assert_eq!(bb.clamp(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let bb = BBox::new(Point::ORIGIN, Point::new(7000.0, 4000.0));
+        let back: BBox = serde_json::from_str(&serde_json::to_string(&bb).unwrap()).unwrap();
+        assert_eq!(bb, back);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_points_contains_all(pts in proptest::collection::vec(
+            (-1000.0f64..1000.0, -1000.0f64..1000.0), 1..20)) {
+            let points: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let bb = BBox::from_points(points.iter().copied()).unwrap();
+            for p in points {
+                prop_assert!(bb.contains(p));
+            }
+        }
+
+        #[test]
+        fn prop_clamped_point_is_contained(ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+                                           bx in -100.0f64..100.0, by in -100.0f64..100.0,
+                                           px in -500.0f64..500.0, py in -500.0f64..500.0) {
+            let bb = BBox::new(Point::new(ax, ay), Point::new(bx, by));
+            prop_assert!(bb.contains(bb.clamp(Point::new(px, py))));
+        }
+    }
+}

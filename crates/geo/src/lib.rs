@@ -1,0 +1,47 @@
+//! Planar geometry primitives for the `busprobe` workspace.
+//!
+//! All spatial reasoning in the reproduction happens in a *local tangent
+//! plane*: positions are expressed in metres east/north of a region origin.
+//! This mirrors how the paper treats its 7 km × 4 km Jurong West study area —
+//! distances are short enough that earth curvature is irrelevant, and the
+//! algorithms only ever consume metric distances.
+//!
+//! The crate provides:
+//!
+//! * [`Point`] — a position in metres with distance/bearing arithmetic,
+//! * [`Polyline`] — a piecewise-linear path with length, interpolation and
+//!   projection used for road segments and bus-route geometry,
+//! * [`BBox`] — axis-aligned bounding boxes used to describe study regions,
+//! * [`LocalProjection`] — an equirectangular lat/lon ⇄ metres converter for
+//!   importing real-world coordinates.
+//!
+//! # Examples
+//!
+//! ```
+//! use busprobe_geo::{Point, Polyline};
+//!
+//! let road = Polyline::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(300.0, 0.0),
+//!     Point::new(300.0, 400.0),
+//! ]).unwrap();
+//! assert_eq!(road.length(), 700.0);
+//! // A bus 500 m into the road is 200 m up the second leg.
+//! assert_eq!(road.point_at(500.0), Point::new(300.0, 200.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod point;
+mod polyline;
+mod projection;
+
+pub use bbox::BBox;
+pub use point::Point;
+pub use polyline::{Polyline, PolylineError, Projected};
+pub use projection::LocalProjection;
+
+/// Mean earth radius in metres, used by [`LocalProjection`].
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;

@@ -1,0 +1,297 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A position (or displacement) in the local tangent plane, in metres.
+///
+/// `x` grows east, `y` grows north. The type is deliberately a plain value
+/// type (`Copy`) so simulation inner loops can pass it around freely.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_geo::Point;
+///
+/// let stop = Point::new(120.0, 80.0);
+/// let bus = Point::new(120.0, 50.0);
+/// assert_eq!(bus.distance(stop), 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Metres east of the region origin.
+    pub x: f64,
+    /// Metres north of the region origin.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)` metres.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparisons are needed.
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Length of this point interpreted as a displacement vector.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product with `other` (both interpreted as vectors).
+    #[must_use]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Bearing from this point to `other` in radians, measured
+    /// counter-clockwise from east. Returns `0.0` when the points coincide.
+    #[must_use]
+    pub fn bearing(self, other: Point) -> f64 {
+        let d = other - self;
+        if d.x == 0.0 && d.y == 0.0 {
+            0.0
+        } else {
+            d.y.atan2(d.x)
+        }
+    }
+
+    /// Linear interpolation: the point `t` of the way from `self` to `other`.
+    ///
+    /// `t` is clamped to `[0, 1]`, so callers cannot extrapolate past the
+    /// endpoints by accident.
+    #[must_use]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Unit vector in the direction of this displacement, or `None` for the
+    /// zero vector.
+    #[must_use]
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The displacement rotated 90° counter-clockwise (a left-hand normal).
+    #[must_use]
+    pub fn perp(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Returns `true` when both coordinates are finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1} m, {:.1} m)", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(12.5, -7.25);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::ORIGIN;
+        assert_eq!(o.bearing(Point::new(1.0, 0.0)), 0.0);
+        assert!((o.bearing(Point::new(0.0, 1.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((o.bearing(Point::new(-1.0, 0.0)) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = Point::new(5.0, 5.0);
+        assert_eq!(p.bearing(p), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn lerp_clamps_out_of_range_t() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(a.lerp(b, -1.0), a);
+        assert_eq!(a.lerp(b, 2.0), b);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Point::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Point::new(3.0, -4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perp_is_orthogonal() {
+        let v = Point::new(2.0, 5.0);
+        assert_eq!(v.dot(v.perp()), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn tuple_conversions_round_trip() {
+        let p: Point = (4.0, 9.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (4.0, 9.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Point::new(1.25, -3.5);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Point = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::ORIGIN).is_empty());
+    }
+
+    fn finite_coord() -> impl Strategy<Value = f64> {
+        -1.0e6..1.0e6
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetric(ax in finite_coord(), ay in finite_coord(),
+                                   bx in finite_coord(), by in finite_coord()) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality(ax in finite_coord(), ay in finite_coord(),
+                                    bx in finite_coord(), by in finite_coord(),
+                                    cx in finite_coord(), cy in finite_coord()) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_lerp_stays_on_segment(ax in finite_coord(), ay in finite_coord(),
+                                      bx in finite_coord(), by in finite_coord(),
+                                      t in 0.0f64..1.0) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let p = a.lerp(b, t);
+            let total = a.distance(b);
+            prop_assert!(a.distance(p) + p.distance(b) <= total + 1e-6);
+        }
+    }
+}

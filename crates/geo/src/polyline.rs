@@ -1,0 +1,478 @@
+use crate::{BBox, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing an invalid [`Polyline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolylineError {
+    /// Fewer than two vertices were supplied.
+    TooFewVertices,
+    /// A vertex contained a NaN or infinite coordinate.
+    NonFiniteVertex,
+}
+
+impl fmt::Display for PolylineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolylineError::TooFewVertices => write!(f, "polyline needs at least two vertices"),
+            PolylineError::NonFiniteVertex => write!(f, "polyline vertex is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for PolylineError {}
+
+/// The result of projecting a point onto a [`Polyline`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projected {
+    /// Closest point on the polyline.
+    pub point: Point,
+    /// Distance along the polyline from its start to [`Projected::point`].
+    pub offset: f64,
+    /// Distance from the query point to [`Projected::point`].
+    pub distance: f64,
+}
+
+/// A piecewise-linear path through the plane, used for road and bus-route
+/// geometry.
+///
+/// Cumulative segment lengths are precomputed so that arc-length queries
+/// ([`Polyline::point_at`], [`Polyline::heading_at`]) are `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_geo::{Point, Polyline};
+///
+/// let route = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)])?;
+/// assert_eq!(route.length(), 100.0);
+/// assert_eq!(route.point_at(25.0), Point::new(25.0, 0.0));
+/// # Ok::<(), busprobe_geo::PolylineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// `cumulative[i]` is the path length from vertex 0 to vertex i.
+    #[serde(skip, default)]
+    cumulative: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from an ordered vertex list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolylineError::TooFewVertices`] for fewer than two vertices
+    /// and [`PolylineError::NonFiniteVertex`] if any coordinate is NaN or
+    /// infinite. Zero-length legs (repeated vertices) are permitted.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolylineError> {
+        if vertices.len() < 2 {
+            return Err(PolylineError::TooFewVertices);
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(PolylineError::NonFiniteVertex);
+        }
+        let mut line = Polyline {
+            vertices,
+            cumulative: Vec::new(),
+        };
+        line.rebuild_cumulative();
+        Ok(line)
+    }
+
+    /// Convenience constructor for a single straight segment.
+    pub fn segment(a: Point, b: Point) -> Result<Self, PolylineError> {
+        Polyline::new(vec![a, b])
+    }
+
+    fn rebuild_cumulative(&mut self) {
+        self.cumulative.clear();
+        self.cumulative.reserve(self.vertices.len());
+        let mut acc = 0.0;
+        self.cumulative.push(0.0);
+        for w in self.vertices.windows(2) {
+            acc += w[0].distance(w[1]);
+            self.cumulative.push(acc);
+        }
+    }
+
+    /// Ensures the cumulative-length cache exists (needed after serde
+    /// deserialization, which skips the cache).
+    fn cumulative(&self) -> Vec<f64> {
+        if self.cumulative.len() == self.vertices.len() {
+            self.cumulative.clone()
+        } else {
+            let mut copy = self.clone();
+            copy.rebuild_cumulative();
+            copy.cumulative
+        }
+    }
+
+    /// The ordered vertices.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Total path length in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        if self.cumulative.len() == self.vertices.len() {
+            *self.cumulative.last().expect("polyline has vertices")
+        } else {
+            self.vertices.windows(2).map(|w| w[0].distance(w[1])).sum()
+        }
+    }
+
+    /// First vertex.
+    #[must_use]
+    pub fn start(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[must_use]
+    pub fn end(&self) -> Point {
+        *self.vertices.last().expect("polyline has vertices")
+    }
+
+    /// Point at arc-length `offset` from the start. `offset` is clamped to
+    /// `[0, length]`.
+    #[must_use]
+    pub fn point_at(&self, offset: f64) -> Point {
+        let cumulative = self.cumulative();
+        let total = *cumulative.last().expect("nonempty");
+        let offset = offset.clamp(0.0, total);
+        // Find the leg containing `offset`.
+        let idx = match cumulative.binary_search_by(|c| c.partial_cmp(&offset).expect("finite")) {
+            Ok(i) => return self.vertices[i],
+            Err(i) => i - 1,
+        };
+        let leg_len = cumulative[idx + 1] - cumulative[idx];
+        if leg_len == 0.0 {
+            return self.vertices[idx];
+        }
+        let t = (offset - cumulative[idx]) / leg_len;
+        self.vertices[idx].lerp(self.vertices[idx + 1], t)
+    }
+
+    /// Unit heading vector of the leg containing arc-length `offset`.
+    ///
+    /// For offsets landing exactly on a vertex the *following* leg's heading
+    /// is returned (the final vertex uses the last leg). Zero-length legs are
+    /// skipped; returns `None` only if every leg is degenerate.
+    #[must_use]
+    pub fn heading_at(&self, offset: f64) -> Option<Point> {
+        let cumulative = self.cumulative();
+        let total = *cumulative.last().expect("nonempty");
+        let offset = offset.clamp(0.0, total);
+        let mut idx = match cumulative.binary_search_by(|c| c.partial_cmp(&offset).expect("finite"))
+        {
+            Ok(i) => i.min(self.vertices.len() - 2),
+            Err(i) => i - 1,
+        };
+        // Walk forward past zero-length legs, then backwards.
+        loop {
+            let d = self.vertices[idx + 1] - self.vertices[idx];
+            if let Some(u) = d.normalized() {
+                return Some(u);
+            }
+            if idx + 2 < self.vertices.len() {
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+        self.vertices
+            .windows(2)
+            .rev()
+            .find_map(|w| (w[1] - w[0]).normalized())
+    }
+
+    /// Projects `p` onto the polyline, returning the closest on-path point,
+    /// its arc-length offset and the distance from `p`.
+    #[must_use]
+    pub fn project(&self, p: Point) -> Projected {
+        let cumulative = self.cumulative();
+        let mut best = Projected {
+            point: self.vertices[0],
+            offset: 0.0,
+            distance: p.distance(self.vertices[0]),
+        };
+        for (i, w) in self.vertices.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            let ab = b - a;
+            let len_sq = ab.dot(ab);
+            let t = if len_sq == 0.0 {
+                0.0
+            } else {
+                ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0)
+            };
+            let q = a.lerp(b, t);
+            let d = p.distance(q);
+            if d < best.distance {
+                best = Projected {
+                    point: q,
+                    offset: cumulative[i] + t * (cumulative[i + 1] - cumulative[i]),
+                    distance: d,
+                };
+            }
+        }
+        best
+    }
+
+    /// Bounding box of the vertices.
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.vertices.iter().copied()).expect("polyline has vertices")
+    }
+
+    /// A new polyline traversing the same vertices in reverse order.
+    #[must_use]
+    pub fn reversed(&self) -> Polyline {
+        let mut vertices = self.vertices.clone();
+        vertices.reverse();
+        Polyline::new(vertices).expect("valid reversed polyline")
+    }
+
+    /// Concatenates `other` onto the end of `self`. If the junction vertices
+    /// coincide the duplicate is dropped.
+    #[must_use]
+    pub fn join(&self, other: &Polyline) -> Polyline {
+        let mut vertices = self.vertices.clone();
+        let skip_first = other.start() == self.end();
+        vertices.extend(other.vertices.iter().copied().skip(usize::from(skip_first)));
+        Polyline::new(vertices).expect("join of valid polylines is valid")
+    }
+
+    /// The sub-path between arc-lengths `from` and `to` (clamped, and swapped
+    /// if out of order). Always yields a valid polyline; a degenerate request
+    /// produces a zero-length two-vertex path.
+    #[must_use]
+    pub fn slice(&self, from: f64, to: f64) -> Polyline {
+        let total = self.length();
+        let (from, to) = {
+            let a = from.clamp(0.0, total);
+            let b = to.clamp(0.0, total);
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        let cumulative = self.cumulative();
+        let mut vertices = vec![self.point_at(from)];
+        for (i, &c) in cumulative.iter().enumerate() {
+            if c > from && c < to {
+                vertices.push(self.vertices[i]);
+            }
+        }
+        vertices.push(self.point_at(to));
+        Polyline::new(vertices).expect("slice of valid polyline is valid")
+    }
+}
+
+impl fmt::Display for Polyline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "polyline[{} vertices, {:.1} m]",
+            self.vertices.len(),
+            self.length()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l_shape() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(300.0, 0.0),
+            Point::new(300.0, 400.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN]),
+            Err(PolylineError::TooFewVertices)
+        );
+        assert_eq!(Polyline::new(vec![]), Err(PolylineError::TooFewVertices));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = Polyline::new(vec![Point::new(f64::NAN, 0.0), Point::ORIGIN]);
+        assert_eq!(err, Err(PolylineError::NonFiniteVertex));
+    }
+
+    #[test]
+    fn length_sums_legs() {
+        assert_eq!(l_shape().length(), 700.0);
+    }
+
+    #[test]
+    fn point_at_interpolates() {
+        let line = l_shape();
+        assert_eq!(line.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(line.point_at(150.0), Point::new(150.0, 0.0));
+        assert_eq!(line.point_at(300.0), Point::new(300.0, 0.0));
+        assert_eq!(line.point_at(500.0), Point::new(300.0, 200.0));
+        assert_eq!(line.point_at(700.0), Point::new(300.0, 400.0));
+    }
+
+    #[test]
+    fn point_at_clamps() {
+        let line = l_shape();
+        assert_eq!(line.point_at(-10.0), line.start());
+        assert_eq!(line.point_at(1e9), line.end());
+    }
+
+    #[test]
+    fn heading_follows_legs() {
+        let line = l_shape();
+        assert_eq!(line.heading_at(100.0), Some(Point::new(1.0, 0.0)));
+        assert_eq!(line.heading_at(400.0), Some(Point::new(0.0, 1.0)));
+        // Vertex offset takes the following leg.
+        assert_eq!(line.heading_at(300.0), Some(Point::new(0.0, 1.0)));
+        // End of line takes the last leg.
+        assert_eq!(line.heading_at(700.0), Some(Point::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn heading_skips_zero_length_legs() {
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(line.heading_at(0.0), Some(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn project_onto_interior() {
+        let line = l_shape();
+        let proj = line.project(Point::new(150.0, 50.0));
+        assert_eq!(proj.point, Point::new(150.0, 0.0));
+        assert_eq!(proj.offset, 150.0);
+        assert_eq!(proj.distance, 50.0);
+    }
+
+    #[test]
+    fn project_clamps_to_endpoints() {
+        let line = l_shape();
+        let proj = line.project(Point::new(-100.0, -100.0));
+        assert_eq!(proj.point, line.start());
+        assert_eq!(proj.offset, 0.0);
+    }
+
+    #[test]
+    fn reversed_preserves_length() {
+        let line = l_shape();
+        let rev = line.reversed();
+        assert_eq!(rev.length(), line.length());
+        assert_eq!(rev.start(), line.end());
+        assert_eq!(rev.end(), line.start());
+    }
+
+    #[test]
+    fn join_drops_duplicate_junction() {
+        let a = Polyline::segment(Point::new(0.0, 0.0), Point::new(10.0, 0.0)).unwrap();
+        let b = Polyline::segment(Point::new(10.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let joined = a.join(&b);
+        assert_eq!(joined.vertices().len(), 3);
+        assert_eq!(joined.length(), 20.0);
+    }
+
+    #[test]
+    fn join_keeps_gap_vertices() {
+        let a = Polyline::segment(Point::new(0.0, 0.0), Point::new(10.0, 0.0)).unwrap();
+        let b = Polyline::segment(Point::new(20.0, 0.0), Point::new(30.0, 0.0)).unwrap();
+        let joined = a.join(&b);
+        assert_eq!(joined.vertices().len(), 4);
+        assert_eq!(joined.length(), 30.0);
+    }
+
+    #[test]
+    fn slice_interior() {
+        let line = l_shape();
+        let s = line.slice(100.0, 500.0);
+        assert!((s.length() - 400.0).abs() < 1e-9);
+        assert_eq!(s.start(), Point::new(100.0, 0.0));
+        assert_eq!(s.end(), Point::new(300.0, 200.0));
+    }
+
+    #[test]
+    fn slice_swaps_reversed_bounds() {
+        let line = l_shape();
+        let s = line.slice(500.0, 100.0);
+        assert!((s.length() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bbox_covers_vertices() {
+        let bb = l_shape().bbox();
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(300.0, 400.0));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_cache() {
+        let line = l_shape();
+        let json = serde_json::to_string(&line).unwrap();
+        let back: Polyline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.length(), line.length());
+        assert_eq!(back.point_at(500.0), line.point_at(500.0));
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -10_000.0..10_000.0
+    }
+
+    fn arb_polyline() -> impl Strategy<Value = Polyline> {
+        proptest::collection::vec((coord(), coord()), 2..12)
+            .prop_map(|pts| Polyline::new(pts.into_iter().map(Point::from).collect()).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_point_at_distance_from_start_bounded(line in arb_polyline(), f in 0.0f64..1.0) {
+            let offset = f * line.length();
+            let p = line.point_at(offset);
+            // The straight-line distance can never exceed the arc length.
+            prop_assert!(line.start().distance(p) <= offset + 1e-6);
+        }
+
+        #[test]
+        fn prop_projection_offset_in_range(line in arb_polyline(), x in coord(), y in coord()) {
+            let proj = line.project(Point::new(x, y));
+            prop_assert!(proj.offset >= 0.0);
+            prop_assert!(proj.offset <= line.length() + 1e-6);
+            // Projecting the projected point back is (near) idempotent.
+            let again = line.project(proj.point);
+            prop_assert!(again.distance <= 1e-6);
+        }
+
+        #[test]
+        fn prop_slice_length_matches_span(line in arb_polyline(),
+                                          a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let len = line.length();
+            let (from, to) = (a * len, b * len);
+            let s = line.slice(from, to);
+            prop_assert!((s.length() - (to - from).abs()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_reverse_twice_is_identity(line in arb_polyline()) {
+            let twice = line.reversed().reversed();
+            prop_assert_eq!(twice.vertices(), line.vertices());
+        }
+    }
+}

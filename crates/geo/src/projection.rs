@@ -1,0 +1,126 @@
+use crate::{Point, EARTH_RADIUS_M};
+use serde::{Deserialize, Serialize};
+
+/// An equirectangular projection anchoring WGS-84 coordinates to the local
+/// metric frame.
+///
+/// For city-scale regions (tens of kilometres) the distortion of the
+/// equirectangular approximation is far below the noise floor of any model
+/// in this workspace, so nothing heavier (UTM, geodesics) is warranted.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_geo::LocalProjection;
+///
+/// // Anchor near Jurong West, Singapore (the paper's study area).
+/// let proj = LocalProjection::new(1.34, 103.70);
+/// let p = proj.to_local(1.35, 103.71);
+/// let (lat, lon) = proj.to_wgs84(p);
+/// assert!((lat - 1.35).abs() < 1e-9);
+/// assert!((lon - 103.71).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin_lat_deg: f64,
+    origin_lon_deg: f64,
+    /// Metres per degree of longitude at the origin latitude.
+    m_per_deg_lon: f64,
+    /// Metres per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centred at (`origin_lat_deg`, `origin_lon_deg`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin latitude is within 0.1° of a pole, where the
+    /// equirectangular approximation degenerates.
+    #[must_use]
+    pub fn new(origin_lat_deg: f64, origin_lon_deg: f64) -> Self {
+        assert!(
+            origin_lat_deg.abs() < 89.9,
+            "equirectangular projection is degenerate near the poles"
+        );
+        let m_per_deg = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        LocalProjection {
+            origin_lat_deg,
+            origin_lon_deg,
+            m_per_deg_lat: m_per_deg,
+            m_per_deg_lon: m_per_deg * origin_lat_deg.to_radians().cos(),
+        }
+    }
+
+    /// Origin of the local frame, as (latitude, longitude) degrees.
+    #[must_use]
+    pub fn origin(&self) -> (f64, f64) {
+        (self.origin_lat_deg, self.origin_lon_deg)
+    }
+
+    /// Converts WGS-84 degrees into local metres.
+    #[must_use]
+    pub fn to_local(&self, lat_deg: f64, lon_deg: f64) -> Point {
+        Point::new(
+            (lon_deg - self.origin_lon_deg) * self.m_per_deg_lon,
+            (lat_deg - self.origin_lat_deg) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Converts local metres back to WGS-84 degrees as `(lat, lon)`.
+    #[must_use]
+    pub fn to_wgs84(&self, p: Point) -> (f64, f64) {
+        (
+            self.origin_lat_deg + p.y / self.m_per_deg_lat,
+            self.origin_lon_deg + p.x / self.m_per_deg_lon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let proj = LocalProjection::new(1.34, 103.70);
+        assert_eq!(proj.to_local(1.34, 103.70), Point::ORIGIN);
+        assert_eq!(proj.origin(), (1.34, 103.70));
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let proj = LocalProjection::new(0.0, 0.0);
+        let p = proj.to_local(1.0, 0.0);
+        assert!((p.y - 111_194.9).abs() < 1.0, "got {}", p.y);
+        assert_eq!(p.x, 0.0);
+    }
+
+    #[test]
+    fn longitude_shrinks_with_latitude() {
+        let equator = LocalProjection::new(0.0, 0.0);
+        let mid = LocalProjection::new(60.0, 0.0);
+        let de = equator.to_local(0.0, 1.0).x;
+        let dm = mid.to_local(60.0, 1.0).x;
+        assert!((dm / de - 0.5).abs() < 1e-9, "cos(60°) = 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn polar_origin_panics() {
+        let _ = LocalProjection::new(90.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(lat0 in -60.0f64..60.0, lon0 in -180.0f64..180.0,
+                           dlat in -0.5f64..0.5, dlon in -0.5f64..0.5) {
+            let proj = LocalProjection::new(lat0, lon0);
+            let p = proj.to_local(lat0 + dlat, lon0 + dlon);
+            let (lat, lon) = proj.to_wgs84(p);
+            prop_assert!((lat - (lat0 + dlat)).abs() < 1e-9);
+            prop_assert!((lon - (lon0 + dlon)).abs() < 1e-9);
+        }
+    }
+}

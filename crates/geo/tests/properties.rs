@@ -1,0 +1,112 @@
+//! Cross-type geometry properties: the invariants route construction and
+//! map matching lean on.
+
+use busprobe_geo::{BBox, LocalProjection, Point, Polyline};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -5_000.0..5_000.0
+}
+
+fn arb_polyline() -> impl Strategy<Value = Polyline> {
+    proptest::collection::vec((coord(), coord()), 2..10)
+        .prop_map(|pts| Polyline::new(pts.into_iter().map(Point::from).collect()).unwrap())
+}
+
+proptest! {
+    /// Arc length is invariant under translation.
+    #[test]
+    fn prop_length_translation_invariant(line in arb_polyline(), dx in coord(), dy in coord()) {
+        let shifted = Polyline::new(
+            line.vertices().iter().map(|&v| v + Point::new(dx, dy)).collect(),
+        )
+        .unwrap();
+        prop_assert!((line.length() - shifted.length()).abs() < 1e-6);
+    }
+
+    /// Every point returned by `point_at` lies inside the polyline's
+    /// bounding box.
+    #[test]
+    fn prop_point_at_stays_in_bbox(line in arb_polyline(), f in 0.0f64..1.0) {
+        let p = line.point_at(f * line.length());
+        prop_assert!(line.bbox().inflated(1e-6).contains(p));
+    }
+
+    /// Projection distance is a lower bound over all vertices.
+    #[test]
+    fn prop_projection_beats_every_vertex(line in arb_polyline(), x in coord(), y in coord()) {
+        let q = Point::new(x, y);
+        let proj = line.project(q);
+        for &v in line.vertices() {
+            prop_assert!(proj.distance <= q.distance(v) + 1e-9);
+        }
+    }
+
+    /// Joining two polylines preserves total length (plus the junction gap).
+    #[test]
+    fn prop_join_length(a in arb_polyline(), b in arb_polyline()) {
+        let joined = a.join(&b);
+        let gap = a.end().distance(b.start());
+        prop_assert!((joined.length() - (a.length() + gap + b.length())).abs() < 1e-6);
+    }
+
+    /// Slicing into two halves at any cut reconstructs the total length.
+    #[test]
+    fn prop_slice_partition(line in arb_polyline(), f in 0.0f64..1.0) {
+        let cut = f * line.length();
+        let first = line.slice(0.0, cut);
+        let second = line.slice(cut, line.length());
+        prop_assert!(
+            (first.length() + second.length() - line.length()).abs() < 1e-6
+        );
+        prop_assert!(first.end().distance(second.start()) < 1e-6);
+    }
+
+    /// BBox union-by-expansion contains both operands' corners.
+    #[test]
+    fn prop_bbox_expansion_monotone(ax in coord(), ay in coord(), bx in coord(), by in coord(),
+                                    px in coord(), py in coord()) {
+        let bb = BBox::new(Point::new(ax, ay), Point::new(bx, by));
+        let grown = bb.expanded_to(Point::new(px, py));
+        prop_assert!(grown.contains(bb.min));
+        prop_assert!(grown.contains(bb.max));
+        prop_assert!(grown.contains(Point::new(px, py)));
+        prop_assert!(grown.area() >= bb.area() - 1e-9);
+    }
+
+    /// Projection round trips compose with local displacement: moving 100 m
+    /// east in the local frame moves east in lat/lon and back.
+    #[test]
+    fn prop_projection_displacement(lat in -60.0f64..60.0, lon in -179.0f64..179.0,
+                                    dx in -2_000.0f64..2_000.0, dy in -2_000.0f64..2_000.0) {
+        let proj = LocalProjection::new(lat, lon);
+        let p = Point::new(dx, dy);
+        let (plat, plon) = proj.to_wgs84(p);
+        let back = proj.to_local(plat, plon);
+        prop_assert!(back.distance(p) < 1e-6);
+        // Northward displacement raises latitude; eastward raises longitude.
+        if dy > 1.0 {
+            prop_assert!(plat > lat);
+        }
+        if dx > 1.0 {
+            prop_assert!(plon > lon);
+        }
+    }
+}
+
+#[test]
+fn polyline_of_grid_route_shape() {
+    // An L-shaped street: geometry facts the network generator relies on.
+    let line = Polyline::new(vec![
+        Point::new(0.0, 0.0),
+        Point::new(500.0, 0.0),
+        Point::new(500.0, 500.0),
+    ])
+    .unwrap();
+    // Mid-block stop sites at 250 and 750 m.
+    assert_eq!(line.point_at(250.0), Point::new(250.0, 0.0));
+    assert_eq!(line.point_at(750.0), Point::new(500.0, 250.0));
+    // Kerb offsetting uses the heading at the stop.
+    assert_eq!(line.heading_at(250.0), Some(Point::new(1.0, 0.0)));
+    assert_eq!(line.heading_at(750.0), Some(Point::new(0.0, 1.0)));
+}

@@ -1,0 +1,431 @@
+//! IC-card beep detection from raw audio.
+//!
+//! Implements §III-B: the phone samples the microphone at 8 kHz, extracts
+//! the known beep bands with the Goertzel algorithm, normalizes them
+//! against reference bands, smooths with a 30 ms sliding window, and
+//! declares a detection when the normalized beep-band strength "obviously
+//! jumps (an empirical threshold of three standard deviation)" in *all*
+//! target bands simultaneously.
+
+use crate::goertzel::Goertzel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the beep detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeepDetectorConfig {
+    /// Beep bands that must all jump together (Hz). Singapore EZ-link:
+    /// `[1000, 3000]`; London Oyster: `[2400]`.
+    pub target_bands_hz: Vec<f64>,
+    /// Reference bands used to normalize overall loudness (Hz).
+    pub reference_bands_hz: Vec<f64>,
+    /// Analysis window, seconds (the paper's `w = 30 ms`).
+    pub window_s: f64,
+    /// Jump threshold in standard deviations (the paper's 3σ).
+    pub threshold_sigmas: f64,
+    /// Minimum absolute rise of the normalized strength that counts as an
+    /// "obvious" jump, protecting against tiny-σ false positives when the
+    /// background is very stable.
+    pub min_jump: f64,
+    /// Windows of history for the running statistics.
+    pub history_windows: usize,
+    /// Consecutive windows whose band powers are averaged before the jump
+    /// test — the paper's "standard sliding window averaging ... to filter
+    /// out the noises and increase the robustness".
+    pub smoothing_windows: usize,
+    /// Dead time after a detection, seconds (a 120 ms beep spans several
+    /// windows; without a refractory period one tap would count many times).
+    pub refractory_s: f64,
+    /// Audio sampling rate, Hz.
+    pub sample_rate_hz: f64,
+}
+
+impl Default for BeepDetectorConfig {
+    fn default() -> Self {
+        BeepDetectorConfig {
+            target_bands_hz: vec![1000.0, 3000.0],
+            reference_bands_hz: vec![500.0, 1500.0, 2000.0, 2500.0, 3500.0],
+            window_s: 0.03,
+            threshold_sigmas: 3.0,
+            min_jump: 0.45,
+            history_windows: 40,
+            smoothing_windows: 3,
+            refractory_s: 0.4,
+            sample_rate_hz: 8000.0,
+        }
+    }
+}
+
+impl BeepDetectorConfig {
+    /// Configuration for London Oyster readers (single 2.4 kHz tone).
+    #[must_use]
+    pub fn oyster() -> Self {
+        BeepDetectorConfig {
+            target_bands_hz: vec![2400.0],
+            reference_bands_hz: vec![500.0, 1000.0, 1500.0, 3000.0, 3500.0],
+            ..BeepDetectorConfig::default()
+        }
+    }
+}
+
+/// Running mean/variance over a bounded history (Welford on a ring).
+#[derive(Debug, Clone)]
+struct RollingStats {
+    values: std::collections::VecDeque<f64>,
+    capacity: usize,
+}
+
+impl RollingStats {
+    fn new(capacity: usize) -> Self {
+        RollingStats {
+            values: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(v);
+    }
+
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    fn std(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// Streaming beep detector.
+///
+/// Feed raw audio with [`BeepDetector::process`]; it returns the offsets
+/// (seconds from the start of *all* audio fed so far) at which taps were
+/// detected.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_mobile::{BeepDetector, BeepDetectorConfig};
+/// use busprobe_sensors::{AudioScene, AudioSynthesizer};
+/// use rand::SeedableRng;
+///
+/// let synth = AudioSynthesizer::new(AudioScene::default());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let audio = synth.render(3.0, &[1.5], &mut rng);
+///
+/// let mut detector = BeepDetector::new(BeepDetectorConfig::default());
+/// let detections = detector.process(&audio);
+/// assert_eq!(detections.len(), 1);
+/// assert!((detections[0] - 1.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BeepDetector {
+    config: BeepDetectorConfig,
+    target_filters: Vec<Goertzel>,
+    reference_filters: Vec<Goertzel>,
+    stats: Vec<RollingStats>,
+    /// Recent raw powers per target band, for smoothing.
+    target_recent: Vec<std::collections::VecDeque<f64>>,
+    /// Recent raw reference-total powers, for smoothing.
+    reference_recent: std::collections::VecDeque<f64>,
+    buffer: Vec<f64>,
+    samples_consumed: usize,
+    last_detection_s: f64,
+}
+
+impl BeepDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no target band, a non-positive
+    /// window, or bands above Nyquist.
+    #[must_use]
+    pub fn new(config: BeepDetectorConfig) -> Self {
+        assert!(
+            !config.target_bands_hz.is_empty(),
+            "need at least one target band"
+        );
+        assert!(config.window_s > 0.0, "window must be positive");
+        let target_filters = config
+            .target_bands_hz
+            .iter()
+            .map(|&f| Goertzel::new(f, config.sample_rate_hz))
+            .collect();
+        let reference_filters = config
+            .reference_bands_hz
+            .iter()
+            .map(|&f| Goertzel::new(f, config.sample_rate_hz))
+            .collect();
+        let stats = config
+            .target_bands_hz
+            .iter()
+            .map(|_| RollingStats::new(config.history_windows))
+            .collect();
+        let target_recent = config
+            .target_bands_hz
+            .iter()
+            .map(|_| std::collections::VecDeque::with_capacity(config.smoothing_windows))
+            .collect();
+        BeepDetector {
+            target_recent,
+            reference_recent: std::collections::VecDeque::with_capacity(config.smoothing_windows),
+            config,
+            target_filters,
+            reference_filters,
+            stats,
+            buffer: Vec::new(),
+            samples_consumed: 0,
+            last_detection_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &BeepDetectorConfig {
+        &self.config
+    }
+
+    /// Feeds audio samples; returns detection times (seconds from the first
+    /// sample ever fed). Partial windows are buffered across calls.
+    pub fn process(&mut self, samples: &[f64]) -> Vec<f64> {
+        self.buffer.extend_from_slice(samples);
+        let window_len = (self.config.window_s * self.config.sample_rate_hz).round() as usize;
+        let mut detections = Vec::new();
+
+        while self.buffer.len() >= window_len {
+            let window: Vec<f64> = self.buffer.drain(..window_len).collect();
+            let t = self.samples_consumed as f64 / self.config.sample_rate_hz;
+            self.samples_consumed += window_len;
+
+            // Smoothed band powers: raw 30 ms powers are exponentially
+            // distributed, so a few-window average is what makes the 3-sigma
+            // test meaningful.
+            let ref_raw: f64 = self
+                .reference_filters
+                .iter()
+                .map(|g| g.power(&window))
+                .sum::<f64>()
+                + 1e-12;
+            push_bounded(
+                &mut self.reference_recent,
+                ref_raw,
+                self.config.smoothing_windows,
+            );
+            let ref_total = mean_of(&self.reference_recent);
+            let mut all_jumped = true;
+            let mut strengths = Vec::with_capacity(self.target_filters.len());
+            for ((g, stat), recent) in self
+                .target_filters
+                .iter()
+                .zip(&self.stats)
+                .zip(&mut self.target_recent)
+            {
+                let p_raw = g.power(&window);
+                push_bounded(recent, p_raw, self.config.smoothing_windows);
+                let p = mean_of(recent);
+                let normalized = p / (p + ref_total);
+                strengths.push(normalized);
+                // Warm-up: no detections until statistics exist.
+                if stat.len() < 8 {
+                    all_jumped = false;
+                    continue;
+                }
+                let sigma = stat.std().max(0.01);
+                let required =
+                    stat.mean() + (self.config.threshold_sigmas * sigma).max(self.config.min_jump);
+                if normalized < required {
+                    all_jumped = false;
+                }
+            }
+
+            if all_jumped && t - self.last_detection_s >= self.config.refractory_s {
+                detections.push(t);
+                self.last_detection_s = t;
+                // Do not poison the background statistics with beep windows.
+            } else {
+                for (stat, s) in self.stats.iter_mut().zip(&strengths) {
+                    stat.push(*s);
+                }
+            }
+        }
+        detections
+    }
+
+    /// Resets all streaming state (buffer, statistics, refractory timer).
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.samples_consumed = 0;
+        self.last_detection_s = f64::NEG_INFINITY;
+        for s in &mut self.stats {
+            *s = RollingStats::new(self.config.history_windows);
+        }
+        for r in &mut self.target_recent {
+            r.clear();
+        }
+        self.reference_recent.clear();
+    }
+}
+
+fn push_bounded(buf: &mut std::collections::VecDeque<f64>, v: f64, cap: usize) {
+    if buf.len() >= cap.max(1) {
+        buf.pop_front();
+    }
+    buf.push_back(v);
+}
+
+fn mean_of(buf: &std::collections::VecDeque<f64>) -> f64 {
+    if buf.is_empty() {
+        return 0.0;
+    }
+    buf.iter().sum::<f64>() / buf.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_sensors::{AudioScene, AudioSynthesizer, BeepSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn detect(scene: AudioScene, duration: f64, beeps: &[f64], seed: u64) -> Vec<f64> {
+        let synth = AudioSynthesizer::new(scene);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let audio = synth.render(duration, beeps, &mut rng);
+        BeepDetector::new(BeepDetectorConfig::default()).process(&audio)
+    }
+
+    #[test]
+    fn detects_single_beep_near_its_time() {
+        let d = detect(AudioScene::default(), 4.0, &[2.0], 1);
+        assert_eq!(d.len(), 1, "got {d:?}");
+        assert!((d[0] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn detects_multiple_separated_beeps() {
+        let beeps = [1.0, 2.5, 4.0, 5.5];
+        let d = detect(AudioScene::default(), 7.0, &beeps, 2);
+        assert_eq!(d.len(), beeps.len(), "got {d:?}");
+        for (got, want) in d.iter().zip(&beeps) {
+            assert!((got - want).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn silence_produces_no_detections() {
+        for seed in 0..5 {
+            let d = detect(AudioScene::default(), 10.0, &[], seed);
+            assert!(d.is_empty(), "seed {seed}: false positives {d:?}");
+        }
+    }
+
+    #[test]
+    fn single_band_chirps_do_not_trigger_dual_band_detector() {
+        // Heavy chirp activity at random frequencies: a single tone cannot
+        // raise BOTH 1 kHz and 3 kHz bands simultaneously.
+        let scene = AudioScene {
+            chirp_rate_hz: 2.0,
+            ..AudioScene::default()
+        };
+        let mut total = 0;
+        for seed in 0..5 {
+            total += detect(scene.clone(), 10.0, &[], 100 + seed).len();
+        }
+        assert!(
+            total <= 1,
+            "chirps caused {total} false positives over 50 s"
+        );
+    }
+
+    #[test]
+    fn oyster_config_detects_oyster_beeps() {
+        let scene = AudioScene {
+            beep: BeepSpec::oyster(),
+            ..AudioScene::default()
+        };
+        let synth = AudioSynthesizer::new(scene);
+        let mut rng = StdRng::seed_from_u64(3);
+        let audio = synth.render(4.0, &[2.0], &mut rng);
+        let mut det = BeepDetector::new(BeepDetectorConfig::oyster());
+        let d = det.process(&audio);
+        assert_eq!(d.len(), 1, "got {d:?}");
+    }
+
+    #[test]
+    fn ez_link_detector_misses_oyster_beeps() {
+        let scene = AudioScene {
+            beep: BeepSpec::oyster(),
+            chirp_rate_hz: 0.0,
+            ..AudioScene::default()
+        };
+        let synth = AudioSynthesizer::new(scene);
+        let mut rng = StdRng::seed_from_u64(4);
+        let audio = synth.render(4.0, &[2.0], &mut rng);
+        let d = BeepDetector::new(BeepDetectorConfig::default()).process(&audio);
+        assert!(
+            d.is_empty(),
+            "2.4 kHz tone must not look like 1+3 kHz: {d:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_chunks_equal_one_shot() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let audio = synth.render(4.0, &[2.0], &mut rng);
+        let one_shot = BeepDetector::new(BeepDetectorConfig::default()).process(&audio);
+        let mut chunked = BeepDetector::new(BeepDetectorConfig::default());
+        let mut detections = Vec::new();
+        for chunk in audio.chunks(777) {
+            detections.extend(chunked.process(chunk));
+        }
+        assert_eq!(one_shot, detections);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let audio = synth.render(3.0, &[1.5], &mut rng);
+        let mut det = BeepDetector::new(BeepDetectorConfig::default());
+        let first = det.process(&audio);
+        det.reset();
+        let second = det.process(&audio);
+        assert_eq!(first, second, "reset should reproduce identical behaviour");
+    }
+
+    #[test]
+    fn close_taps_within_refractory_collapse() {
+        // Two taps 0.2 s apart (inside the 0.4 s refractory window) count
+        // once — matching the conservative hardware reality that readers
+        // themselves rate-limit.
+        let d = detect(AudioScene::default(), 4.0, &[2.0, 2.2], 7);
+        assert_eq!(d.len(), 1, "got {d:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target band")]
+    fn empty_targets_panic() {
+        let config = BeepDetectorConfig {
+            target_bands_hz: vec![],
+            ..Default::default()
+        };
+        let _ = BeepDetector::new(config);
+    }
+}

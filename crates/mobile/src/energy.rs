@@ -1,0 +1,250 @@
+//! Phone power model reproducing Table III.
+//!
+//! The paper measured two handsets with a Monsoon power monitor over
+//! 10-minute runs, screen off (§IV-D). Those measurements are encoded here
+//! as anchors; unmeasured sensor combinations compose additively from the
+//! per-sensor increments. The numbers below are reconstructed from the
+//! paper's text: the data-collection app (cellular + microphone/Goertzel)
+//! draws 82 mW on the HTC and 96 mW on the Nexus One, "can be as high as
+//! 450 mW if we use GPS instead", continuous GPS costs ≈ 340/333 mW, and
+//! Goertzel saves ≈ 6 mW over FFT.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The handsets measured in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhoneModel {
+    /// HTC Sensation (XE).
+    HtcSensation,
+    /// Google Nexus One.
+    NexusOne,
+}
+
+impl fmt::Display for PhoneModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhoneModel::HtcSensation => write!(f, "HTC Sensation"),
+            PhoneModel::NexusOne => write!(f, "Nexus One"),
+        }
+    }
+}
+
+/// Which sensors a configuration keeps running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// 1 Hz cell-tower sampling.
+    pub cellular: bool,
+    /// Continuous GPS tracking at 0.5 Hz.
+    pub gps: bool,
+    /// Microphone with Goertzel band extraction.
+    pub mic_goertzel: bool,
+    /// Microphone with full-FFT analysis (the baseline).
+    pub mic_fft: bool,
+}
+
+impl SensorConfig {
+    /// The paper's app: cellular sampling + Goertzel beep detection.
+    #[must_use]
+    pub fn busprobe_app() -> Self {
+        SensorConfig {
+            cellular: true,
+            mic_goertzel: true,
+            ..SensorConfig::default()
+        }
+    }
+
+    /// The GPS alternative the paper rejects.
+    #[must_use]
+    pub fn gps_tracking() -> Self {
+        SensorConfig {
+            gps: true,
+            mic_goertzel: true,
+            ..SensorConfig::default()
+        }
+    }
+}
+
+/// Power model: baseline platform draw plus per-sensor increments,
+/// anchored to the Table III measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle draw, screen off, no sensors, mW.
+    pub baseline_mw: f64,
+    /// Increment for 1 Hz cellular sampling, mW ("negligible for
+    /// smartphones").
+    pub cellular_mw: f64,
+    /// Increment for continuous GPS, mW.
+    pub gps_mw: f64,
+    /// Increment for microphone + Goertzel, mW.
+    pub mic_goertzel_mw: f64,
+    /// Extra cost of FFT over Goertzel, mW.
+    pub fft_extra_mw: f64,
+    /// Extra interaction cost when GPS and microphone run together
+    /// (Table III measures GPS+Mic above the additive sum: the SoC cannot
+    /// reach its deepest idle state).
+    pub gps_mic_interaction_mw: f64,
+}
+
+impl PowerModel {
+    /// Table III anchors for one handset.
+    #[must_use]
+    pub fn for_phone(phone: PhoneModel) -> Self {
+        match phone {
+            // Anchors: none 70, cellular 72, GPS 340, cellular+mic 82,
+            // GPS+mic 447.
+            PhoneModel::HtcSensation => PowerModel {
+                baseline_mw: 70.0,
+                cellular_mw: 2.0,
+                gps_mw: 270.0,
+                mic_goertzel_mw: 10.0,
+                fft_extra_mw: 6.0,
+                gps_mic_interaction_mw: 97.0,
+            },
+            // Anchors: none 84, cellular 85, GPS 333, cellular+mic 96,
+            // GPS+mic 443.
+            PhoneModel::NexusOne => PowerModel {
+                baseline_mw: 84.0,
+                cellular_mw: 1.0,
+                gps_mw: 249.0,
+                mic_goertzel_mw: 11.0,
+                fft_extra_mw: 6.0,
+                gps_mic_interaction_mw: 99.0,
+            },
+        }
+    }
+
+    /// Average draw for a sensor configuration, mW.
+    #[must_use]
+    pub fn power_mw(&self, config: SensorConfig) -> f64 {
+        let mut p = self.baseline_mw;
+        if config.cellular {
+            p += self.cellular_mw;
+        }
+        if config.gps {
+            p += self.gps_mw;
+        }
+        let mic = config.mic_goertzel || config.mic_fft;
+        if mic {
+            p += self.mic_goertzel_mw;
+        }
+        if config.mic_fft {
+            p += self.fft_extra_mw;
+        }
+        if config.gps && mic {
+            p += self.gps_mic_interaction_mw;
+        }
+        p
+    }
+
+    /// Energy to run `config` for `duration_s` seconds, millijoules.
+    #[must_use]
+    pub fn energy_mj(&self, config: SensorConfig, duration_s: f64) -> f64 {
+        self.power_mw(config) * duration_s
+    }
+
+    /// Hours a battery of `capacity_mwh` lasts under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration draws no power (impossible: baseline is
+    /// positive for both handsets).
+    #[must_use]
+    pub fn battery_life_h(&self, config: SensorConfig, capacity_mwh: f64) -> f64 {
+        let p = self.power_mw(config);
+        assert!(p > 0.0, "power draw must be positive");
+        capacity_mwh / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn htc() -> PowerModel {
+        PowerModel::for_phone(PhoneModel::HtcSensation)
+    }
+
+    fn nexus() -> PowerModel {
+        PowerModel::for_phone(PhoneModel::NexusOne)
+    }
+
+    #[test]
+    fn table_iii_anchor_rows_reproduce() {
+        // Row: no sensors.
+        assert_eq!(htc().power_mw(SensorConfig::default()), 70.0);
+        assert_eq!(nexus().power_mw(SensorConfig::default()), 84.0);
+        // Row: cellular 1 Hz.
+        let cell = SensorConfig {
+            cellular: true,
+            ..Default::default()
+        };
+        assert_eq!(htc().power_mw(cell), 72.0);
+        assert_eq!(nexus().power_mw(cell), 85.0);
+        // Row: GPS.
+        let gps = SensorConfig {
+            gps: true,
+            ..Default::default()
+        };
+        assert_eq!(htc().power_mw(gps), 340.0);
+        assert_eq!(nexus().power_mw(gps), 333.0);
+        // Row: cellular + mic (Goertzel) — the app.
+        assert_eq!(htc().power_mw(SensorConfig::busprobe_app()), 82.0);
+        assert_eq!(nexus().power_mw(SensorConfig::busprobe_app()), 96.0);
+        // Row: GPS + mic (Goertzel).
+        assert_eq!(htc().power_mw(SensorConfig::gps_tracking()), 447.0);
+        assert_eq!(nexus().power_mw(SensorConfig::gps_tracking()), 443.0);
+    }
+
+    #[test]
+    fn app_draws_4_to_5x_less_than_gps_variant() {
+        for model in [htc(), nexus()] {
+            let app = model.power_mw(SensorConfig::busprobe_app());
+            let gps = model.power_mw(SensorConfig::gps_tracking());
+            assert!(gps / app > 4.0, "GPS variant should be ≥4× more expensive");
+        }
+    }
+
+    #[test]
+    fn goertzel_saves_over_fft() {
+        let fft = SensorConfig {
+            cellular: true,
+            mic_fft: true,
+            ..Default::default()
+        };
+        let goertzel = SensorConfig::busprobe_app();
+        assert_eq!(htc().power_mw(fft) - htc().power_mw(goertzel), 6.0);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let m = htc();
+        let app = SensorConfig::busprobe_app();
+        assert_eq!(m.energy_mj(app, 600.0), 82.0 * 600.0);
+    }
+
+    #[test]
+    fn battery_life_is_realistic() {
+        // HTC Sensation battery: 1520 mAh × 3.7 V ≈ 5600 mWh.
+        let life_app = htc().battery_life_h(SensorConfig::busprobe_app(), 5600.0);
+        let life_gps = htc().battery_life_h(SensorConfig::gps_tracking(), 5600.0);
+        assert!(
+            life_app > 60.0,
+            "the app should run for days: {life_app:.0} h"
+        );
+        assert!(life_gps < 15.0, "GPS drains in hours: {life_gps:.0} h");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PhoneModel::HtcSensation.to_string(), "HTC Sensation");
+        assert_eq!(PhoneModel::NexusOne.to_string(), "Nexus One");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = htc();
+        let back: PowerModel = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,199 @@
+//! A from-scratch radix-2 FFT: the baseline the paper's earlier system used
+//! for beep detection and that §IV-D compares Goertzel against.
+
+use std::f64::consts::TAU;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over `(re, im)` pairs.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let t_re = re[b] * cur_re - im[b] * cur_im;
+                let t_im = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum of a real signal, zero-padded to the next power of two.
+/// Returns `padded_len / 2 + 1` bins; bin `k` covers frequency
+/// `k · sample_rate / padded_len`. Powers are normalized like
+/// [`crate::Goertzel::power`] so the two are directly comparable.
+#[must_use]
+pub fn power_spectrum(samples: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return vec![0.0];
+    }
+    let n = samples.len().next_power_of_two();
+    let mut re = samples.to_vec();
+    re.resize(n, 0.0);
+    let mut im = vec![0.0; n];
+    fft_in_place(&mut re, &mut im);
+    let norm = (samples.len() as f64) * (samples.len() as f64);
+    (0..=n / 2)
+        .map(|k| (re[k] * re[k] + im[k] * im[k]) / norm)
+        .collect()
+}
+
+/// The frequency of spectrum bin `k` for a given padded length.
+#[must_use]
+pub fn bin_frequency_hz(k: usize, padded_len: usize, sample_rate_hz: f64) -> f64 {
+    k as f64 * sample_rate_hz / padded_len as f64
+}
+
+/// Multiply–add operations for an `n`-point FFT: the `O(K_f·N·log N)` of
+/// §IV-D. `K_f` is taken as 5 real multiply–adds per butterfly, the
+/// standard count for radix-2.
+#[must_use]
+pub fn ops(n: usize) -> usize {
+    let padded = n.next_power_of_two();
+    let log = padded.trailing_zeros() as usize;
+    5 * padded * log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goertzel::Goertzel;
+    use proptest::prelude::*;
+
+    const SR: f64 = 8000.0;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut signal = vec![0.0; 64];
+        signal[0] = 1.0;
+        let spec = power_spectrum(&signal);
+        let expect = 1.0 / (64.0 * 64.0);
+        for &p in &spec {
+            assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        // 1000 Hz at 8 kHz with 256 samples → bin 32 exactly.
+        let signal: Vec<f64> = (0..256)
+            .map(|k| (TAU * 1000.0 * k as f64 / SR).sin())
+            .collect();
+        let spec = power_spectrum(&signal);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 32);
+        assert!((bin_frequency_hz(peak, 256, SR) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_goertzel_at_bin_frequencies() {
+        let signal: Vec<f64> = (0..256)
+            .map(|k| {
+                let t = k as f64 / SR;
+                0.6 * (TAU * 1000.0 * t).sin() + 0.4 * (TAU * 3000.0 * t + 1.0).sin()
+            })
+            .collect();
+        let spec = power_spectrum(&signal);
+        for (bin, freq) in [(32, 1000.0), (96, 3000.0)] {
+            let g = Goertzel::new(freq, SR).power(&signal);
+            // One-sided spectrum halves the power split between ±f.
+            assert!(
+                (spec[bin] - g).abs() / g < 1e-9,
+                "bin {bin}: fft {} vs goertzel {g}",
+                spec[bin]
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let signal: Vec<f64> = (0..128)
+            .map(|k| ((k * 37 + 11) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let mut re = signal.clone();
+        let mut im = vec![0.0; 128];
+        fft_in_place(&mut re, &mut im);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_pads_non_power_of_two() {
+        let signal = vec![1.0; 100];
+        let spec = power_spectrum(&signal);
+        assert_eq!(spec.len(), 128 / 2 + 1);
+    }
+
+    #[test]
+    fn empty_signal_spectrum() {
+        assert_eq!(power_spectrum(&[]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_in_place_panics() {
+        let mut re = vec![0.0; 100];
+        let mut im = vec![0.0; 100];
+        fft_in_place(&mut re, &mut im);
+    }
+
+    #[test]
+    fn fft_ops_exceed_goertzel_ops_for_few_bands() {
+        // The paper's regime: M = 2 target bands, N = 240-sample windows.
+        assert!(ops(240) > Goertzel::ops(240, 2));
+        // With very many bands, FFT wins — the crossover exists.
+        assert!(ops(240) < Goertzel::ops(240, 64));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linearity_of_spectrum(signal in proptest::collection::vec(-1.0f64..1.0, 8..200),
+                                      scale in 0.1f64..4.0) {
+            let base = power_spectrum(&signal);
+            let scaled_signal: Vec<f64> = signal.iter().map(|x| x * scale).collect();
+            let scaled = power_spectrum(&scaled_signal);
+            for (a, b) in base.iter().zip(&scaled) {
+                prop_assert!((b - a * scale * scale).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The Goertzel algorithm: power of one frequency bin without a full FFT.
+//!
+//! The paper replaces the FFT of its earlier bus-arrival system with
+//! Goertzel because the beep frequencies are known in advance: "The
+//! complexity of Goertzel algorithm is O(K_g·N·M) and that of FFT is
+//! O(K_f·N·log N) ... When the number of calculated terms M is smaller than
+//! log N, the advantage of the Goertzel algorithm is obvious" (§IV-D).
+
+use serde::{Deserialize, Serialize};
+
+/// A Goertzel filter for one target frequency at a fixed sample rate.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_mobile::Goertzel;
+///
+/// let g = Goertzel::new(1000.0, 8000.0);
+/// let tone: Vec<f64> = (0..240)
+///     .map(|k| (std::f64::consts::TAU * 1000.0 * k as f64 / 8000.0).sin())
+///     .collect();
+/// let silence = vec![0.0; 240];
+/// assert!(g.power(&tone) > 100.0 * g.power(&silence).max(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Goertzel {
+    /// Target frequency, Hz.
+    pub freq_hz: f64,
+    /// Sampling rate, Hz.
+    pub sample_rate_hz: f64,
+}
+
+impl Goertzel {
+    /// Creates a filter for `freq_hz` at `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < freq_hz < sample_rate_hz / 2` (Nyquist).
+    #[must_use]
+    pub fn new(freq_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "frequency must be positive");
+        assert!(
+            freq_hz < sample_rate_hz / 2.0,
+            "frequency must be below Nyquist"
+        );
+        Goertzel {
+            freq_hz,
+            sample_rate_hz,
+        }
+    }
+
+    /// Mean power of the target frequency over `samples` (normalized by
+    /// window length so different window sizes are comparable).
+    #[must_use]
+    pub fn power(&self, samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let n = samples.len() as f64;
+        let omega = std::f64::consts::TAU * self.freq_hz / self.sample_rate_hz;
+        let coeff = 2.0 * omega.cos();
+        let (mut s_prev, mut s_prev2) = (0.0f64, 0.0f64);
+        for &x in samples {
+            let s = x + coeff * s_prev - s_prev2;
+            s_prev2 = s_prev;
+            s_prev = s;
+        }
+        // |X(f)|² from the final filter state.
+        let power = s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+        power / (n * n)
+    }
+
+    /// Multiply–add operations to evaluate `m` frequencies over `n`
+    /// samples: the `O(K_g·N·M)` of §IV-D (one multiply–add pair per
+    /// sample per frequency, plus the constant-cost epilogue).
+    #[must_use]
+    pub fn ops(n: usize, m: usize) -> usize {
+        // 2 ops per sample (one multiply, one add/sub pair folded) + 5
+        // epilogue ops, per frequency.
+        m * (2 * n + 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::TAU;
+
+    const SR: f64 = 8000.0;
+
+    fn tone(freq: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| amp * (TAU * freq * k as f64 / SR).sin())
+            .collect()
+    }
+
+    /// Direct single-bin DFT power, the definitionally-correct reference.
+    fn dft_power(samples: &[f64], freq: f64) -> f64 {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, &s) in samples.iter().enumerate() {
+            let phase = TAU * freq * k as f64 / SR;
+            re += s * phase.cos();
+            im -= s * phase.sin();
+        }
+        (re * re + im * im) / (samples.len() as f64 * samples.len() as f64)
+    }
+
+    #[test]
+    fn matches_direct_dft() {
+        // Window of 240 samples = 30 ms at 8 kHz, the paper's window.
+        let signal: Vec<f64> = (0..240)
+            .map(|k| {
+                let t = k as f64 / SR;
+                0.7 * (TAU * 1000.0 * t).sin() + 0.3 * (TAU * 2400.0 * t + 0.5).sin()
+            })
+            .collect();
+        for f in [1000.0, 2400.0, 3000.0] {
+            let g = Goertzel::new(f, SR).power(&signal);
+            let d = dft_power(&signal, f);
+            assert!((g - d).abs() < 1e-9, "{f} Hz: goertzel {g} vs dft {d}");
+        }
+    }
+
+    #[test]
+    fn detects_target_and_rejects_off_band() {
+        let signal = tone(1000.0, 240, 1.0);
+        let on = Goertzel::new(1000.0, SR).power(&signal);
+        let off = Goertzel::new(2000.0, SR).power(&signal);
+        assert!(on > 1000.0 * off.max(1e-15), "on {on} off {off}");
+    }
+
+    #[test]
+    fn power_scales_with_amplitude_squared() {
+        let g = Goertzel::new(1000.0, SR);
+        let p1 = g.power(&tone(1000.0, 240, 1.0));
+        let p2 = g.power(&tone(1000.0, 240, 2.0));
+        assert!((p2 / p1 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        assert_eq!(Goertzel::new(1000.0, SR).power(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn above_nyquist_panics() {
+        let _ = Goertzel::new(4001.0, SR);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_freq_panics() {
+        let _ = Goertzel::new(0.0, SR);
+    }
+
+    #[test]
+    fn ops_grow_linearly_in_n_and_m() {
+        assert_eq!(Goertzel::ops(240, 2), 2 * (480 + 5));
+        assert!(Goertzel::ops(480, 2) > Goertzel::ops(240, 2));
+        assert_eq!(Goertzel::ops(240, 4), 2 * Goertzel::ops(240, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_is_non_negative(freq in 50.0f64..3900.0,
+                                      samples in proptest::collection::vec(-1.0f64..1.0, 1..400)) {
+            let p = Goertzel::new(freq, SR).power(&samples);
+            prop_assert!(p >= -1e-12);
+        }
+
+        #[test]
+        fn prop_matches_dft_on_noise(samples in proptest::collection::vec(-1.0f64..1.0, 16..300)) {
+            let f = 1234.0;
+            let g = Goertzel::new(f, SR).power(&samples);
+            let d = dft_power(&samples, f);
+            prop_assert!((g - d).abs() < 1e-9);
+        }
+    }
+}

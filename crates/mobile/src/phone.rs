@@ -1,0 +1,255 @@
+//! The integrated on-device agent: everything the paper's Android app does,
+//! behind one state machine.
+//!
+//! [`Phone`] owns the motion gate, the beep detector and the trip recorder,
+//! and enforces their interplay (§III-B): audio is only *acted on* while
+//! the accelerometer says the carrier is on a bus — rapid-train stations
+//! use the same IC-card readers, and their beeps must not start trips.
+
+use crate::beep::{BeepDetector, BeepDetectorConfig};
+use crate::motion::{MotionClassifier, VehicleClass};
+use crate::trip::{Trip, TripRecorder};
+use busprobe_cellular::CellScan;
+
+/// Configuration of the integrated agent.
+#[derive(Debug, Clone)]
+pub struct PhoneConfig {
+    /// Beep detector settings (city-specific tones).
+    pub detector: BeepDetectorConfig,
+    /// Motion gate settings.
+    pub motion: MotionClassifier,
+    /// Seconds of accelerometer history the motion gate judges.
+    pub motion_window_s: f64,
+    /// Accelerometer sampling rate, Hz.
+    pub accel_rate_hz: f64,
+}
+
+impl Default for PhoneConfig {
+    fn default() -> Self {
+        PhoneConfig {
+            detector: BeepDetectorConfig::default(),
+            motion: MotionClassifier::default(),
+            motion_window_s: 30.0,
+            accel_rate_hz: 50.0,
+        }
+    }
+}
+
+/// The on-device agent.
+///
+/// Feed it sensor streams; it emits completed [`Trip`] uploads. The caller
+/// provides the cell scan on demand (the radio is queried only at beep
+/// instants, which is what keeps Table III's power numbers low).
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_cellular::CellScan;
+/// use busprobe_mobile::{Phone, PhoneConfig};
+/// use busprobe_sensors::{AccelSynthesizer, AudioScene, AudioSynthesizer, MotionMode};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut phone = Phone::new(PhoneConfig::default());
+///
+/// // The accelerometer says "bus"...
+/// let accel = AccelSynthesizer::default().render(MotionMode::Bus, 30.0, &mut rng);
+/// phone.feed_accel(&accel);
+/// assert!(phone.motion_says_bus());
+///
+/// // ...so beeps in the cabin audio are recorded with a scan each.
+/// let audio = AudioSynthesizer::new(AudioScene::default()).render(4.0, &[2.0], &mut rng);
+/// let trips = phone.feed_audio(0.0, &audio, |_t| CellScan::new(vec![]));
+/// assert!(trips.is_empty(), "trip still open");
+/// let trip = phone.conclude(4.0 + 601.0).expect("timeout concludes");
+/// assert_eq!(trip.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Phone {
+    config: PhoneConfig,
+    detector: BeepDetector,
+    recorder: TripRecorder,
+    accel_window: std::collections::VecDeque<f64>,
+    /// Samples of audio consumed so far (drives the detector's clock).
+    audio_epoch_s: f64,
+}
+
+impl Phone {
+    /// Creates an idle phone.
+    #[must_use]
+    pub fn new(config: PhoneConfig) -> Self {
+        Phone {
+            detector: BeepDetector::new(config.detector.clone()),
+            recorder: TripRecorder::new(),
+            accel_window: std::collections::VecDeque::new(),
+            audio_epoch_s: 0.0,
+            config,
+        }
+    }
+
+    /// Feeds accelerometer magnitudes (at the configured rate); the newest
+    /// `motion_window_s` seconds decide the motion gate.
+    pub fn feed_accel(&mut self, magnitudes: &[f64]) {
+        let capacity = (self.config.motion_window_s * self.config.accel_rate_hz) as usize;
+        for &m in magnitudes {
+            if self.accel_window.len() >= capacity.max(1) {
+                self.accel_window.pop_front();
+            }
+            self.accel_window.push_back(m);
+        }
+    }
+
+    /// Whether the motion gate currently believes the carrier is on a bus.
+    /// With no accelerometer data yet, the answer is `false` (closed gate).
+    #[must_use]
+    pub fn motion_says_bus(&self) -> bool {
+        if self.accel_window.len() < (self.config.accel_rate_hz as usize).max(2) {
+            return false;
+        }
+        let window: Vec<f64> = self.accel_window.iter().copied().collect();
+        self.config.motion.classify(&window) == VehicleClass::Bus
+    }
+
+    /// Whether a trip is currently open.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_recording()
+    }
+
+    /// Feeds an audio chunk starting at wall time `start_s`. For every beep
+    /// detected *while the motion gate is open*, `scan` is invoked to
+    /// capture the cellular environment and the sample is recorded.
+    /// Returns any trip that concluded (by timeout) during this chunk.
+    pub fn feed_audio<F>(&mut self, start_s: f64, samples: &[f64], mut scan: F) -> Vec<Trip>
+    where
+        F: FnMut(f64) -> CellScan,
+    {
+        // Keep the detector's internal clock aligned to wall time.
+        self.audio_epoch_s = start_s;
+        self.detector.reset();
+        let mut finished = Vec::new();
+        let gate_open = self.motion_says_bus();
+        for offset in self.detector.process(samples) {
+            let t = self.audio_epoch_s + offset;
+            if !gate_open {
+                continue;
+            }
+            if let Some(trip) = self.recorder.record_beep(t, scan(t)) {
+                finished.push(trip);
+            }
+        }
+        // The chunk's end advances the idle timeout.
+        let end = start_s + samples.len() as f64 / self.config.detector.sample_rate_hz;
+        if let Some(trip) = self.recorder.tick(end) {
+            finished.push(trip);
+        }
+        finished
+    }
+
+    /// Advances the clock without audio (phone idle); concludes the open
+    /// trip if the timeout expired.
+    pub fn conclude(&mut self, now_s: f64) -> Option<Trip> {
+        self.recorder.tick(now_s)
+    }
+
+    /// Force-concludes the open trip (app shutdown).
+    pub fn flush(&mut self) -> Option<Trip> {
+        self.recorder.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_sensors::{AccelSynthesizer, AudioScene, AudioSynthesizer, MotionMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bus_phone(rng: &mut StdRng) -> Phone {
+        let mut phone = Phone::new(PhoneConfig::default());
+        let accel = AccelSynthesizer::default().render(MotionMode::Bus, 30.0, rng);
+        phone.feed_accel(&accel);
+        phone
+    }
+
+    #[test]
+    fn gate_closed_without_accel_data() {
+        let phone = Phone::new(PhoneConfig::default());
+        assert!(!phone.motion_says_bus());
+    }
+
+    #[test]
+    fn bus_motion_opens_gate_train_motion_closes_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut phone = Phone::new(PhoneConfig::default());
+        let synth = AccelSynthesizer::default();
+        phone.feed_accel(&synth.render(MotionMode::Bus, 30.0, &mut rng));
+        assert!(phone.motion_says_bus());
+        // A long smooth stretch (train) displaces the bus window.
+        phone.feed_accel(&synth.render(MotionMode::Train, 40.0, &mut rng));
+        assert!(!phone.motion_says_bus());
+    }
+
+    #[test]
+    fn beeps_on_a_bus_are_recorded_with_scans() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut phone = bus_phone(&mut rng);
+        let audio = AudioSynthesizer::new(AudioScene::default()).render(5.0, &[2.0, 4.0], &mut rng);
+        let mut scans = 0;
+        let finished = phone.feed_audio(100.0, &audio, |_| {
+            scans += 1;
+            CellScan::new(vec![])
+        });
+        assert!(finished.is_empty());
+        assert_eq!(scans, 2, "one scan per detected beep");
+        assert!(phone.is_recording());
+        let trip = phone.conclude(100.0 + 5.0 + 601.0).unwrap();
+        assert_eq!(trip.len(), 2);
+        assert!((trip.start_s() - 102.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn train_beeps_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut phone = Phone::new(PhoneConfig::default());
+        phone.feed_accel(&AccelSynthesizer::default().render(MotionMode::Train, 30.0, &mut rng));
+        let audio = AudioSynthesizer::new(AudioScene::default()).render(5.0, &[2.0], &mut rng);
+        let mut scans = 0;
+        let _ = phone.feed_audio(0.0, &audio, |_| {
+            scans += 1;
+            CellScan::new(vec![])
+        });
+        assert_eq!(scans, 0, "gate closed: no scans taken");
+        assert!(!phone.is_recording());
+    }
+
+    #[test]
+    fn two_rides_yield_two_trips() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut phone = bus_phone(&mut rng);
+        let synth = AudioSynthesizer::new(AudioScene::default());
+
+        let ride1 = synth.render(4.0, &[2.0], &mut rng);
+        let finished = phone.feed_audio(0.0, &ride1, |_| CellScan::new(vec![]));
+        assert!(finished.is_empty());
+
+        // Second ride 20 minutes later: feeding its audio first flushes the
+        // timed-out first trip.
+        let ride2 = synth.render(4.0, &[2.0], &mut rng);
+        let finished = phone.feed_audio(1200.0, &ride2, |_| CellScan::new(vec![]));
+        assert_eq!(finished.len(), 1, "first trip concluded by timeout");
+        let second = phone.flush().unwrap();
+        assert_eq!(second.len(), 1);
+        assert!(second.start_s() > 1200.0);
+    }
+
+    #[test]
+    fn flush_on_shutdown() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut phone = bus_phone(&mut rng);
+        let audio = AudioSynthesizer::new(AudioScene::default()).render(4.0, &[2.0], &mut rng);
+        let _ = phone.feed_audio(0.0, &audio, |_| CellScan::new(vec![]));
+        assert!(phone.flush().is_some());
+        assert!(phone.flush().is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! The trip recorder state machine and the upload format.
+//!
+//! "Once detecting the beep, the mobile phone starts recording a trip. For
+//! each thereafter detected beep event, the mobile phone attaches a
+//! timestamp and the set of visible cell tower signals ... The mobile phone
+//! concludes the current trip if no beep is detected for 10 minutes, and
+//! starts uploading another independent trip when new beeps are thereafter
+//! detected" (§III-B).
+
+use busprobe_cellular::CellScan;
+use serde::{Deserialize, Serialize};
+
+/// Idle timeout after which a trip is concluded, seconds.
+pub const TRIP_TIMEOUT_S: f64 = 600.0;
+
+/// One timestamped cellular sample inside a trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellularSample {
+    /// Seconds since the phone's epoch (any monotonic clock).
+    pub time_s: f64,
+    /// The cell towers heard at that moment, strongest first.
+    pub scan: CellScan,
+}
+
+/// One anonymous trip upload: the complete record a participant's phone
+/// sends to the backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trip {
+    /// Timestamped cellular samples, one per detected beep, time-ordered.
+    pub samples: Vec<CellularSample>,
+}
+
+impl Trip {
+    /// Time of the first sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trip (the recorder never emits one).
+    #[must_use]
+    pub fn start_s(&self) -> f64 {
+        self.samples.first().expect("trips are non-empty").time_s
+    }
+
+    /// Time of the last sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trip (the recorder never emits one).
+    #[must_use]
+    pub fn end_s(&self) -> f64 {
+        self.samples.last().expect("trips are non-empty").time_s
+    }
+
+    /// Trip duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s() - self.start_s()
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trip has no samples (never true for recorder output).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The on-phone trip recorder.
+///
+/// Feed it beeps (with the scan captured at that moment) via
+/// [`TripRecorder::record_beep`] and advance time with
+/// [`TripRecorder::tick`]; a [`Trip`] is emitted when the idle timeout
+/// expires. [`TripRecorder::flush`] force-concludes (e.g. at shutdown).
+#[derive(Debug, Clone, Default)]
+pub struct TripRecorder {
+    current: Vec<CellularSample>,
+    last_beep_s: f64,
+}
+
+impl TripRecorder {
+    /// Creates an idle recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        TripRecorder::default()
+    }
+
+    /// Whether a trip is currently being recorded.
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        !self.current.is_empty()
+    }
+
+    /// Registers a beep at `time_s` with the scan taken at that moment.
+    /// If the previous trip timed out in the meantime, it is returned.
+    ///
+    /// Out-of-order beeps (clock glitches) are tolerated by clamping to the
+    /// latest seen time.
+    pub fn record_beep(&mut self, time_s: f64, scan: CellScan) -> Option<Trip> {
+        let finished = self.tick(time_s);
+        let time_s = time_s.max(self.last_beep_s);
+        self.current.push(CellularSample { time_s, scan });
+        self.last_beep_s = time_s;
+        finished
+    }
+
+    /// Advances the clock; returns the concluded trip if the idle timeout
+    /// has expired.
+    pub fn tick(&mut self, now_s: f64) -> Option<Trip> {
+        if self.is_recording() && now_s - self.last_beep_s > TRIP_TIMEOUT_S {
+            return self.flush();
+        }
+        None
+    }
+
+    /// Force-concludes the current trip, if any.
+    pub fn flush(&mut self) -> Option<Trip> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(Trip {
+                samples: std::mem::take(&mut self.current),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan() -> CellScan {
+        CellScan::new(vec![])
+    }
+
+    #[test]
+    fn recorder_starts_idle() {
+        let mut r = TripRecorder::new();
+        assert!(!r.is_recording());
+        assert!(r.tick(1000.0).is_none());
+        assert!(r.flush().is_none());
+    }
+
+    #[test]
+    fn beeps_accumulate_into_one_trip() {
+        let mut r = TripRecorder::new();
+        assert!(r.record_beep(10.0, scan()).is_none());
+        assert!(r.record_beep(70.0, scan()).is_none());
+        assert!(r.record_beep(400.0, scan()).is_none());
+        let trip = r.flush().unwrap();
+        assert_eq!(trip.len(), 3);
+        assert_eq!(trip.start_s(), 10.0);
+        assert_eq!(trip.end_s(), 400.0);
+        assert_eq!(trip.duration_s(), 390.0);
+    }
+
+    #[test]
+    fn timeout_concludes_trip() {
+        let mut r = TripRecorder::new();
+        r.record_beep(10.0, scan());
+        // 9:59 of silence: still the same trip.
+        assert!(r.tick(10.0 + 599.0).is_none());
+        assert!(r.is_recording());
+        // Past 10 minutes: concluded.
+        let trip = r.tick(10.0 + 601.0).unwrap();
+        assert_eq!(trip.len(), 1);
+        assert!(!r.is_recording());
+    }
+
+    #[test]
+    fn beep_after_timeout_starts_new_trip() {
+        let mut r = TripRecorder::new();
+        r.record_beep(10.0, scan());
+        let finished = r.record_beep(10.0 + 700.0, scan());
+        assert_eq!(finished.unwrap().len(), 1, "old trip is emitted");
+        assert!(r.is_recording(), "new trip has begun");
+        let new_trip = r.flush().unwrap();
+        assert_eq!(new_trip.start_s(), 710.0);
+    }
+
+    #[test]
+    fn out_of_order_beep_is_clamped() {
+        let mut r = TripRecorder::new();
+        r.record_beep(100.0, scan());
+        r.record_beep(95.0, scan()); // clock glitch
+        let trip = r.flush().unwrap();
+        assert_eq!(trip.samples[1].time_s, 100.0);
+        for w in trip.samples.windows(2) {
+            assert!(w[0].time_s <= w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn trip_serde_round_trip() {
+        let trip = Trip {
+            samples: vec![
+                CellularSample {
+                    time_s: 1.0,
+                    scan: scan(),
+                },
+                CellularSample {
+                    time_s: 2.0,
+                    scan: scan(),
+                },
+            ],
+        };
+        let back: Trip = serde_json::from_str(&serde_json::to_string(&trip).unwrap()).unwrap();
+        assert_eq!(trip, back);
+    }
+}

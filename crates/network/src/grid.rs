@@ -1,0 +1,310 @@
+use crate::ids::RoadId;
+use busprobe_geo::{BBox, Point, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// Orientation of a road in the Manhattan grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadAxis {
+    /// Runs east–west (constant `y`).
+    Horizontal,
+    /// Runs north–south (constant `x`).
+    Vertical,
+}
+
+/// A two-way street in the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Road {
+    /// Road identifier.
+    pub id: RoadId,
+    /// Orientation.
+    pub axis: RoadAxis,
+    /// Grid line index along the perpendicular axis (0-based).
+    pub grid_index: usize,
+    /// Centre-line geometry.
+    pub centerline: Polyline,
+    /// Posted speed limit in metres per second (free-flow automobile speed).
+    pub speed_limit_mps: f64,
+}
+
+/// Parameters of the synthetic street grid.
+///
+/// The defaults reproduce the paper's 7 km × 4 km study region with ~500 m
+/// blocks, which yields mid-block stop spacing comparable to the real
+/// Singapore deployment (stops every 300–500 m).
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_network::GridSpec;
+///
+/// let spec = GridSpec::default();
+/// assert_eq!(spec.width_m(), 7000.0);
+/// assert_eq!(spec.height_m(), 4000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Number of blocks east–west.
+    pub cols: usize,
+    /// Number of blocks north–south.
+    pub rows: usize,
+    /// Block width in metres.
+    pub block_w: f64,
+    /// Block height in metres.
+    pub block_h: f64,
+    /// Speed limit on major (every `major_every`-th) roads, m/s.
+    pub major_speed_mps: f64,
+    /// Speed limit on minor roads, m/s.
+    pub minor_speed_mps: f64,
+    /// Every n-th grid line is a major road (≥1).
+    pub major_every: usize,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            cols: 14,
+            rows: 8,
+            block_w: 500.0,
+            block_h: 500.0,
+            // 80 km/h free flow on arterials/semi-expressways, 60 km/h on
+            // side streets: what an unobstructed taxi actually drives at
+            // night (the `a` of Eq. 3 is "average travel time of an
+            // automobile when there is little or no traffic").
+            major_speed_mps: 80.0 / 3.6,
+            minor_speed_mps: 60.0 / 3.6,
+            major_every: 3,
+        }
+    }
+}
+
+impl GridSpec {
+    /// Total east–west extent in metres.
+    #[must_use]
+    pub fn width_m(&self) -> f64 {
+        self.cols as f64 * self.block_w
+    }
+
+    /// Total north–south extent in metres.
+    #[must_use]
+    pub fn height_m(&self) -> f64 {
+        self.rows as f64 * self.block_h
+    }
+
+    /// The region covered by the grid.
+    #[must_use]
+    pub fn region(&self) -> BBox {
+        BBox::new(Point::ORIGIN, Point::new(self.width_m(), self.height_m()))
+    }
+
+    /// Position of the intersection at grid coordinates `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > cols` or `j > rows`.
+    #[must_use]
+    pub fn intersection(&self, i: usize, j: usize) -> Point {
+        assert!(i <= self.cols && j <= self.rows, "intersection out of grid");
+        Point::new(i as f64 * self.block_w, j as f64 * self.block_h)
+    }
+}
+
+/// The instantiated street grid: all roads plus lookup helpers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    spec: GridSpec,
+    roads: Vec<Road>,
+}
+
+impl Grid {
+    /// Builds a grid from explicit roads (used by the importer for real
+    /// route geometries that do not follow a lattice). The synthesized
+    /// spec covers the roads' bounding box as a single block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roads` is empty or ids are not dense.
+    #[must_use]
+    pub fn from_roads(roads: Vec<Road>) -> Self {
+        assert!(!roads.is_empty(), "need at least one road");
+        assert!(
+            roads.iter().enumerate().all(|(k, r)| r.id.index() == k),
+            "road ids must be dense"
+        );
+        let bbox = roads
+            .iter()
+            .map(|r| r.centerline.bbox())
+            .reduce(|a, b| a.expanded_to(b.min).expanded_to(b.max))
+            .expect("nonempty roads");
+        let speeds: Vec<f64> = roads.iter().map(|r| r.speed_limit_mps).collect();
+        let max_speed = speeds.iter().copied().fold(0.0f64, f64::max);
+        let min_speed = speeds.iter().copied().fold(f64::INFINITY, f64::min);
+        let spec = GridSpec {
+            cols: 1,
+            rows: 1,
+            block_w: bbox.width().max(1.0),
+            block_h: bbox.height().max(1.0),
+            major_speed_mps: max_speed,
+            minor_speed_mps: min_speed,
+            major_every: 1,
+        };
+        Grid { spec, roads }
+    }
+
+    /// Builds all horizontal and vertical roads of `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero rows/cols or `major_every == 0`.
+    #[must_use]
+    pub fn new(spec: GridSpec) -> Self {
+        assert!(
+            spec.cols >= 1 && spec.rows >= 1,
+            "grid must have at least one block"
+        );
+        assert!(spec.major_every >= 1, "major_every must be at least 1");
+        let mut roads = Vec::with_capacity(spec.rows + spec.cols + 2);
+        let mut next_id = 0u32;
+        for j in 0..=spec.rows {
+            let y = j as f64 * spec.block_h;
+            let speed = if j % spec.major_every == 0 {
+                spec.major_speed_mps
+            } else {
+                spec.minor_speed_mps
+            };
+            roads.push(Road {
+                id: RoadId(next_id),
+                axis: RoadAxis::Horizontal,
+                grid_index: j,
+                centerline: Polyline::segment(Point::new(0.0, y), Point::new(spec.width_m(), y))
+                    .expect("valid road segment"),
+                speed_limit_mps: speed,
+            });
+            next_id += 1;
+        }
+        for i in 0..=spec.cols {
+            let x = i as f64 * spec.block_w;
+            let speed = if i % spec.major_every == 0 {
+                spec.major_speed_mps
+            } else {
+                spec.minor_speed_mps
+            };
+            roads.push(Road {
+                id: RoadId(next_id),
+                axis: RoadAxis::Vertical,
+                grid_index: i,
+                centerline: Polyline::segment(Point::new(x, 0.0), Point::new(x, spec.height_m()))
+                    .expect("valid road segment"),
+                speed_limit_mps: speed,
+            });
+            next_id += 1;
+        }
+        Grid { spec, roads }
+    }
+
+    /// The grid parameters.
+    #[must_use]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// All roads, horizontal first then vertical.
+    #[must_use]
+    pub fn roads(&self) -> &[Road] {
+        &self.roads
+    }
+
+    /// The horizontal road at grid line `j`.
+    #[must_use]
+    pub fn horizontal(&self, j: usize) -> &Road {
+        &self.roads[j]
+    }
+
+    /// The vertical road at grid line `i`.
+    #[must_use]
+    pub fn vertical(&self, i: usize) -> &Road {
+        &self.roads[self.spec.rows + 1 + i]
+    }
+
+    /// Total number of undirected block edges (road pieces between adjacent
+    /// intersections) in the grid. Used for coverage statistics.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        (self.spec.rows + 1) * self.spec.cols + (self.spec.cols + 1) * self.spec.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_paper_region() {
+        let spec = GridSpec::default();
+        assert_eq!(spec.width_m(), 7000.0);
+        assert_eq!(spec.height_m(), 4000.0);
+        assert_eq!(spec.region().area(), 28.0e6);
+    }
+
+    #[test]
+    fn grid_builds_all_roads() {
+        let grid = Grid::new(GridSpec::default());
+        // rows+1 horizontal + cols+1 vertical.
+        assert_eq!(grid.roads().len(), 9 + 15);
+    }
+
+    #[test]
+    fn horizontal_and_vertical_lookup() {
+        let grid = Grid::new(GridSpec::default());
+        let h = grid.horizontal(2);
+        assert_eq!(h.axis, RoadAxis::Horizontal);
+        assert_eq!(h.grid_index, 2);
+        assert_eq!(h.centerline.start().y, 1000.0);
+        let v = grid.vertical(3);
+        assert_eq!(v.axis, RoadAxis::Vertical);
+        assert_eq!(v.centerline.start().x, 1500.0);
+    }
+
+    #[test]
+    fn major_roads_are_faster() {
+        let grid = Grid::new(GridSpec::default());
+        assert_eq!(grid.horizontal(0).speed_limit_mps, 80.0 / 3.6);
+        assert_eq!(grid.horizontal(1).speed_limit_mps, 60.0 / 3.6);
+        assert_eq!(grid.horizontal(3).speed_limit_mps, 80.0 / 3.6);
+    }
+
+    #[test]
+    fn intersection_positions() {
+        let spec = GridSpec::default();
+        assert_eq!(spec.intersection(0, 0), Point::ORIGIN);
+        assert_eq!(spec.intersection(2, 1), Point::new(1000.0, 500.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn intersection_out_of_range_panics() {
+        let _ = GridSpec::default().intersection(99, 0);
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let grid = Grid::new(GridSpec {
+            cols: 2,
+            rows: 1,
+            ..GridSpec::default()
+        });
+        // 2 horizontal lines × 2 edges + 3 vertical lines × 1 edge = 7.
+        assert_eq!(grid.edge_count(), 7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let grid = Grid::new(GridSpec {
+            cols: 2,
+            rows: 2,
+            ..GridSpec::default()
+        });
+        let back: Grid = serde_json::from_str(&serde_json::to_string(&grid).unwrap()).unwrap();
+        assert_eq!(grid.spec(), back.spec());
+        assert_eq!(grid.roads().len(), back.roads().len());
+    }
+}

@@ -1,0 +1,130 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw numeric index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a *logical* bus-stop location ([`crate::StopSite`]).
+    ///
+    /// The paper aggregates the two kerbside stops on opposite sides of a
+    /// two-way road into one location reference; this id names that
+    /// aggregate.
+    StopSiteId,
+    "site-"
+);
+
+id_type!(
+    /// Identifier of a *physical*, side-specific bus stop ([`crate::BusStop`]).
+    StopId,
+    "stop-"
+);
+
+id_type!(
+    /// Identifier of a bus route ([`crate::BusRoute`]).
+    RouteId,
+    "route-"
+);
+
+id_type!(
+    /// Identifier of a road in the street grid ([`crate::Road`]).
+    RoadId,
+    "road-"
+);
+
+/// Key of a directed road segment between two consecutive logical stops.
+///
+/// Traffic conditions are estimated and published per `SegmentKey`
+/// (§III-D): the bus moving direction, recovered from trip timestamps,
+/// "maps the traffic estimation to the correct side of the road".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentKey {
+    /// Upstream logical stop.
+    pub from: StopSiteId,
+    /// Downstream logical stop.
+    pub to: StopSiteId,
+}
+
+impl SegmentKey {
+    /// Creates a key from upstream to downstream stop.
+    #[must_use]
+    pub const fn new(from: StopSiteId, to: StopSiteId) -> Self {
+        SegmentKey { from, to }
+    }
+
+    /// The same road segment traversed in the opposite direction.
+    #[must_use]
+    pub const fn reversed(self) -> Self {
+        SegmentKey {
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+impl fmt::Display for SegmentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(StopSiteId(3).to_string(), "site-3");
+        assert_eq!(StopId(7).to_string(), "stop-7");
+        assert_eq!(RouteId(0).to_string(), "route-0");
+        assert_eq!(RoadId(12).to_string(), "road-12");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(StopSiteId(1) < StopSiteId(2));
+        assert_eq!(StopSiteId::from(5).index(), 5);
+    }
+
+    #[test]
+    fn segment_key_reversal_is_involutive() {
+        let k = SegmentKey::new(StopSiteId(1), StopSiteId(2));
+        assert_eq!(k.reversed().reversed(), k);
+        assert_ne!(k.reversed(), k);
+        assert_eq!(k.to_string(), "site-1->site-2");
+    }
+
+    #[test]
+    fn segment_key_serde_round_trip() {
+        let k = SegmentKey::new(StopSiteId(4), StopSiteId(9));
+        let back: SegmentKey = serde_json::from_str(&serde_json::to_string(&k).unwrap()).unwrap();
+        assert_eq!(k, back);
+    }
+}

@@ -1,0 +1,258 @@
+use crate::ids::{RouteId, SegmentKey, StopId, StopSiteId};
+use busprobe_geo::Polyline;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled stop on a route: which physical stop, which logical site,
+/// and how far along the route geometry it sits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteStop {
+    /// Physical (side-specific) stop served.
+    pub stop: StopId,
+    /// Logical location of the stop.
+    pub site: StopSiteId,
+    /// Arc-length of the stop along [`BusRoute::path`], metres from the
+    /// route origin. Strictly increasing along the stop list.
+    pub offset: f64,
+}
+
+/// A bus route: fixed geometry plus an ordered stop sequence.
+///
+/// "The inherent constraint of bus operation provides us a unique angle,
+/// i.e., buses strictly follow determined routes and stop at known bus
+/// stops" (§III-A). The backend relies on exactly two properties encoded
+/// here: stop *order* and inter-stop segment *lengths*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusRoute {
+    /// Route identifier.
+    pub id: RouteId,
+    /// Service name riders would know, e.g. `"79"`.
+    pub name: String,
+    /// Route geometry from first to last stop's road.
+    pub path: Polyline,
+    /// Ordered stops; `stops[k].offset` strictly increases with `k`.
+    stops: Vec<RouteStop>,
+}
+
+impl BusRoute {
+    /// Assembles a route, validating the stop ordering invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 stops are given, if offsets are not strictly
+    /// increasing, or if an offset exceeds the path length.
+    #[must_use]
+    pub fn new(id: RouteId, name: String, path: Polyline, stops: Vec<RouteStop>) -> Self {
+        assert!(stops.len() >= 2, "a route must serve at least two stops");
+        let len = path.length();
+        for w in stops.windows(2) {
+            assert!(
+                w[0].offset < w[1].offset,
+                "route stop offsets must strictly increase ({} !< {})",
+                w[0].offset,
+                w[1].offset
+            );
+        }
+        assert!(
+            stops
+                .iter()
+                .all(|s| s.offset >= 0.0 && s.offset <= len + 1e-6),
+            "stop offset outside route path"
+        );
+        BusRoute {
+            id,
+            name,
+            path,
+            stops,
+        }
+    }
+
+    /// The ordered stop list.
+    #[must_use]
+    pub fn stops(&self) -> &[RouteStop] {
+        &self.stops
+    }
+
+    /// Number of stops served.
+    #[must_use]
+    pub fn stop_count(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// End-to-end route length in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.path.length()
+    }
+
+    /// Position of stop index `k` in the stop list, if in range.
+    #[must_use]
+    pub fn stop_at(&self, k: usize) -> Option<&RouteStop> {
+        self.stops.get(k)
+    }
+
+    /// Index of `site` within this route's stop list, if served.
+    #[must_use]
+    pub fn position_of(&self, site: StopSiteId) -> Option<usize> {
+        self.stops.iter().position(|s| s.site == site)
+    }
+
+    /// Whether this route serves `site`.
+    #[must_use]
+    pub fn serves(&self, site: StopSiteId) -> bool {
+        self.position_of(site).is_some()
+    }
+
+    /// Directed segment keys between consecutive stops, in travel order.
+    pub fn segment_keys(&self) -> impl Iterator<Item = SegmentKey> + '_ {
+        self.stops
+            .windows(2)
+            .map(|w| SegmentKey::new(w[0].site, w[1].site))
+    }
+
+    /// Distance along the route between the stops at indices `from` and
+    /// `to` in the stop list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `from > to`.
+    #[must_use]
+    pub fn distance_between(&self, from: usize, to: usize) -> f64 {
+        assert!(from <= to, "stop indices out of order");
+        self.stops[to].offset - self.stops[from].offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_geo::Point;
+
+    fn straight_route() -> BusRoute {
+        let path = Polyline::segment(Point::new(0.0, 0.0), Point::new(2000.0, 0.0)).unwrap();
+        BusRoute::new(
+            RouteId(0),
+            "79".into(),
+            path,
+            vec![
+                RouteStop {
+                    stop: StopId(0),
+                    site: StopSiteId(0),
+                    offset: 250.0,
+                },
+                RouteStop {
+                    stop: StopId(1),
+                    site: StopSiteId(1),
+                    offset: 750.0,
+                },
+                RouteStop {
+                    stop: StopId(2),
+                    site: StopSiteId(2),
+                    offset: 1250.0,
+                },
+                RouteStop {
+                    stop: StopId(3),
+                    site: StopSiteId(3),
+                    offset: 1750.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn route_accessors() {
+        let r = straight_route();
+        assert_eq!(r.stop_count(), 4);
+        assert_eq!(r.length(), 2000.0);
+        assert_eq!(r.stop_at(1).unwrap().site, StopSiteId(1));
+        assert!(r.stop_at(4).is_none());
+        assert_eq!(r.position_of(StopSiteId(2)), Some(2));
+        assert!(r.serves(StopSiteId(3)));
+        assert!(!r.serves(StopSiteId(9)));
+    }
+
+    #[test]
+    fn segment_keys_follow_travel_order() {
+        let r = straight_route();
+        let keys: Vec<_> = r.segment_keys().collect();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[0], SegmentKey::new(StopSiteId(0), StopSiteId(1)));
+        assert_eq!(keys[2], SegmentKey::new(StopSiteId(2), StopSiteId(3)));
+    }
+
+    #[test]
+    fn distance_between_stops() {
+        let r = straight_route();
+        assert_eq!(r.distance_between(0, 2), 1000.0);
+        assert_eq!(r.distance_between(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_offsets_panic() {
+        let path = Polyline::segment(Point::new(0.0, 0.0), Point::new(1000.0, 0.0)).unwrap();
+        let _ = BusRoute::new(
+            RouteId(0),
+            "x".into(),
+            path,
+            vec![
+                RouteStop {
+                    stop: StopId(0),
+                    site: StopSiteId(0),
+                    offset: 500.0,
+                },
+                RouteStop {
+                    stop: StopId(1),
+                    site: StopSiteId(1),
+                    offset: 500.0,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stops")]
+    fn single_stop_route_panics() {
+        let path = Polyline::segment(Point::new(0.0, 0.0), Point::new(1000.0, 0.0)).unwrap();
+        let _ = BusRoute::new(
+            RouteId(0),
+            "x".into(),
+            path,
+            vec![RouteStop {
+                stop: StopId(0),
+                site: StopSiteId(0),
+                offset: 500.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside route path")]
+    fn offset_beyond_path_panics() {
+        let path = Polyline::segment(Point::new(0.0, 0.0), Point::new(1000.0, 0.0)).unwrap();
+        let _ = BusRoute::new(
+            RouteId(0),
+            "x".into(),
+            path,
+            vec![
+                RouteStop {
+                    stop: StopId(0),
+                    site: StopSiteId(0),
+                    offset: 100.0,
+                },
+                RouteStop {
+                    stop: StopId(1),
+                    site: StopSiteId(1),
+                    offset: 5000.0,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = straight_route();
+        let back: BusRoute = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(r.id, back.id);
+        assert_eq!(r.stops(), back.stops());
+    }
+}

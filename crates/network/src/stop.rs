@@ -1,0 +1,146 @@
+use crate::ids::{RoadId, StopId, StopSiteId};
+use busprobe_geo::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Travel direction over a road, defining which kerbside stop a bus serves.
+///
+/// `Increasing` means travel toward growing `x` (horizontal roads) or
+/// growing `y` (vertical roads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TravelDirection {
+    /// Toward increasing coordinate along the road axis.
+    Increasing,
+    /// Toward decreasing coordinate along the road axis.
+    Decreasing,
+}
+
+impl TravelDirection {
+    /// The opposite direction.
+    #[must_use]
+    pub const fn opposite(self) -> Self {
+        match self {
+            TravelDirection::Increasing => TravelDirection::Decreasing,
+            TravelDirection::Decreasing => TravelDirection::Increasing,
+        }
+    }
+}
+
+impl fmt::Display for TravelDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TravelDirection::Increasing => write!(f, "+"),
+            TravelDirection::Decreasing => write!(f, "-"),
+        }
+    }
+}
+
+/// A *logical* bus-stop location: a named place on a road's centre line.
+///
+/// A two-way road has up to two physical [`BusStop`]s at a site, one per
+/// kerbside. The paper treats the opposite-side pair as one location
+/// reference when matching fingerprints ("In terms of location reference,
+/// they can be treated as the same bus stop", §III-A) and recovers the
+/// travelled side from trip timestamps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StopSite {
+    /// Logical identifier.
+    pub id: StopSiteId,
+    /// Human-readable name, e.g. `"S042"`.
+    pub name: String,
+    /// Location on the road centre line.
+    pub position: Point,
+    /// The road the site sits on.
+    pub road: RoadId,
+    /// Physical stop serving `Increasing` travel, if any route uses it.
+    pub stop_increasing: Option<StopId>,
+    /// Physical stop serving `Decreasing` travel, if any route uses it.
+    pub stop_decreasing: Option<StopId>,
+}
+
+impl StopSite {
+    /// Physical stop for travel in `dir`, if one exists.
+    #[must_use]
+    pub fn stop_for(&self, dir: TravelDirection) -> Option<StopId> {
+        match dir {
+            TravelDirection::Increasing => self.stop_increasing,
+            TravelDirection::Decreasing => self.stop_decreasing,
+        }
+    }
+
+    /// Iterator over the physical stops present at this site (0, 1 or 2).
+    pub fn stops(&self) -> impl Iterator<Item = StopId> + '_ {
+        self.stop_increasing.into_iter().chain(self.stop_decreasing)
+    }
+}
+
+/// A *physical*, side-specific bus stop: where a bus actually pulls in and
+/// where IC-card beeps (and hence cellular samples) are produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusStop {
+    /// Physical identifier.
+    pub id: StopId,
+    /// The logical site this stop belongs to.
+    pub site: StopSiteId,
+    /// Kerbside position (offset from the centre line).
+    pub position: Point,
+    /// Travel direction served.
+    pub direction: TravelDirection,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> StopSite {
+        StopSite {
+            id: StopSiteId(1),
+            name: "S001".into(),
+            position: Point::new(250.0, 0.0),
+            road: RoadId(0),
+            stop_increasing: Some(StopId(10)),
+            stop_decreasing: None,
+        }
+    }
+
+    #[test]
+    fn direction_opposite_is_involutive() {
+        assert_eq!(
+            TravelDirection::Increasing.opposite(),
+            TravelDirection::Decreasing
+        );
+        assert_eq!(
+            TravelDirection::Increasing.opposite().opposite(),
+            TravelDirection::Increasing
+        );
+    }
+
+    #[test]
+    fn stop_for_direction() {
+        let s = site();
+        assert_eq!(s.stop_for(TravelDirection::Increasing), Some(StopId(10)));
+        assert_eq!(s.stop_for(TravelDirection::Decreasing), None);
+    }
+
+    #[test]
+    fn stops_iterates_present_sides() {
+        let mut s = site();
+        assert_eq!(s.stops().count(), 1);
+        s.stop_decreasing = Some(StopId(11));
+        let ids: Vec<_> = s.stops().collect();
+        assert_eq!(ids, vec![StopId(10), StopId(11)]);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(TravelDirection::Increasing.to_string(), "+");
+        assert_eq!(TravelDirection::Decreasing.to_string(), "-");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = site();
+        let back: StopSite = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

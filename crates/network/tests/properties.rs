@@ -1,0 +1,177 @@
+//! Property tests of the network generator and the derived relations, over
+//! many seeds: these are the invariants the backend silently relies on.
+
+use busprobe_network::{NetworkGenerator, TransitNetwork};
+use proptest::prelude::*;
+
+fn generated(seed: u64) -> TransitNetwork {
+    NetworkGenerator::small(seed).generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Route stop offsets strictly increase and stay within the path.
+    #[test]
+    fn prop_route_offsets_are_monotone(seed in 0u64..500) {
+        let n = generated(seed);
+        for route in n.routes() {
+            let len = route.length();
+            for w in route.stops().windows(2) {
+                prop_assert!(w[0].offset < w[1].offset);
+            }
+            for rs in route.stops() {
+                prop_assert!(rs.offset >= 0.0 && rs.offset <= len + 1e-6);
+            }
+        }
+    }
+
+    /// `follows` is transitive along each single route.
+    #[test]
+    fn prop_follows_is_transitive_on_routes(seed in 0u64..500) {
+        let n = generated(seed);
+        for route in n.routes() {
+            let stops = route.stops();
+            for i in 0..stops.len() {
+                for j in i + 1..stops.len() {
+                    prop_assert!(
+                        n.follows(stops[i].site, stops[j].site),
+                        "stop {i} must precede stop {j} on route {}",
+                        route.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every consecutive stop pair of every route is in the segment
+    /// registry, and the registry holds nothing else.
+    #[test]
+    fn prop_segments_cover_exactly_route_pairs(seed in 0u64..500) {
+        let n = generated(seed);
+        let mut expected = std::collections::BTreeSet::new();
+        for route in n.routes() {
+            for key in route.segment_keys() {
+                expected.insert(key);
+                prop_assert!(n.segment(key).is_some());
+            }
+        }
+        prop_assert_eq!(n.segment_count(), expected.len());
+    }
+
+    /// Segment lengths are positive and physically plausible for a grid of
+    /// 500 m blocks (one block, or a corner at most a few blocks).
+    #[test]
+    fn prop_segment_lengths_plausible(seed in 0u64..500) {
+        let n = generated(seed);
+        for seg in n.segments() {
+            prop_assert!(seg.length_m > 0.0);
+            prop_assert!(seg.length_m <= 3000.0, "{} is {} m", seg.key, seg.length_m);
+            prop_assert!(seg.free_speed_mps > 0.0);
+        }
+    }
+
+    /// segment_chain endpoints match the query and chain links are
+    /// contiguous.
+    #[test]
+    fn prop_segment_chain_is_contiguous(seed in 0u64..200) {
+        let n = generated(seed);
+        let route = &n.routes()[0];
+        let stops = route.stops();
+        for i in 0..stops.len().min(6) {
+            for j in i + 1..stops.len().min(6) {
+                let chain = n
+                    .segment_chain(stops[i].site, stops[j].site)
+                    .expect("same route must be chainable");
+                prop_assert_eq!(chain.first().unwrap().from, stops[i].site);
+                prop_assert_eq!(chain.last().unwrap().to, stops[j].site);
+                for w in chain.windows(2) {
+                    prop_assert_eq!(w[0].to, w[1].from);
+                }
+                // The chain is never longer than the direct index distance.
+                prop_assert!(chain.len() <= j - i);
+            }
+        }
+    }
+
+    /// site_distance is additive along a route prefix (chains through the
+    /// same route compose).
+    #[test]
+    fn prop_site_distance_upper_bounds(seed in 0u64..200) {
+        let n = generated(seed);
+        let route = &n.routes()[0];
+        let stops = route.stops();
+        if stops.len() >= 3 {
+            let d02 = n.site_distance(stops[0].site, stops[2].site).unwrap();
+            // Direct distance never exceeds the route's own stop spacing sum.
+            let route_d = route.distance_between(0, 2);
+            prop_assert!(d02 <= route_d + 1e-6);
+        }
+    }
+
+    /// Every physical stop's site back-reference is consistent.
+    #[test]
+    fn prop_stop_site_back_references(seed in 0u64..500) {
+        let n = generated(seed);
+        for stop in n.stops() {
+            let site = n.site(stop.site);
+            prop_assert_eq!(site.stop_for(stop.direction), Some(stop.id));
+        }
+        for site in n.sites() {
+            for stop_id in site.stops() {
+                prop_assert_eq!(n.stop(stop_id).site, site.id);
+            }
+        }
+    }
+
+    /// The network JSON round-trips with the derived `follows` relation
+    /// intact, for arbitrary seeds.
+    #[test]
+    fn prop_serde_preserves_follows(seed in 0u64..50) {
+        let n = generated(seed);
+        let back: TransitNetwork =
+            serde_json::from_str(&serde_json::to_string(&n).unwrap()).unwrap();
+        for route in n.routes() {
+            let stops = route.stops();
+            for w in stops.windows(2) {
+                prop_assert!(back.follows(w[0].site, w[1].site));
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_region_reaches_paper_statistics_across_seeds() {
+    // Not one lucky seed: the region statistics hold for a whole seed range.
+    for seed in 0..10 {
+        let n = NetworkGenerator::paper_region(seed).generate();
+        assert_eq!(n.routes().len(), 8);
+        assert!(
+            n.sites().len() >= 60,
+            "seed {seed}: {} sites",
+            n.sites().len()
+        );
+        let cov = n.coverage();
+        assert!(
+            cov.ratio_1() > 0.3,
+            "seed {seed}: coverage {:.2}",
+            cov.ratio_1()
+        );
+        assert!(
+            cov.ratio_2() > 0.05,
+            "seed {seed}: 2-route coverage {:.2}",
+            cov.ratio_2()
+        );
+    }
+}
+
+#[test]
+fn reversed_segment_exists_only_with_reverse_service() {
+    let n = generated(77);
+    for seg in n.segments() {
+        if let Some(rev) = n.segment(seg.key.reversed()) {
+            // If both directions exist they describe the same road piece.
+            assert!((rev.length_m - seg.length_m).abs() < 1e-6);
+        }
+    }
+}

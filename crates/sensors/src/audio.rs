@@ -1,0 +1,297 @@
+//! Synthesis of IC-card beep audio in bus cabin noise.
+//!
+//! Singapore's EZ-link readers emit "a combination of 1 kHz and 3 kHz audio
+//! signals", London's Oyster readers 2.4 kHz (§III-B). The phone records at
+//! 8 kHz and looks for those bands with the Goertzel algorithm. The
+//! synthesizer produces exactly that situation: tonal beeps with an
+//! attack/decay envelope on top of engine hum, broadband cabin noise and
+//! occasional interfering chirps.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Spectral definition of a card-reader beep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeepSpec {
+    /// Pure tones composing the beep, Hz.
+    pub tones_hz: Vec<f64>,
+    /// Beep duration, seconds.
+    pub duration_s: f64,
+    /// Peak amplitude (linear, 1.0 = full scale).
+    pub amplitude: f64,
+}
+
+impl BeepSpec {
+    /// Singapore EZ-link: 1 kHz + 3 kHz dual tone.
+    #[must_use]
+    pub fn ez_link() -> Self {
+        BeepSpec {
+            tones_hz: vec![1000.0, 3000.0],
+            duration_s: 0.12,
+            amplitude: 0.45,
+        }
+    }
+
+    /// London Oyster: single 2.4 kHz tone.
+    #[must_use]
+    pub fn oyster() -> Self {
+        BeepSpec {
+            tones_hz: vec![2400.0],
+            duration_s: 0.10,
+            amplitude: 0.45,
+        }
+    }
+}
+
+/// Ambient/beep mix parameters for one recording scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioScene {
+    /// Card reader characteristics.
+    pub beep: BeepSpec,
+    /// Standard deviation of broadband cabin noise (linear amplitude).
+    pub noise_level: f64,
+    /// Amplitude of the low-frequency engine hum.
+    pub hum_level: f64,
+    /// Rate of random interfering chirps (tones at arbitrary frequencies),
+    /// events per second. Exercise for false-positive robustness.
+    pub chirp_rate_hz: f64,
+}
+
+impl Default for AudioScene {
+    fn default() -> Self {
+        AudioScene {
+            beep: BeepSpec::ez_link(),
+            noise_level: 0.05,
+            hum_level: 0.08,
+            chirp_rate_hz: 0.05,
+        }
+    }
+}
+
+/// Generates 8 kHz mono waveforms for a scene.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_sensors::{AudioScene, AudioSynthesizer};
+/// use rand::SeedableRng;
+///
+/// let synth = AudioSynthesizer::new(AudioScene::default());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Two seconds of cabin audio with one tap 0.8 s in.
+/// let samples = synth.render(2.0, &[0.8], &mut rng);
+/// assert_eq!(samples.len(), 16_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AudioSynthesizer {
+    scene: AudioScene,
+    sample_rate_hz: f64,
+}
+
+impl AudioSynthesizer {
+    /// Standard phone recording rate used by the paper's app (§IV-D).
+    pub const SAMPLE_RATE_HZ: f64 = 8000.0;
+
+    /// Creates a synthesizer for `scene` at the standard 8 kHz rate.
+    #[must_use]
+    pub fn new(scene: AudioScene) -> Self {
+        AudioSynthesizer {
+            scene,
+            sample_rate_hz: Self::SAMPLE_RATE_HZ,
+        }
+    }
+
+    /// The configured scene.
+    #[must_use]
+    pub fn scene(&self) -> &AudioScene {
+        &self.scene
+    }
+
+    /// Sampling rate in Hz.
+    #[must_use]
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Renders `duration_s` seconds of audio containing card-reader beeps
+    /// starting at the given offsets (seconds from window start).
+    ///
+    /// Beeps partially outside the window are clipped, not dropped.
+    #[must_use]
+    pub fn render<R: Rng + ?Sized>(
+        &self,
+        duration_s: f64,
+        beep_offsets_s: &[f64],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let n = (duration_s * self.sample_rate_hz).round() as usize;
+        let dt = 1.0 / self.sample_rate_hz;
+        let mut samples = vec![0.0f64; n];
+
+        // Broadband cabin noise.
+        for s in &mut samples {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            *s = self.scene.noise_level * (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+        }
+
+        // Engine hum: two low-frequency partials with slow wobble.
+        let hum_phase: f64 = rng.gen_range(0.0..TAU);
+        for (k, s) in samples.iter_mut().enumerate() {
+            let t = k as f64 * dt;
+            *s += self.scene.hum_level
+                * ((TAU * 87.0 * t + hum_phase).sin() + 0.5 * (TAU * 173.0 * t).sin());
+        }
+
+        // Interfering chirps: short tones at random frequencies (phone
+        // notification sounds, door chimes...). They must NOT be at the
+        // beep frequencies' exact pair to be fair test material.
+        let expected_chirps = self.scene.chirp_rate_hz * duration_s;
+        let n_chirps = (expected_chirps.floor() as usize)
+            + usize::from(rng.gen_range(0.0..1.0) < expected_chirps.fract());
+        for _ in 0..n_chirps {
+            let f = rng.gen_range(400.0..3600.0);
+            let start = rng.gen_range(0.0..duration_s);
+            self.add_tone(&mut samples, f, start, 0.08, 0.25);
+        }
+
+        // The actual beeps.
+        for &offset in beep_offsets_s {
+            for &f in &self.scene.beep.tones_hz {
+                self.add_tone(
+                    &mut samples,
+                    f,
+                    offset,
+                    self.scene.beep.duration_s,
+                    self.scene.beep.amplitude / self.scene.beep.tones_hz.len() as f64,
+                );
+            }
+        }
+        samples
+    }
+
+    /// Adds an enveloped tone starting at `start_s`.
+    fn add_tone(&self, samples: &mut [f64], freq_hz: f64, start_s: f64, dur_s: f64, amp: f64) {
+        let sr = self.sample_rate_hz;
+        let first = (start_s * sr).floor().max(0.0) as usize;
+        let last = (((start_s + dur_s) * sr).ceil() as usize).min(samples.len());
+        for (k, s) in samples.iter_mut().enumerate().take(last).skip(first) {
+            let t = k as f64 / sr - start_s;
+            // 5 ms attack, linear decay: roughly what piezo beepers emit.
+            let env = (t / 0.005).min(1.0) * (1.0 - t / dur_s).max(0.0);
+            *s += amp * env * (TAU * freq_hz * t).sin();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Single-bin DFT power at `freq` — a reference Goertzel for tests.
+    fn band_power(samples: &[f64], freq: f64, sr: f64) -> f64 {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (k, &s) in samples.iter().enumerate() {
+            let phase = TAU * freq * k as f64 / sr;
+            re += s * phase.cos();
+            im -= s * phase.sin();
+        }
+        (re * re + im * im) / samples.len() as f64
+    }
+
+    #[test]
+    fn render_length_matches_duration() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(synth.render(0.5, &[], &mut rng).len(), 4000);
+    }
+
+    #[test]
+    fn beep_raises_power_at_beep_frequencies() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let sr = synth.sample_rate_hz();
+        let quiet = synth.render(0.2, &[], &mut rng);
+        let beeped = synth.render(0.2, &[0.04], &mut rng);
+        for f in [1000.0, 3000.0] {
+            let p_quiet = band_power(&quiet, f, sr);
+            let p_beep = band_power(&beeped, f, sr);
+            assert!(
+                p_beep > 10.0 * p_quiet,
+                "beep should dominate at {f} Hz: {p_beep} vs {p_quiet}"
+            );
+        }
+    }
+
+    #[test]
+    fn beep_does_not_raise_unrelated_bands() {
+        let synth = AudioSynthesizer::new(AudioScene {
+            chirp_rate_hz: 0.0,
+            ..AudioScene::default()
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let sr = synth.sample_rate_hz();
+        let quiet = synth.render(0.2, &[], &mut rng);
+        let beeped = synth.render(0.2, &[0.04], &mut rng);
+        let p_quiet = band_power(&quiet, 2000.0, sr);
+        let p_beep = band_power(&beeped, 2000.0, sr);
+        assert!(
+            p_beep < 20.0 * p_quiet.max(1e-9),
+            "2 kHz stays near noise floor"
+        );
+    }
+
+    #[test]
+    fn oyster_beep_is_single_tone() {
+        let scene = AudioScene {
+            beep: BeepSpec::oyster(),
+            chirp_rate_hz: 0.0,
+            ..AudioScene::default()
+        };
+        let synth = AudioSynthesizer::new(scene);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sr = synth.sample_rate_hz();
+        let beeped = synth.render(0.2, &[0.04], &mut rng);
+        let quiet = synth.render(0.2, &[], &mut rng);
+        assert!(band_power(&beeped, 2400.0, sr) > 10.0 * band_power(&quiet, 2400.0, sr));
+        // The EZ-link pair is NOT excited.
+        assert!(band_power(&beeped, 1000.0, sr) < 20.0 * band_power(&quiet, 1000.0, sr).max(1e-9));
+    }
+
+    #[test]
+    fn beep_clipped_at_window_edge_is_partial() {
+        let synth = AudioSynthesizer::new(AudioScene {
+            noise_level: 0.0,
+            hum_level: 0.0,
+            chirp_rate_hz: 0.0,
+            ..AudioScene::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        // Beep starts 20 ms before the window ends.
+        let samples = synth.render(0.2, &[0.18], &mut rng);
+        let tail_energy: f64 = samples[1440..].iter().map(|s| s * s).sum();
+        assert!(tail_energy > 0.0, "clipped beep still contributes energy");
+    }
+
+    #[test]
+    fn amplitude_is_bounded() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples = synth.render(1.0, &[0.1, 0.5, 0.9], &mut rng);
+        assert!(
+            samples.iter().all(|s| s.abs() < 1.5),
+            "no absurd amplitudes"
+        );
+    }
+
+    #[test]
+    fn render_is_seeded() {
+        let synth = AudioSynthesizer::new(AudioScene::default());
+        let a = synth.render(0.1, &[0.02], &mut StdRng::seed_from_u64(7));
+        let b = synth.render(0.1, &[0.02], &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

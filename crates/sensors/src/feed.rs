@@ -1,0 +1,121 @@
+//! Bridge from simulated rider trips to phone observations.
+//!
+//! A participant's phone, once it detects it is on a bus, attaches "a
+//! timestamp and the set of visible cell tower signals" to *every* beep it
+//! hears — its owner's tap and every other passenger's (§III-B: "there are
+//! usually a number of passengers boarding and alighting giving multiple
+//! beeps, and multiple cellular samples are taken"). This module replays a
+//! simulated bus run from a rider's perspective and produces exactly those
+//! timestamped scans.
+
+use busprobe_cellular::{CellScan, Scanner};
+use busprobe_sim::{RiderTrip, SimOutput, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One timestamped cellular sample captured on a beep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiderObservation {
+    /// When the beep (and scan) happened.
+    pub time: SimTime,
+    /// The cell scan captured at that moment.
+    pub scan: CellScan,
+}
+
+/// Produces the cellular samples a participant's phone records during
+/// `trip`: one scan per beep heard on the bus between the rider's own
+/// boarding tap and alighting tap (inclusive).
+///
+/// The scan is taken at the bus's true position with fresh measurement
+/// noise — the phone is wherever the bus is.
+#[must_use]
+pub fn trip_observations<R: Rng + ?Sized>(
+    trip: &RiderTrip,
+    output: &SimOutput,
+    scanner: &Scanner,
+    rng: &mut R,
+) -> Vec<RiderObservation> {
+    output
+        .beeps_on(trip.bus, trip.board_time, trip.alight_time)
+        .map(|beep| RiderObservation {
+            time: beep.time,
+            scan: scanner.scan(beep.position, rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_cellular::{DeploymentSpec, PropagationModel, TowerDeployment};
+    use busprobe_network::NetworkGenerator;
+    use busprobe_sim::{Scenario, Simulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SimOutput, Scanner) {
+        let network = NetworkGenerator::small(20).generate();
+        let region = network.grid().spec().region();
+        let scenario = Scenario::new(network, 20)
+            .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0))
+            .with_headway(900.0);
+        let output = Simulation::new(scenario).run();
+        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), 20);
+        let scanner = Scanner::new(deployment, PropagationModel::default(), 20);
+        (output, scanner)
+    }
+
+    #[test]
+    fn observations_cover_the_riders_span() {
+        let (output, scanner) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trip = output
+            .rider_trips
+            .iter()
+            .find(|t| t.alight_index > t.board_index + 1)
+            .expect("some rider rides multiple stops");
+        let obs = trip_observations(trip, &output, &scanner, &mut rng);
+        assert!(!obs.is_empty());
+        for o in &obs {
+            assert!(o.time >= trip.board_time && o.time <= trip.alight_time);
+        }
+        // Observations are in time order (beeps are generated in order).
+        for w in obs.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn riders_own_taps_are_included() {
+        let (output, scanner) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trip = &output.rider_trips[0];
+        let obs = trip_observations(trip, &output, &scanner, &mut rng);
+        // First observation is the rider's own boarding tap; last is the
+        // alighting tap.
+        assert!((obs.first().unwrap().time - trip.board_time).abs() < 1e-9);
+        assert!((obs.last().unwrap().time - trip.alight_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scans_hear_towers() {
+        let (output, scanner) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trip = &output.rider_trips[0];
+        let obs = trip_observations(trip, &output, &scanner, &mut rng);
+        let heard = obs.iter().filter(|o| !o.scan.is_empty()).count();
+        assert!(heard == obs.len(), "all in-region scans should hear towers");
+    }
+
+    #[test]
+    fn observations_only_from_own_bus() {
+        let (output, scanner) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trip = &output.rider_trips[0];
+        let obs = trip_observations(trip, &output, &scanner, &mut rng);
+        let expected = output
+            .beeps_on(trip.bus, trip.board_time, trip.alight_time)
+            .count();
+        assert_eq!(obs.len(), expected);
+    }
+}

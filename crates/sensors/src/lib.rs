@@ -1,0 +1,31 @@
+//! Synthetic phone-sensor traces for the `busprobe` reproduction.
+//!
+//! The paper's client runs on real Android phones: the microphone hears
+//! IC-card reader beeps, the accelerometer separates buses from rapid
+//! trains, the cellular modem provides location hints, and GPS serves only
+//! as the rejected baseline (Fig. 1). None of that hardware exists here, so
+//! this crate synthesizes each signal with the statistics the paper
+//! reports:
+//!
+//! * [`audio`] — 8 kHz waveforms of dual-tone IC-card beeps (1 kHz + 3 kHz
+//!   in Singapore, 2.4 kHz in London, §III-B) embedded in bus cabin noise,
+//! * [`accel`] — accelerometer magnitude traces whose variance separates
+//!   buses ("frequent acceleration, deceleration and turns") from rapid
+//!   trains ("operated more smoothly"),
+//! * [`gps`] — the urban-canyon GPS error model behind Fig. 1 (stationary
+//!   median ≈ 40 m, on-bus median ≈ 68 m),
+//! * [`feed`] — the bridge from simulated rider trips to the timestamped
+//!   cellular samples a participant's phone would upload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod audio;
+pub mod feed;
+pub mod gps;
+
+pub use accel::{AccelSynthesizer, MotionMode};
+pub use audio::{AudioScene, AudioSynthesizer, BeepSpec};
+pub use feed::{trip_observations, RiderObservation};
+pub use gps::{GpsErrorModel, GpsMode};

@@ -1,0 +1,192 @@
+use crate::time::SimTime;
+use busprobe_network::StopSiteId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rider demand: how many passengers board a bus at each stop and how far
+/// they ride.
+///
+/// Boarding counts are Poisson with a rate that follows the commuting
+/// peaks; ride lengths are geometric in stop count. A per-site static
+/// multiplier makes some stops busier (interchanges) than others.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    seed: u64,
+    /// Base boarding rate per stop per minute at off-peak times.
+    pub base_rate_per_min: f64,
+    /// Peak multiplier applied on the diurnal curve.
+    pub peak_multiplier: f64,
+    /// Geometric parameter for ride length: probability of alighting at
+    /// each subsequent stop. Mean ride ≈ `1/p` stops.
+    pub alight_p: f64,
+}
+
+impl DemandModel {
+    /// Creates a demand model with typical urban parameters: a handful of
+    /// boardings per stop visit at peak, about 4 stops per ride.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DemandModel {
+            seed,
+            base_rate_per_min: 0.08,
+            peak_multiplier: 3.0,
+            alight_p: 0.25,
+        }
+    }
+
+    /// Boarding rate (passengers/minute) at `site` at time `t`.
+    #[must_use]
+    pub fn boarding_rate_per_min(&self, site: StopSiteId, t: SimTime) -> f64 {
+        let h = t.hours();
+        let gauss = |center: f64, width: f64| {
+            let z = (h - center) / width;
+            (-0.5 * z * z).exp()
+        };
+        let diurnal = 1.0 + (self.peak_multiplier - 1.0) * (gauss(8.3, 1.0) + gauss(17.8, 1.2));
+        // Static per-site multiplier in [0.5, 2.0]: busy vs quiet stops.
+        let site_mult = 0.5 + 1.5 * self.unit_hash(u64::from(site.0));
+        self.base_rate_per_min * diurnal * site_mult
+    }
+
+    /// Samples the number of riders boarding a bus that arrives at `site`
+    /// at `t` after `headway_s` seconds since the previous service.
+    #[must_use]
+    pub fn sample_boardings<R: Rng + ?Sized>(
+        &self,
+        site: StopSiteId,
+        t: SimTime,
+        headway_s: f64,
+        rng: &mut R,
+    ) -> u32 {
+        let lambda = self.boarding_rate_per_min(site, t) * headway_s / 60.0;
+        sample_poisson(lambda, rng)
+    }
+
+    /// Samples how many stops a boarding rider stays on the bus (≥ 1).
+    #[must_use]
+    pub fn sample_ride_stops<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Geometric via inversion; clamp to a sane maximum.
+        let n = 1.0 + (1.0 - u).ln() / (1.0 - self.alight_p).ln();
+        (n.floor() as u32).clamp(1, 40)
+    }
+
+    fn unit_hash(&self, x: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(x);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Knuth Poisson sampler (fine for the small rates used here), with a
+/// normal approximation above λ = 30 to stay O(1).
+fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as u32;
+    }
+    let limit = (-lambda).exp();
+    let mut product: f64 = rng.gen_range(0.0..1.0);
+    let mut count = 0u32;
+    while product > limit {
+        product *= rng.gen_range(0.0..1.0f64);
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_peaks_at_rush_hour() {
+        let d = DemandModel::new(1);
+        let site = StopSiteId(3);
+        let peak = d.boarding_rate_per_min(site, SimTime::from_hms(8, 15, 0));
+        let noon = d.boarding_rate_per_min(site, SimTime::from_hms(12, 30, 0));
+        let night = d.boarding_rate_per_min(site, SimTime::from_hms(23, 30, 0));
+        assert!(peak > 2.0 * noon);
+        assert!(noon >= night * 0.8);
+    }
+
+    #[test]
+    fn sites_have_distinct_popularity() {
+        let d = DemandModel::new(2);
+        let t = SimTime::from_hms(12, 0, 0);
+        let a = d.boarding_rate_per_min(StopSiteId(1), t);
+        let b = d.boarding_rate_per_min(StopSiteId(2), t);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn boarding_counts_scale_with_headway() {
+        let d = DemandModel::new(3);
+        let t = SimTime::from_hms(8, 0, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let short: u32 = (0..200)
+            .map(|_| d.sample_boardings(StopSiteId(0), t, 120.0, &mut rng))
+            .sum();
+        let long: u32 = (0..200)
+            .map(|_| d.sample_boardings(StopSiteId(0), t, 600.0, &mut rng))
+            .sum();
+        assert!(
+            long > 3 * short,
+            "5x headway should mean ~5x boardings ({short} vs {long})"
+        );
+    }
+
+    #[test]
+    fn ride_length_mean_matches_geometric() {
+        let d = DemandModel::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 5000;
+        let total: u32 = (0..n).map(|_| d.sample_ride_stops(&mut rng)).sum();
+        let mean = f64::from(total) / f64::from(n);
+        assert!((mean - 1.0 / d.alight_p).abs() < 0.4, "mean ride {mean}");
+    }
+
+    #[test]
+    fn ride_length_is_at_least_one_stop() {
+        let d = DemandModel::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample_ride_stops(&mut rng) >= 1));
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 5000;
+        let total: u32 = (0..n).map(|_| sample_poisson(2.5, &mut rng)).sum();
+        let mean = f64::from(total) / f64::from(n);
+        assert!((mean - 2.5).abs() < 0.15, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        assert_eq!(sample_poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 2000;
+        let total: u32 = (0..n).map(|_| sample_poisson(100.0, &mut rng)).sum();
+        let mean = f64::from(total) / f64::from(n);
+        assert!((mean - 100.0).abs() < 2.0, "poisson(100) mean {mean}");
+    }
+}

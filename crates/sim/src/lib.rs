@@ -1,0 +1,56 @@
+//! Time-stepped urban traffic, bus and rider simulation.
+//!
+//! This crate stands in for everything the paper obtained from the physical
+//! world: operating buses in Singapore traffic, riders tapping IC cards, and
+//! the LTA's taxi-fleet "official traffic" feed. The backend under test
+//! (`busprobe-core`) sees only what real phones would have uploaded; the
+//! simulator additionally exposes the ground truth needed for evaluation.
+//!
+//! Components:
+//!
+//! * [`SimTime`] — seconds since midnight with `hh:mm` helpers,
+//! * [`TrafficProfile`] — per-segment, time-varying automobile speeds with
+//!   diurnal rush-hour structure and morning hotspots (the paper's Fig. 9
+//!   study day has slow roads near a university at 8:30 AM and lighter
+//!   traffic at 5 PM),
+//! * [`DemandModel`] — Poisson boarding demand per stop with diurnal peaks;
+//!   ride lengths are geometric in stop count,
+//! * [`Simulation`] — per-bus event-driven simulation producing
+//!   [`StopVisit`]s, IC-card [`BeepEvent`]s, [`RiderTrip`]s and (optionally)
+//!   kinematic [`BusTrace`]s for sensor synthesis,
+//! * [`OfficialTraffic`] — the ground-truth reference feed (the paper's
+//!   LTA taxi AVL data): per-segment average automobile speed in 5-minute
+//!   windows.
+//!
+//! # Examples
+//!
+//! ```
+//! use busprobe_network::NetworkGenerator;
+//! use busprobe_sim::{Scenario, SimTime, Simulation};
+//!
+//! let network = NetworkGenerator::small(3).generate();
+//! let scenario = Scenario::new(network, 3)
+//!     .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
+//! let output = Simulation::new(scenario).run();
+//! assert!(!output.stop_visits.is_empty());
+//! assert!(!output.beeps.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod demand;
+mod engine;
+mod official;
+mod output;
+mod profile;
+mod time;
+
+pub use demand::DemandModel;
+pub use engine::{Scenario, Simulation};
+pub use official::OfficialTraffic;
+pub use output::{
+    BeepEvent, BusId, BusTrace, RiderId, RiderTrip, SimOutput, StopVisit, TracePoint,
+};
+pub use profile::{BusSpeedModel, TrafficProfile};
+pub use time::SimTime;

@@ -1,0 +1,186 @@
+use crate::profile::TrafficProfile;
+use crate::time::SimTime;
+use busprobe_network::{SegmentKey, TransitNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The ground-truth traffic reference: what the paper obtained from
+/// Singapore's Land Transport Authority ("traffic data measured from the
+/// AVL reports of over 10,000 moving taxis", §IV-A).
+///
+/// A dense roving taxi fleet effectively measures each segment's average
+/// automobile speed per reporting window, up to fleet-sampling noise. We
+/// therefore evaluate the profile's window-mean speed and add a small
+/// relative error rather than simulating ten thousand taxis individually —
+/// the backend only ever sees these aggregates.
+#[derive(Debug, Clone)]
+pub struct OfficialTraffic {
+    window_s: f64,
+    /// (segment, window index) → mean automobile speed, m/s.
+    speeds: HashMap<(SegmentKey, u32), f64>,
+}
+
+impl OfficialTraffic {
+    /// Tabulates official speeds for every segment and every `window_s`
+    /// window in `[start, end]`. `noise_rel` is the taxi-fleet sampling
+    /// noise (relative standard deviation, e.g. 0.03).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive or the span is empty.
+    #[must_use]
+    pub fn tabulate(
+        network: &TransitNetwork,
+        profile: &TrafficProfile,
+        start: SimTime,
+        end: SimTime,
+        window_s: f64,
+        noise_rel: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(window_s > 0.0, "window length must be positive");
+        assert!(end > start, "empty tabulation span");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = start.window_index(window_s);
+        let last = end.window_index(window_s);
+        let mut speeds = HashMap::new();
+        for seg in network.segments() {
+            for w in first..=last {
+                let w_start = SimTime::from_seconds(f64::from(w) * window_s);
+                let w_end = w_start + window_s;
+                let mean = profile.mean_car_speed_mps(seg, w_start, w_end);
+                let noisy = mean * (1.0 + noise_rel * sample_normal(&mut rng));
+                speeds.insert((seg.key, w), noisy.max(0.5));
+            }
+        }
+        OfficialTraffic { window_s, speeds }
+    }
+
+    /// Reporting window length, seconds.
+    #[must_use]
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// Official automobile speed (m/s) on `key` during the window
+    /// containing `t`, if tabulated.
+    #[must_use]
+    pub fn speed_mps(&self, key: SegmentKey, t: SimTime) -> Option<f64> {
+        self.speeds
+            .get(&(key, t.window_index(self.window_s)))
+            .copied()
+    }
+
+    /// Official speed in km/h, the unit the paper plots.
+    #[must_use]
+    pub fn speed_kmh(&self, key: SegmentKey, t: SimTime) -> Option<f64> {
+        self.speed_mps(key, t).map(|v| v * 3.6)
+    }
+
+    /// Number of tabulated (segment, window) cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Whether nothing was tabulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+}
+
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_network::NetworkGenerator;
+
+    fn setup() -> (TransitNetwork, TrafficProfile, OfficialTraffic) {
+        let network = NetworkGenerator::small(2).generate();
+        let profile = TrafficProfile::new(2);
+        let official = OfficialTraffic::tabulate(
+            &network,
+            &profile,
+            SimTime::from_hms(8, 0, 0),
+            SimTime::from_hms(10, 0, 0),
+            300.0,
+            0.03,
+            2,
+        );
+        (network, profile, official)
+    }
+
+    #[test]
+    fn covers_all_segments_and_windows() {
+        let (network, _, official) = setup();
+        // 2 h of 5-minute windows inclusive = 25 windows per segment.
+        assert_eq!(official.len(), network.segment_count() * 25);
+    }
+
+    #[test]
+    fn speeds_track_profile_mean() {
+        let (network, profile, official) = setup();
+        let seg = network.segments().next().unwrap();
+        let t = SimTime::from_hms(8, 32, 0);
+        let reported = official.speed_mps(seg.key, t).unwrap();
+        let w_start = SimTime::from_seconds(f64::from(t.window_index(300.0)) * 300.0);
+        let truth = profile.mean_car_speed_mps(seg, w_start, w_start + 300.0);
+        assert!(
+            (reported - truth).abs() / truth < 0.15,
+            "reported {reported} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn out_of_span_queries_are_none() {
+        let (network, _, official) = setup();
+        let seg = network.segments().next().unwrap();
+        assert!(official
+            .speed_mps(seg.key, SimTime::from_hms(23, 0, 0))
+            .is_none());
+    }
+
+    #[test]
+    fn kmh_conversion() {
+        let (network, _, official) = setup();
+        let seg = network.segments().next().unwrap();
+        let t = SimTime::from_hms(9, 0, 0);
+        let mps = official.speed_mps(seg.key, t).unwrap();
+        let kmh = official.speed_kmh(seg.key, t).unwrap();
+        assert!((kmh - mps * 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morning_windows_slower_than_late_morning() {
+        let (network, _, official) = setup();
+        // Average across all segments to smooth noise.
+        let avg = |t: SimTime| {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for seg in network.segments() {
+                if let Some(v) = official.speed_mps(seg.key, t) {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            sum / f64::from(n)
+        };
+        assert!(avg(SimTime::from_hms(8, 30, 0)) < avg(SimTime::from_hms(9, 55, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tabulation span")]
+    fn empty_span_panics() {
+        let network = NetworkGenerator::small(2).generate();
+        let profile = TrafficProfile::new(2);
+        let t = SimTime::from_hms(8, 0, 0);
+        let _ = OfficialTraffic::tabulate(&network, &profile, t, t, 300.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,283 @@
+use crate::time::SimTime;
+use busprobe_geo::Point;
+use busprobe_network::{RouteId, StopId, StopSiteId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one simulated bus run (a single dispatch of a route).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BusId(pub u32);
+
+impl fmt::Display for BusId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus-{}", self.0)
+    }
+}
+
+/// Identifier of one simulated rider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RiderId(pub u64);
+
+impl fmt::Display for RiderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rider-{}", self.0)
+    }
+}
+
+/// Ground truth for one bus passing one scheduled stop.
+///
+/// `served == false` means nobody boarded or alighted, so the bus drove
+/// through without stopping — the paper's "the bus may not stop at one
+/// particular bus stop if there is no bus rider boarding or alighting"
+/// case (§III-D), which forces the backend to merge adjacent segments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopVisit {
+    /// Which bus run.
+    pub bus: BusId,
+    /// The bus's route.
+    pub route: RouteId,
+    /// Index of the stop in the route's stop list.
+    pub stop_index: usize,
+    /// Physical stop.
+    pub stop: StopId,
+    /// Logical site (the map location traffic is attributed to).
+    pub site: StopSiteId,
+    /// When the bus arrived at (or passed) the stop.
+    pub arrival: SimTime,
+    /// When it departed (equals `arrival` when not served).
+    pub departure: SimTime,
+    /// Passengers boarding here.
+    pub boarded: u32,
+    /// Passengers alighting here.
+    pub alighted: u32,
+    /// Whether the bus actually halted.
+    pub served: bool,
+}
+
+impl StopVisit {
+    /// Dwell duration in seconds (zero when the stop was skipped).
+    #[must_use]
+    pub fn dwell_s(&self) -> f64 {
+        self.departure - self.arrival
+    }
+}
+
+/// One IC-card tap heard on a bus: the physical event the phones' beep
+/// detectors pick up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeepEvent {
+    /// The bus on which the card reader beeped.
+    pub bus: BusId,
+    /// Ground-truth site where the tap happened.
+    pub site: StopSiteId,
+    /// Bus position at tap time (the phone's true location).
+    pub position: Point,
+    /// Tap time.
+    pub time: SimTime,
+}
+
+/// One rider's journey, bounded by the stops where they tapped on and off.
+/// A rider whose phone runs the app is a *participant*: their phone records
+/// every beep on the bus between these bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiderTrip {
+    /// Rider identity.
+    pub rider: RiderId,
+    /// Which bus run they rode.
+    pub bus: BusId,
+    /// The bus's route.
+    pub route: RouteId,
+    /// Stop-list index where they boarded.
+    pub board_index: usize,
+    /// Stop-list index where they alighted.
+    pub alight_index: usize,
+    /// Time of their boarding tap.
+    pub board_time: SimTime,
+    /// Time of their alighting tap.
+    pub alight_time: SimTime,
+}
+
+/// One sample of a recorded bus trajectory (for sensor-trace synthesis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Sample time.
+    pub time: SimTime,
+    /// Bus position.
+    pub position: Point,
+    /// Scalar speed, m/s.
+    pub speed_mps: f64,
+    /// Signed longitudinal acceleration, m/s².
+    pub accel_mps2: f64,
+}
+
+/// A recorded bus trajectory at ~1 Hz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusTrace {
+    /// Which bus run.
+    pub bus: BusId,
+    /// Samples in time order.
+    pub points: Vec<TracePoint>,
+}
+
+impl BusTrace {
+    /// Position at time `t`, linearly interpolated; `None` outside the
+    /// recorded span.
+    #[must_use]
+    pub fn position_at(&self, t: SimTime) -> Option<Point> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if t < first.time || t > last.time {
+            return None;
+        }
+        let idx = self.points.partition_point(|p| p.time <= t);
+        if idx == 0 {
+            return Some(first.position);
+        }
+        if idx >= self.points.len() {
+            return Some(last.position);
+        }
+        let (a, b) = (&self.points[idx - 1], &self.points[idx]);
+        let span = b.time - a.time;
+        let f = if span <= 0.0 {
+            0.0
+        } else {
+            (t - a.time) / span
+        };
+        Some(a.position.lerp(b.position, f))
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// All stop visits (including skipped stops), time-ordered per bus.
+    pub stop_visits: Vec<StopVisit>,
+    /// All IC-card taps, time-ordered per bus.
+    pub beeps: Vec<BeepEvent>,
+    /// All rider journeys.
+    pub rider_trips: Vec<RiderTrip>,
+    /// Kinematic traces for the buses selected by the scenario.
+    pub traces: Vec<BusTrace>,
+}
+
+impl SimOutput {
+    /// Stop visits of one bus, in travel order.
+    pub fn visits_of(&self, bus: BusId) -> impl Iterator<Item = &StopVisit> {
+        self.stop_visits.iter().filter(move |v| v.bus == bus)
+    }
+
+    /// Beeps heard on one bus between two times (inclusive).
+    pub fn beeps_on(
+        &self,
+        bus: BusId,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = &BeepEvent> {
+        self.beeps
+            .iter()
+            .filter(move |b| b.bus == bus && b.time >= from && b.time <= to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(BusId(4).to_string(), "bus-4");
+        assert_eq!(RiderId(9).to_string(), "rider-9");
+    }
+
+    #[test]
+    fn dwell_of_skipped_stop_is_zero() {
+        let t = SimTime::from_hms(9, 0, 0);
+        let v = StopVisit {
+            bus: BusId(0),
+            route: RouteId(0),
+            stop_index: 2,
+            stop: StopId(5),
+            site: StopSiteId(5),
+            arrival: t,
+            departure: t,
+            boarded: 0,
+            alighted: 0,
+            served: false,
+        };
+        assert_eq!(v.dwell_s(), 0.0);
+    }
+
+    #[test]
+    fn trace_interpolates_position() {
+        let trace = BusTrace {
+            bus: BusId(0),
+            points: vec![
+                TracePoint {
+                    time: SimTime::from_seconds(0.0),
+                    position: Point::new(0.0, 0.0),
+                    speed_mps: 10.0,
+                    accel_mps2: 0.0,
+                },
+                TracePoint {
+                    time: SimTime::from_seconds(10.0),
+                    position: Point::new(100.0, 0.0),
+                    speed_mps: 10.0,
+                    accel_mps2: 0.0,
+                },
+            ],
+        };
+        assert_eq!(
+            trace.position_at(SimTime::from_seconds(5.0)),
+            Some(Point::new(50.0, 0.0))
+        );
+        assert_eq!(
+            trace.position_at(SimTime::from_seconds(0.0)),
+            Some(Point::new(0.0, 0.0))
+        );
+        assert_eq!(
+            trace.position_at(SimTime::from_seconds(10.0)),
+            Some(Point::new(100.0, 0.0))
+        );
+        assert_eq!(trace.position_at(SimTime::from_seconds(11.0)), None);
+        assert_eq!(trace.position_at(SimTime::from_seconds(-1.0)), None);
+    }
+
+    #[test]
+    fn empty_trace_has_no_positions() {
+        let trace = BusTrace {
+            bus: BusId(0),
+            points: vec![],
+        };
+        assert_eq!(trace.position_at(SimTime::MIDNIGHT), None);
+    }
+
+    #[test]
+    fn output_filters_by_bus_and_time() {
+        let mk_beep = |bus: u32, s: f64| BeepEvent {
+            bus: BusId(bus),
+            site: StopSiteId(0),
+            position: Point::ORIGIN,
+            time: SimTime::from_seconds(s),
+        };
+        let out = SimOutput {
+            beeps: vec![mk_beep(0, 10.0), mk_beep(0, 20.0), mk_beep(1, 15.0)],
+            ..SimOutput::default()
+        };
+        let got: Vec<f64> = out
+            .beeps_on(
+                BusId(0),
+                SimTime::from_seconds(10.0),
+                SimTime::from_seconds(15.0),
+            )
+            .map(|b| b.time.seconds())
+            .collect();
+        assert_eq!(got, vec![10.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let out = SimOutput::default();
+        let back: SimOutput = serde_json::from_str(&serde_json::to_string(&out).unwrap()).unwrap();
+        assert_eq!(out, back);
+    }
+}

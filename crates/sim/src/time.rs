@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A simulation timestamp: seconds since midnight of the simulated day.
+///
+/// Kept as a plain `f64` wrapper so arithmetic in inner loops stays cheap,
+/// while the newtype prevents mixing timestamps with durations or other
+/// scalars.
+///
+/// # Examples
+///
+/// ```
+/// use busprobe_sim::SimTime;
+///
+/// let t = SimTime::from_hms(8, 30, 0);
+/// assert_eq!(t.hours(), 8.5);
+/// assert_eq!(format!("{t}"), "08:30:00");
+/// assert_eq!((t + 90.0) - t, 90.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Midnight.
+    pub const MIDNIGHT: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp from raw seconds since midnight.
+    #[must_use]
+    pub const fn from_seconds(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Creates a timestamp from hours/minutes/seconds.
+    #[must_use]
+    pub fn from_hms(h: u32, m: u32, s: u32) -> Self {
+        SimTime(f64::from(h) * 3600.0 + f64::from(m) * 60.0 + f64::from(s))
+    }
+
+    /// Seconds since midnight.
+    #[must_use]
+    pub const fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since midnight as a fraction (8:30 → 8.5).
+    #[must_use]
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// The later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Index of the length-`window_s` window containing this timestamp
+    /// (window 0 starts at midnight). Used to bucket estimates into the
+    /// paper's 5-minute reporting periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not strictly positive.
+    #[must_use]
+    pub fn window_index(self, window_s: f64) -> u32 {
+        assert!(window_s > 0.0, "window length must be positive");
+        (self.0 / window_s).floor().max(0.0) as u32
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    /// Advances the timestamp by a duration in seconds.
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl Sub<f64> for SimTime {
+    type Output = SimTime;
+    /// Moves the timestamp back by a duration in seconds.
+    fn sub(self, rhs: f64) -> SimTime {
+        SimTime(self.0 - rhs)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    /// Elapsed seconds between two timestamps.
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.max(0.0).round() as u64;
+        write!(
+            f,
+            "{:02}:{:02}:{:02}",
+            total / 3600,
+            (total / 60) % 60,
+            total % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hms_and_accessors() {
+        let t = SimTime::from_hms(17, 30, 15);
+        assert_eq!(t.seconds(), 17.0 * 3600.0 + 30.0 * 60.0 + 15.0);
+        assert!((t.hours() - 17.504_166_666).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_hms(9, 0, 0);
+        assert_eq!((t + 60.0).seconds(), t.seconds() + 60.0);
+        assert_eq!((t - 60.0).seconds(), t.seconds() - 60.0);
+        assert_eq!(SimTime::from_hms(9, 5, 0) - t, 300.0);
+    }
+
+    #[test]
+    fn display_formats_hms() {
+        assert_eq!(SimTime::from_hms(8, 30, 0).to_string(), "08:30:00");
+        assert_eq!(SimTime::MIDNIGHT.to_string(), "00:00:00");
+        assert_eq!(SimTime::from_seconds(59.6).to_string(), "00:01:00");
+    }
+
+    #[test]
+    fn window_index_buckets() {
+        let w = 300.0;
+        assert_eq!(SimTime::from_hms(0, 0, 0).window_index(w), 0);
+        assert_eq!(SimTime::from_hms(0, 4, 59).window_index(w), 0);
+        assert_eq!(SimTime::from_hms(0, 5, 0).window_index(w), 1);
+        assert_eq!(SimTime::from_hms(9, 30, 0).window_index(w), 114);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = SimTime::MIDNIGHT.window_index(0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_hms(8, 0, 0);
+        let b = SimTime::from_hms(9, 0, 0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SimTime::from_hms(12, 34, 56);
+        let back: SimTime = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,151 @@
+//! Engine invariants over many seeds and scenario shapes: the ground-truth
+//! bookkeeping the evaluation trusts must be unconditionally consistent.
+
+use busprobe_network::NetworkGenerator;
+use busprobe_sim::{Scenario, SimTime, Simulation};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn run(seed: u64, headway_s: f64, hours: (u32, u32)) -> (Scenario, busprobe_sim::SimOutput) {
+    let network = NetworkGenerator::small(seed).generate();
+    let scenario = Scenario::new(network, seed)
+        .with_span(
+            SimTime::from_hms(hours.0, 0, 0),
+            SimTime::from_hms(hours.1, 0, 0),
+        )
+        .with_headway(headway_s);
+    let output = Simulation::new(scenario.clone()).run();
+    (scenario, output)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Beep counts reconcile exactly with boarding/alighting counts, and
+    /// every rider who boards also alights.
+    #[test]
+    fn prop_beeps_reconcile_with_visits(seed in 0u64..300) {
+        let (_, out) = run(seed, 600.0, (8, 9));
+        let taps: u32 = out.stop_visits.iter().map(|v| v.boarded + v.alighted).sum();
+        prop_assert_eq!(out.beeps.len() as u32, taps);
+        let boarded: u32 = out.stop_visits.iter().map(|v| v.boarded).sum();
+        let alighted: u32 = out.stop_visits.iter().map(|v| v.alighted).sum();
+        prop_assert_eq!(boarded, alighted, "everyone who boards gets off");
+        prop_assert_eq!(out.rider_trips.len() as u32, boarded);
+    }
+
+    /// Rider journeys are consistent with the bus's own stop visits: the
+    /// boarding tap falls inside the dwell of the boarding stop.
+    #[test]
+    fn prop_rider_taps_fall_inside_dwells(seed in 0u64..300) {
+        let (_, out) = run(seed, 600.0, (8, 9));
+        let mut visit_index: BTreeMap<(u32, usize), (f64, f64)> = BTreeMap::new();
+        for v in &out.stop_visits {
+            visit_index.insert((v.bus.0, v.stop_index), (v.arrival.seconds(), v.departure.seconds()));
+        }
+        for trip in out.rider_trips.iter().take(200) {
+            let (arr, dep) = visit_index[&(trip.bus.0, trip.board_index)];
+            prop_assert!(trip.board_time.seconds() >= arr - 1e-9);
+            prop_assert!(trip.board_time.seconds() <= dep + 1e-9);
+            let (arr2, dep2) = visit_index[&(trip.bus.0, trip.alight_index)];
+            prop_assert!(trip.alight_time.seconds() >= arr2 - 1e-9);
+            prop_assert!(trip.alight_time.seconds() <= dep2 + 1e-9);
+        }
+    }
+
+    /// Buses never teleport: consecutive visit times move strictly forward
+    /// and inter-stop run times are consistent with a crawl floor.
+    #[test]
+    fn prop_bus_motion_is_physical(seed in 0u64..300) {
+        let (scenario, out) = run(seed, 900.0, (8, 9));
+        let mut per_bus: BTreeMap<u32, Vec<&busprobe_sim::StopVisit>> = BTreeMap::new();
+        for v in &out.stop_visits {
+            per_bus.entry(v.bus.0).or_default().push(v);
+        }
+        for visits in per_bus.values() {
+            for w in visits.windows(2) {
+                let run_s = w[1].arrival - w[0].departure;
+                prop_assert!(run_s > 0.0, "arrival after departure");
+                let seg = busprobe_network::SegmentKey::new(w[0].site, w[1].site);
+                if let Some(seg) = scenario.network.segment(seg) {
+                    // Crawl floor 1.5 m/s plus generous dwell/ramp slack.
+                    let max_s = seg.length_m / 1.5 + 120.0;
+                    prop_assert!(run_s <= max_s, "{run_s} s over {} m", seg.length_m);
+                    // And never faster than free flow of the street.
+                    let min_s = seg.length_m / scenario.bus_model.cap_mps.max(seg.free_speed_mps);
+                    prop_assert!(run_s >= min_s * 0.9);
+                }
+            }
+        }
+    }
+
+    /// Headway controls fleet size: half the headway, double the buses.
+    #[test]
+    fn prop_fleet_size_scales_with_headway(seed in 0u64..100) {
+        let (_, dense) = run(seed, 300.0, (8, 9));
+        let (_, sparse) = run(seed, 600.0, (8, 9));
+        let buses = |out: &busprobe_sim::SimOutput| {
+            out.stop_visits.iter().map(|v| v.bus).collect::<std::collections::BTreeSet<_>>().len()
+        };
+        prop_assert_eq!(buses(&dense), 2 * buses(&sparse));
+    }
+
+    /// Per-route trips serve every scheduled stop exactly once per dispatch.
+    #[test]
+    fn prop_every_dispatch_serves_all_stops(seed in 0u64..200) {
+        let (scenario, out) = run(seed, 900.0, (8, 9));
+        let mut per_bus: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for v in &out.stop_visits {
+            per_bus.entry(v.bus.0).or_default().push(v.stop_index);
+        }
+        for (bus, indices) in per_bus {
+            let route = out
+                .stop_visits
+                .iter()
+                .find(|v| v.bus.0 == bus)
+                .map(|v| scenario.network.route(v.route))
+                .unwrap();
+            let expected: Vec<usize> = (0..route.stop_count()).collect();
+            prop_assert_eq!(indices, expected, "bus {} visit order", bus);
+        }
+    }
+}
+
+#[test]
+fn demand_peaks_produce_more_riders_than_off_peak() {
+    let (_, peak) = run(42, 600.0, (8, 9));
+    let (_, off) = run(42, 600.0, (13, 14));
+    assert!(
+        peak.rider_trips.len() as f64 > 1.3 * off.rider_trips.len() as f64,
+        "rush {} vs midday {}",
+        peak.rider_trips.len(),
+        off.rider_trips.len()
+    );
+}
+
+#[test]
+fn traces_positions_lie_on_route_paths() {
+    let network = NetworkGenerator::small(9).generate();
+    let scenario = Scenario::new(network.clone(), 9)
+        .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(8, 30, 0))
+        .with_headway(1200.0)
+        .with_traces(1);
+    let out = Simulation::new(scenario).run();
+    for trace in &out.traces {
+        let route_id = out
+            .stop_visits
+            .iter()
+            .find(|v| v.bus == trace.bus)
+            .unwrap()
+            .route;
+        let path = &network.route(route_id).path;
+        for p in trace.points.iter().step_by(7) {
+            let proj = path.project(p.position);
+            assert!(
+                proj.distance < 1.0,
+                "trace point {} m off the route path",
+                proj.distance
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! One rider's morning commute through the *complete* phone stack.
+//!
+//! Unlike `quickstart.rs`, which shortcuts the phone with ground-truth beep
+//! events, this example runs the actual on-device pipeline on synthesized
+//! sensor data: the microphone hears EZ-link beeps in cabin noise (Goertzel
+//! detection, 3σ jump test), the accelerometer confirms the vehicle is a
+//! bus rather than a rapid train, and the trip recorder attaches a cell
+//! scan to every detected beep. The resulting upload is then mapped by the
+//! backend and compared against ground truth.
+//!
+//! Run with `cargo run --release --example morning_commute`.
+
+use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe::core::{
+    ClusterConfig, Clusterer, MatchConfig, MatchedSample, Matcher, StopFingerprintDb, TripMapper,
+};
+use busprobe::mobile::{Phone, PhoneConfig};
+use busprobe::network::NetworkGenerator;
+use busprobe::sensors::{AccelSynthesizer, AudioScene, AudioSynthesizer, MotionMode};
+use busprobe::sim::{Scenario, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let network = NetworkGenerator::small(11).generate();
+    let region = network.grid().spec().region();
+    let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), 11);
+    let scanner = Scanner::new(deployment, PropagationModel::default(), 11);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Fingerprint database.
+    let mut samples = BTreeMap::new();
+    for site in network.sites() {
+        let fps = (0..5)
+            .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
+            .collect();
+        samples.insert(site.id, fps);
+    }
+    let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+
+    // Simulate the morning and pick a rider who stays on for a few stops.
+    let scenario = Scenario::new(network.clone(), 11)
+        .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
+    let output = Simulation::new(scenario).run();
+    let rider = output
+        .rider_trips
+        .iter()
+        .find(|t| t.alight_index >= t.board_index + 3)
+        .expect("some rider rides at least 3 stops");
+    println!(
+        "rider {} on {} boards stop #{} at {}, alights stop #{} at {}",
+        rider.rider,
+        rider.bus,
+        rider.board_index,
+        rider.board_time,
+        rider.alight_index,
+        rider.alight_time
+    );
+
+    // --- The phone's morning, through the integrated Phone agent. ---
+    let mut phone = Phone::new(PhoneConfig::default());
+
+    // 0. The accelerometer stream opens the motion gate (rapid trains use
+    //    the same card readers; their beeps must be ignored).
+    let accel = AccelSynthesizer::default();
+    phone.feed_accel(&accel.render(MotionMode::Bus, 30.0, &mut rng));
+    assert!(phone.motion_says_bus());
+    println!("motion gate: accelerometer says Bus — recording armed");
+
+    // 1. Microphone: every beep on the bus during the ride, heard through
+    //    cabin noise. One audio window per stop served while the rider is
+    //    aboard; the phone attaches a cell scan to each detected beep.
+    let audio = AudioSynthesizer::new(AudioScene::default());
+    let mut heard = 0usize;
+    for visit in output.visits_of(rider.bus) {
+        if !visit.served || visit.departure < rider.board_time || visit.arrival > rider.alight_time
+        {
+            continue;
+        }
+        // Taps at this stop, as offsets inside a window starting 2 s before
+        // the arrival (the detector needs warm-up background).
+        let window_start = visit.arrival - 2.0;
+        let beeps: Vec<f64> = output
+            .beeps_on(rider.bus, visit.arrival, visit.departure)
+            .map(|b| b.time - window_start)
+            .collect();
+        heard += beeps.len();
+        let window_len = (visit.departure - window_start) + 2.0;
+        let waveform = audio.render(window_len, &beeps, &mut rng);
+        let stop_pos = network.stop(visit.stop).position;
+        let mut scan_rng = StdRng::seed_from_u64(visit.arrival.seconds() as u64);
+        let finished = phone.feed_audio(window_start.seconds(), &waveform, |_t| {
+            scanner.scan(stop_pos, &mut scan_rng)
+        });
+        assert!(finished.is_empty(), "one ride stays one trip");
+    }
+    println!("phone heard {heard} true taps across the served stops");
+
+    // 2. Ten minutes after the last beep the trip concludes and uploads.
+    // (Later passengers' taps at the alighting stop may trail the rider's
+    // own tap by the dwell time, so allow a little slack past the timeout.)
+    let trip = phone
+        .conclude(rider.alight_time.seconds() + 700.0)
+        .expect("trip concluded after the idle timeout");
+    println!("upload: {} timestamped cellular samples", trip.len());
+
+    // --- The backend's view. ---
+    let matcher = Matcher::new(db, MatchConfig::default());
+    let matched: Vec<MatchedSample> = trip
+        .samples
+        .iter()
+        .filter_map(|s| {
+            matcher
+                .best_match(&s.scan.fingerprint())
+                .map(|hit| MatchedSample {
+                    time_s: s.time_s,
+                    site: hit.site,
+                    score: hit.score,
+                })
+        })
+        .collect();
+    let clusters = Clusterer::new(ClusterConfig::default()).cluster(matched);
+    let visits = TripMapper::new(&network)
+        .map_trip(&clusters)
+        .expect("mappable trip");
+
+    println!();
+    println!("mapped trajectory vs ground truth:");
+    let truth: Vec<_> = output
+        .visits_of(rider.bus)
+        .filter(|v| v.served && v.departure >= rider.board_time && v.arrival <= rider.alight_time)
+        .collect();
+    let mut correct = 0;
+    for (mapped, truth_visit) in visits.iter().zip(&truth) {
+        let ok = mapped.site == truth_visit.site;
+        correct += usize::from(ok);
+        println!(
+            "  {} mapped {} (truth {}) {}",
+            SimTime::from_seconds(mapped.arrival_s),
+            network.site(mapped.site).name,
+            network.site(truth_visit.site).name,
+            if ok { "ok" } else { "MISS" }
+        );
+    }
+    println!("identified {correct}/{} stops correctly", truth.len());
+}

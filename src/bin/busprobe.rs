@@ -1,0 +1,307 @@
+//! The `busprobe` command-line tool: run the whole participatory traffic
+//! monitor as a file-based workflow.
+//!
+//! ```text
+//! busprobe init     --dir DIR [--seed N] [--small]     create region + towers + fingerprint DB
+//! busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
+//!                                                      simulate a service window, write uploads
+//! busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE]
+//!                                                      ingest uploads, print the traffic map
+//! busprobe demo     [--seed N]                         all three steps in memory
+//! ```
+//!
+//! Artifacts in DIR: `world.json` (metadata), `network.json`,
+//! `towers.json`, `db.json`, `trips.json`.
+
+use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe::core::geojson::{map_to_geojson, regional_to_geojson};
+use busprobe::core::{
+    infer_regional, InferenceConfig, MatchConfig, MonitorConfig, MonitorState, StopFingerprintDb,
+    TrafficMonitor,
+};
+use busprobe::geo::LocalProjection;
+use busprobe::mobile::{CellularSample, Trip};
+use busprobe::network::{NetworkGenerator, TransitNetwork};
+use busprobe::sensors::trip_observations;
+use busprobe::sim::{Scenario, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Metadata tying the artifacts of one study region together.
+#[derive(Debug, Serialize, Deserialize)]
+struct WorldMeta {
+    seed: u64,
+    small: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+busprobe — participatory urban traffic monitoring (ICDCS'15 reproduction)
+
+USAGE:
+    busprobe init     --dir DIR [--seed N] [--small]
+    busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
+    busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE] [--state FILE]
+    busprobe demo     [--seed N]
+";
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_seed(args: &[String]) -> Result<u64, String> {
+    match flag_value(args, "--seed") {
+        None => Ok(7),
+        Some(v) => v.parse().map_err(|_| format!("invalid --seed `{v}`")),
+    }
+}
+
+fn parse_hhmm(value: &str) -> Result<SimTime, String> {
+    let (h, m) = value
+        .split_once(':')
+        .ok_or_else(|| format!("time `{value}` is not HH:MM"))?;
+    let h: u32 = h.parse().map_err(|_| format!("bad hour in `{value}`"))?;
+    let m: u32 = m.parse().map_err(|_| format!("bad minute in `{value}`"))?;
+    if h > 23 || m > 59 {
+        return Err(format!("time `{value}` out of range"));
+    }
+    Ok(SimTime::from_hms(h, m, 0))
+}
+
+fn dir_of(args: &[String]) -> Result<PathBuf, String> {
+    flag_value(args, "--dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing --dir".to_string())
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let data = serde_json::to_vec(value).map_err(|e| format!("serialize {path:?}: {e}"))?;
+    std::fs::write(path, data).map_err(|e| format!("write {path:?}: {e}"))
+}
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, String> {
+    let data = std::fs::read(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    serde_json::from_slice(&data).map_err(|e| format!("parse {path:?}: {e}"))
+}
+
+fn load_world(dir: &Path) -> Result<(WorldMeta, TransitNetwork, Scanner), String> {
+    let meta: WorldMeta = read_json(&dir.join("world.json"))?;
+    let network: TransitNetwork = read_json(&dir.join("network.json"))?;
+    let towers: TowerDeployment = read_json(&dir.join("towers.json"))?;
+    let scanner = Scanner::new(towers, PropagationModel::default(), meta.seed);
+    Ok((meta, network, scanner))
+}
+
+fn cmd_init(args: &[String]) -> Result<(), String> {
+    let dir = dir_of(args)?;
+    let seed = parse_seed(args)?;
+    let small = flag_present(args, "--small");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+
+    let network = if small {
+        NetworkGenerator::small(seed).generate()
+    } else {
+        NetworkGenerator::paper_region(seed).generate()
+    };
+    let towers = TowerDeployment::generate(
+        network.grid().spec().region(),
+        DeploymentSpec::default(),
+        seed,
+    );
+    let scanner = Scanner::new(towers.clone(), PropagationModel::default(), seed);
+
+    // War-collect the fingerprint database: five noisy scan rounds per
+    // stop, keep the most mutually similar sample.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+    let mut samples = BTreeMap::new();
+    for site in network.sites() {
+        let fps = (0..5)
+            .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
+            .collect();
+        samples.insert(site.id, fps);
+    }
+    let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+
+    write_json(&dir.join("world.json"), &WorldMeta { seed, small })?;
+    write_json(&dir.join("network.json"), &network)?;
+    write_json(&dir.join("towers.json"), &towers)?;
+    write_json(&dir.join("db.json"), &db)?;
+    println!(
+        "initialized {dir:?}: {} routes, {} stop sites, {} towers, {} fingerprints",
+        network.routes().len(),
+        network.sites().len(),
+        towers.len(),
+        db.len()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let dir = dir_of(args)?;
+    let (meta, network, scanner) = load_world(&dir)?;
+    let start = parse_hhmm(flag_value(args, "--start").unwrap_or("08:00"))?;
+    let end = parse_hhmm(flag_value(args, "--end").unwrap_or("09:30"))?;
+    if end <= start {
+        return Err("--end must be after --start".into());
+    }
+    let participation: f64 = flag_value(args, "--participation")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|_| "invalid --participation".to_string())?;
+    let sim_seed = flag_value(args, "--seed")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "invalid --seed".to_string())?
+        .unwrap_or(meta.seed);
+
+    let scenario = Scenario::new(network, sim_seed).with_span(start, end);
+    let output = Simulation::new(scenario).run();
+
+    let mut rng = StdRng::seed_from_u64(sim_seed ^ 0x5151);
+    let mut trips: Vec<Trip> = Vec::new();
+    for rider in &output.rider_trips {
+        if rng.gen_range(0.0..1.0) >= participation {
+            continue;
+        }
+        let obs = trip_observations(rider, &output, &scanner, &mut rng);
+        if obs.len() >= 2 {
+            trips.push(Trip {
+                samples: obs
+                    .into_iter()
+                    .map(|o| CellularSample {
+                        time_s: o.time.seconds(),
+                        scan: o.scan,
+                    })
+                    .collect(),
+            });
+        }
+    }
+    write_json(&dir.join("trips.json"), &trips)?;
+    println!(
+        "simulated {start}-{end}: {} stop visits, {} taps, wrote {} uploads to trips.json",
+        output.stop_visits.len(),
+        output.beeps.len(),
+        trips.len()
+    );
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let dir = dir_of(args)?;
+    let (_, network, _) = load_world(&dir)?;
+    let db: StopFingerprintDb = read_json(&dir.join("db.json"))?;
+    let trips: Vec<Trip> = read_json(&dir.join("trips.json"))?;
+    if trips.is_empty() {
+        return Err("trips.json contains no uploads; run `busprobe simulate` first".into());
+    }
+    let snapshot_t = match flag_value(args, "--snapshot") {
+        Some(v) => parse_hhmm(v)?,
+        None => {
+            // Default: just after the last upload.
+            SimTime::from_seconds(trips.iter().map(|t| t.end_s()).fold(0.0, f64::max) + 60.0)
+        }
+    };
+
+    // With --state, the server resumes from (and persists to) a state
+    // file, so repeated ingests accumulate instead of starting over.
+    let state_path = flag_value(args, "--state").map(std::path::PathBuf::from);
+    let monitor = match &state_path {
+        Some(path) if path.exists() => {
+            let state: MonitorState = read_json(path)?;
+            println!("resumed server state from {path:?}");
+            TrafficMonitor::restore(network.clone(), MonitorConfig::default(), state)
+        }
+        _ => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
+    };
+    let reports = monitor.ingest_batch(&trips);
+    let matched: usize = reports.iter().map(|r| r.matched).sum();
+    let observations: usize = reports.iter().map(|r| r.observations).sum();
+    println!(
+        "ingested {} uploads: {matched} samples matched, {observations} speed observations",
+        trips.len()
+    );
+
+    let map = monitor.snapshot_with_max_age(snapshot_t.seconds(), f64::INFINITY);
+    println!();
+    print!("{}", map.render_text(&network));
+    let regional = flag_present(args, "--regional").then(|| {
+        let regional = infer_regional(&map, &network, InferenceConfig::default());
+        println!();
+        println!(
+            "regional inference: {} measured + {} inferred segments ({:.0}% coverage)",
+            regional.measured_count(),
+            regional.inferred_count(),
+            100.0 * regional.coverage(&network)
+        );
+        regional
+    });
+    if let Some(path) = flag_value(args, "--geojson") {
+        // Anchor the synthetic frame at Jurong West for visualization.
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = match &regional {
+            Some(r) => regional_to_geojson(r, &network, &projection),
+            None => map_to_geojson(&map, &network, &projection),
+        };
+        write_json(std::path::Path::new(path), &gj)?;
+        println!("wrote GeoJSON to {path}");
+    }
+    if let Some(path) = &state_path {
+        write_json(path, &monitor.export_state())?;
+        println!("saved server state to {path:?}");
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let seed = parse_seed(args)?;
+    let dir = std::env::temp_dir().join(format!("busprobe-demo-{seed}-{}", std::process::id()));
+    let dir_arg = dir.to_string_lossy().to_string();
+    println!("== init ==");
+    cmd_init(&[
+        "--dir".into(),
+        dir_arg.clone(),
+        "--seed".into(),
+        seed.to_string(),
+        "--small".into(),
+    ])?;
+    println!();
+    println!("== simulate ==");
+    cmd_simulate(&["--dir".into(), dir_arg.clone()])?;
+    println!();
+    println!("== ingest ==");
+    cmd_ingest(&["--dir".into(), dir_arg.clone(), "--regional".into()])?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

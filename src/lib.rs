@@ -1,0 +1,60 @@
+//! # busprobe — urban traffic monitoring with the help of bus riders
+//!
+//! A from-scratch Rust reproduction of the ICDCS 2015 paper *"Urban Traffic
+//! Monitoring with the Help of Bus Riders"* (Zhou, Jiang, Li): a
+//! participatory sensing system that turns public buses into traffic probes
+//! using nothing but bus riders' phones.
+//!
+//! The idea: phones detect IC-card reader *beeps* (so they know they are on
+//! a bus, stopped at a bus stop), attach a cheap cellular scan to each
+//! beep, and upload anonymous trips. The backend matches each scan to a
+//! bus-stop fingerprint, reconstructs the bus's trajectory along known
+//! routes, converts inter-stop bus travel times into general automobile
+//! travel times, and publishes a live traffic map — no GPS, no transit
+//! agency cooperation, no roadside hardware.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`geo`] | planar geometry (points, polylines, regions) |
+//! | [`network`] | road grid, bus stops, bus routes, the route-order relation |
+//! | [`cellular`] | cell towers, radio propagation, scans, fingerprints |
+//! | [`sim`] | traffic/bus/rider simulation + ground-truth feeds |
+//! | [`sensors`] | synthetic audio/accelerometer/GPS/cellular phone traces |
+//! | [`mobile`] | phone pipeline: Goertzel, beep detection, trip recorder, energy |
+//! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use busprobe::core::{MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+//! use busprobe::network::NetworkGenerator;
+//!
+//! // 1. A study region: street grid, stops, routes.
+//! let network = NetworkGenerator::small(7).generate();
+//!
+//! // 2. A backend with an (empty, for brevity) fingerprint database.
+//! let monitor = TrafficMonitor::new(network, StopFingerprintDb::new(), MonitorConfig::default());
+//!
+//! // 3. Phones upload trips; the monitor publishes traffic maps.
+//! let map = monitor.snapshot(0.0);
+//! assert!(map.is_empty());
+//! # let _ = MatchConfig::default();
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full loop — simulate a morning,
+//! run the phone pipeline, ingest uploads, print the traffic map — and
+//! `crates/bench` for the binaries regenerating every table and figure of
+//! the paper (indexed in `DESIGN.md` / `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use busprobe_cellular as cellular;
+pub use busprobe_core as core;
+pub use busprobe_geo as geo;
+pub use busprobe_mobile as mobile;
+pub use busprobe_network as network;
+pub use busprobe_sensors as sensors;
+pub use busprobe_sim as sim;

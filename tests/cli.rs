@@ -1,0 +1,174 @@
+//! Black-box tests of the `busprobe` CLI: the init → simulate → ingest
+//! file workflow, flag validation, and artifact integrity.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn busprobe(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_busprobe"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("busprobe-clitest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn help_is_printed_without_args() {
+    let out = busprobe(&[]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("busprobe init"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = busprobe(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn full_workflow_produces_a_map() {
+    let dir = temp_dir("flow");
+    let dir_s = dir.to_string_lossy().to_string();
+
+    let init = busprobe(&["init", "--dir", &dir_s, "--seed", "5", "--small"]);
+    assert!(
+        init.status.success(),
+        "{}",
+        String::from_utf8_lossy(&init.stderr)
+    );
+    for artifact in ["world.json", "network.json", "towers.json", "db.json"] {
+        assert!(dir.join(artifact).exists(), "{artifact} missing");
+    }
+
+    let sim = busprobe(&[
+        "simulate",
+        "--dir",
+        &dir_s,
+        "--start",
+        "08:00",
+        "--end",
+        "08:45",
+        "--participation",
+        "0.8",
+    ]);
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
+    assert!(dir.join("trips.json").exists());
+
+    let ingest = busprobe(&["ingest", "--dir", &dir_s, "--regional"]);
+    assert!(
+        ingest.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+    let text = String::from_utf8_lossy(&ingest.stdout);
+    assert!(text.contains("traffic map"), "map printed: {text}");
+    assert!(text.contains("regional inference"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_requires_init() {
+    let dir = temp_dir("noinit");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = busprobe(&["simulate", "--dir", &dir.to_string_lossy()]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_without_trips_fails_cleanly() {
+    let dir = temp_dir("notrips");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "6", "--small"])
+            .status
+            .success()
+    );
+    let out = busprobe(&["ingest", "--dir", &dir_s]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trips.json"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_time_flag_is_rejected() {
+    let dir = temp_dir("badtime");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "7", "--small"])
+            .status
+            .success()
+    );
+    let out = busprobe(&["simulate", "--dir", &dir_s, "--start", "25:99"]);
+    assert!(!out.status.success());
+    let out = busprobe(&["simulate", "--dir", &dir_s, "--start", "0900"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn state_file_accumulates_and_rejects_replays() {
+    let dir = temp_dir("state");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "9", "--small"])
+            .status
+            .success()
+    );
+    assert!(
+        busprobe(&["simulate", "--dir", &dir_s, "--start", "08:00", "--end", "08:30"])
+            .status
+            .success()
+    );
+    let state = dir.join("state.json");
+    let state_s = state.to_string_lossy().to_string();
+
+    let first = busprobe(&["ingest", "--dir", &dir_s, "--state", &state_s]);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(state.exists());
+    let text1 = String::from_utf8_lossy(&first.stdout).to_string();
+    assert!(!text1.contains("resumed"));
+
+    // Re-ingesting the same trips against the saved state: everything is a
+    // duplicate, so zero new samples match.
+    let second = busprobe(&["ingest", "--dir", &dir_s, "--state", &state_s]);
+    assert!(second.status.success());
+    let text2 = String::from_utf8_lossy(&second.stdout).to_string();
+    assert!(text2.contains("resumed server state"));
+    assert!(text2.contains("0 samples matched"), "{text2}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn end_before_start_is_rejected() {
+    let dir = temp_dir("endstart");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "8", "--small"])
+            .status
+            .success()
+    );
+    let out = busprobe(&[
+        "simulate", "--dir", &dir_s, "--start", "09:00", "--end", "08:00",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--end must be after"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
