@@ -63,6 +63,7 @@ pub mod mapping;
 pub mod matching;
 mod serde_util;
 pub mod server;
+mod telemetry;
 pub mod updater;
 
 pub use alignment::{align, AlignOp, Alignment};
@@ -74,5 +75,5 @@ pub use inference::{infer_regional, EstimateSource, InferenceConfig, RegionalMap
 pub use map::{GoogleMapsIndicator, SegmentEstimate, SpeedLevel, TrafficMap};
 pub use mapping::{MappedVisit, TripMapper};
 pub use matching::{MatchConfig, MatchResult, Matcher};
-pub use server::{IngestReport, MonitorConfig, MonitorState, TrafficMonitor};
+pub use server::{DropReason, IngestReport, MonitorConfig, MonitorState, TrafficMonitor};
 pub use updater::{DbUpdater, UpdaterConfig};

@@ -1,8 +1,6 @@
 //! Crate-internal serde helpers.
 
-use serde::de::Deserializer;
-use serde::ser::Serializer;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Serializes `BTreeMap`s with non-string keys as sequences of pairs so
@@ -10,22 +8,24 @@ use std::collections::BTreeMap;
 pub(crate) mod map_as_pairs {
     use super::*;
 
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    pub fn to_value<K, V>(map: &BTreeMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        serializer.collect_seq(map.iter())
+        Value::Array(
+            map.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn from_value<K, V>(value: &Value) -> Result<BTreeMap<K, V>, Error>
     where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: for<'de> Deserialize<'de> + Ord,
+        V: for<'de> Deserialize<'de>,
     {
-        let pairs = Vec::<(K, V)>::deserialize(deserializer)?;
+        let pairs = Vec::<(K, V)>::from_value(value)?;
         Ok(pairs.into_iter().collect())
     }
 }

@@ -13,10 +13,12 @@ use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
 use crate::mapping::{MappedVisit, TripMapper};
 use crate::matching::Matcher;
+use crate::telemetry::PipelineMetrics;
 use crate::updater::{DbUpdater, UpdaterConfig};
 use crate::{ClusterConfig, EstimatorConfig, MatchConfig};
 use busprobe_mobile::Trip;
 use busprobe_network::TransitNetwork;
+use busprobe_telemetry::Level;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -48,6 +50,21 @@ pub struct MonitorState {
     pub seen: Vec<u64>,
 }
 
+/// Why a trip produced no speed observations — the pipeline stage that
+/// dropped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The upload was a byte-identical duplicate and was skipped whole.
+    RejectedDuplicate,
+    /// No sample passed the γ matching threshold.
+    UnmatchedScans,
+    /// Matches existed but no route-consistent stop sequence did.
+    Unmapped,
+    /// Stops were identified, but too few (or too far apart in time)
+    /// to estimate any segment speed.
+    TooFewVisits,
+}
+
 /// Diagnostics for one ingested trip.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct IngestReport {
@@ -64,6 +81,32 @@ pub struct IngestReport {
     pub visits: usize,
     /// Speed observations folded into the map.
     pub observations: usize,
+}
+
+impl IngestReport {
+    /// Samples that failed the γ matching threshold.
+    #[must_use]
+    pub fn unmatched_scans(&self) -> usize {
+        self.samples.saturating_sub(self.matched)
+    }
+
+    /// The stage that dropped this trip, or `None` if it produced
+    /// observations. Every zero-observation trip is attributable to
+    /// exactly one stage.
+    #[must_use]
+    pub fn drop_reason(&self) -> Option<DropReason> {
+        if self.duplicate {
+            Some(DropReason::RejectedDuplicate)
+        } else if self.observations > 0 {
+            None
+        } else if self.matched == 0 {
+            Some(DropReason::UnmatchedScans)
+        } else if self.visits == 0 {
+            Some(DropReason::Unmapped)
+        } else {
+            Some(DropReason::TooFewVisits)
+        }
+    }
 }
 
 /// The backend server.
@@ -89,6 +132,8 @@ pub struct TrafficMonitor {
     updater: Mutex<DbUpdater>,
     /// Digests of ingested uploads, for duplicate suppression.
     seen: Mutex<std::collections::HashSet<u64>>,
+    /// Cached handles into the global telemetry registry.
+    metrics: PipelineMetrics,
 }
 
 impl TrafficMonitor {
@@ -104,6 +149,7 @@ impl TrafficMonitor {
             config,
             fusion: Mutex::new(SegmentFusion::paper_default()),
             seen: Mutex::new(std::collections::HashSet::new()),
+            metrics: PipelineMetrics::new(),
         }
     }
 
@@ -137,7 +183,15 @@ impl TrafficMonitor {
     /// Runs one trip upload through matching → clustering → mapping →
     /// estimation and folds the result into the shared traffic state.
     pub fn ingest_trip(&self, trip: &Trip) -> IngestReport {
+        self.metrics.trips.inc();
+        self.metrics.samples.add(trip.samples.len() as u64);
         if !self.seen.lock().insert(Self::digest(trip)) {
+            self.metrics.drop_rejected_duplicate.inc();
+            busprobe_telemetry::event(
+                Level::Debug,
+                "core::ingest",
+                format!("duplicate upload rejected ({} samples)", trip.samples.len()),
+            );
             return IngestReport {
                 duplicate: true,
                 samples: trip.samples.len(),
@@ -145,14 +199,38 @@ impl TrafficMonitor {
             };
         }
         let (report, visits, observations) = self.pipeline(trip);
+        self.count_drop(&report);
         if self.config.online_db_update {
             self.harvest(trip, &visits);
         }
+        let span = self.metrics.span_fusion();
         let mut fusion = self.fusion.lock();
-        for obs in observations {
+        for obs in &observations {
             fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
         }
+        drop(fusion);
+        span.finish();
+        self.metrics.fusion_updates.add(observations.len() as u64);
+        self.metrics.obs_per_trip.record(observations.len() as f64);
         report
+    }
+
+    /// Attribute a zero-observation (non-duplicate) trip to the stage
+    /// that dropped it.
+    fn count_drop(&self, report: &IngestReport) {
+        match report.drop_reason() {
+            Some(DropReason::UnmatchedScans) => self.metrics.drop_unmatched_scans.inc(),
+            Some(DropReason::Unmapped) => self.metrics.drop_unmapped.inc(),
+            Some(DropReason::TooFewVisits) => self.metrics.drop_too_few_visits.inc(),
+            Some(DropReason::RejectedDuplicate) | None => {}
+        }
+        if let Some(reason) = report.drop_reason() {
+            busprobe_telemetry::event(
+                Level::Debug,
+                "core::ingest",
+                format!("trip dropped: {reason:?} ({} samples)", report.samples),
+            );
+        }
     }
 
     /// Feeds the online updater: for every confidently-identified visit,
@@ -178,12 +256,29 @@ impl TrafficMonitor {
     /// samples get their fingerprints re-elected, and the matcher swaps to
     /// the refreshed database. Returns how many entries changed.
     pub fn refresh_database(&self) -> usize {
+        let _span = self.metrics.span_refresh();
         let mut db = self.matcher.read().db().clone();
         let changed = self.updater.lock().refresh(&mut db, &self.config.matching);
         if changed > 0 {
             *self.matcher.write() = Matcher::new(db, self.config.matching);
+            self.metrics.db_promotions.add(changed as u64);
+            busprobe_telemetry::event(
+                Level::Info,
+                "core::updater",
+                format!("database refresh promoted {changed} fingerprints"),
+            );
         }
         changed
+    }
+
+    /// A point-in-time snapshot of the pipeline's telemetry: stage
+    /// wall-times, volume counters, drop reasons and recent events.
+    ///
+    /// Instruments live in the process-wide registry (named
+    /// `busprobe_core_*`), so monitors in one process share counters.
+    #[must_use]
+    pub fn telemetry(&self) -> busprobe_telemetry::Snapshot {
+        busprobe_telemetry::snapshot()
     }
 
     /// A copy of the current fingerprint database (for persistence).
@@ -213,6 +308,7 @@ impl TrafficMonitor {
             config,
             fusion: Mutex::new(state.fusion),
             seen: Mutex::new(state.seen.into_iter().collect()),
+            metrics: PipelineMetrics::new(),
         }
     }
 
@@ -228,12 +324,14 @@ impl TrafficMonitor {
 
     /// The full §III-C/§III-D pipeline for one trip.
     fn pipeline(&self, trip: &Trip) -> (IngestReport, Vec<MappedVisit>, Vec<SpeedObservation>) {
+        let _pipeline_span = self.metrics.span_pipeline();
         let mut report = IngestReport {
             samples: trip.samples.len(),
             ..Default::default()
         };
 
         // Per-sample matching (γ filter included).
+        let span = self.metrics.span_matching();
         let matcher = self.matcher.read();
         let matched: Vec<MatchedSample> = trip
             .samples
@@ -249,26 +347,41 @@ impl TrafficMonitor {
             })
             .collect();
         drop(matcher);
+        span.finish();
         report.matched = matched.len();
+        self.metrics.scans_matched.add(matched.len() as u64);
+        self.metrics
+            .scans_unmatched
+            .add(report.unmatched_scans() as u64);
         if matched.is_empty() {
             return (report, Vec::new(), Vec::new());
         }
 
         // Per-stop clustering.
+        let span = self.metrics.span_clustering();
         let clusters = self.clusterer.cluster(matched);
+        span.finish();
         report.clusters = clusters.len();
+        self.metrics.clusters.add(clusters.len() as u64);
 
         // Per-trip mapping.
+        let span = self.metrics.span_mapping();
         let mapper = TripMapper::new(&self.network);
-        let Some(visits) = mapper.map_trip(&clusters) else {
+        let mapped = mapper.map_trip(&clusters);
+        span.finish();
+        let Some(visits) = mapped else {
             return (report, Vec::new(), Vec::new());
         };
         report.visits = visits.len();
+        self.metrics.visits_mapped.add(visits.len() as u64);
 
         // Traffic estimation.
+        let span = self.metrics.span_estimation();
         let estimator = TripEstimator::new(&self.network, self.config.estimation);
         let observations = estimator.estimate(&visits);
+        span.finish();
         report.observations = observations.len();
+        self.metrics.observations.add(observations.len() as u64);
         (report, visits, observations)
     }
 
@@ -276,6 +389,7 @@ impl TrafficMonitor {
     /// threads); returns per-trip reports in input order.
     #[must_use]
     pub fn ingest_batch(&self, trips: &[Trip]) -> Vec<IngestReport> {
+        let _batch_span = self.metrics.span_ingest_batch();
         let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         let chunk = trips.len().div_ceil(workers).max(1);
         let mut reports = vec![IngestReport::default(); trips.len()];

@@ -1,0 +1,107 @@
+//! Cached telemetry handles for the ingest pipeline.
+//!
+//! All instruments live in the global [`busprobe_telemetry`] registry
+//! under the `busprobe_core_*` naming scheme; this module resolves them
+//! once per [`TrafficMonitor`](crate::TrafficMonitor) so the per-trip
+//! hot path records through plain atomics without any name lookups.
+
+use busprobe_telemetry::{Counter, Histogram, Span, StageTimer};
+use std::sync::Arc;
+
+/// Upper bounds for the observations-per-trip histogram.
+const OBS_BUCKETS: [f64; 6] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Pre-resolved instruments for one monitor.
+#[derive(Debug)]
+pub(crate) struct PipelineMetrics {
+    // Volume counters.
+    pub trips: Counter,
+    pub samples: Counter,
+    pub scans_matched: Counter,
+    pub scans_unmatched: Counter,
+    pub clusters: Counter,
+    pub visits_mapped: Counter,
+    pub observations: Counter,
+    pub fusion_updates: Counter,
+    pub db_promotions: Counter,
+    // Drop attribution: every ingested trip that yields zero
+    // observations increments exactly one of these.
+    pub drop_rejected_duplicate: Counter,
+    pub drop_unmatched_scans: Counter,
+    pub drop_unmapped: Counter,
+    pub drop_too_few_visits: Counter,
+    // Distribution of observations per accepted trip.
+    pub obs_per_trip: Arc<Histogram>,
+    // Wall-time per pipeline stage.
+    stage_ingest_batch: Arc<StageTimer>,
+    stage_pipeline: Arc<StageTimer>,
+    stage_matching: Arc<StageTimer>,
+    stage_clustering: Arc<StageTimer>,
+    stage_mapping: Arc<StageTimer>,
+    stage_estimation: Arc<StageTimer>,
+    stage_fusion: Arc<StageTimer>,
+    stage_refresh: Arc<StageTimer>,
+}
+
+impl PipelineMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = busprobe_telemetry::global();
+        Self {
+            trips: registry.counter("busprobe_core_trips_ingested_total"),
+            samples: registry.counter("busprobe_core_samples_total"),
+            scans_matched: registry.counter("busprobe_core_scans_matched_total"),
+            scans_unmatched: registry.counter("busprobe_core_scans_unmatched_total"),
+            clusters: registry.counter("busprobe_core_clusters_total"),
+            visits_mapped: registry.counter("busprobe_core_visits_mapped_total"),
+            observations: registry.counter("busprobe_core_observations_total"),
+            fusion_updates: registry.counter("busprobe_core_fusion_updates_total"),
+            db_promotions: registry.counter("busprobe_core_db_promotions_total"),
+            drop_rejected_duplicate: registry
+                .counter("busprobe_core_drop_rejected_duplicate_total"),
+            drop_unmatched_scans: registry.counter("busprobe_core_drop_unmatched_scans_total"),
+            drop_unmapped: registry.counter("busprobe_core_drop_unmapped_total"),
+            drop_too_few_visits: registry.counter("busprobe_core_drop_too_few_visits_total"),
+            obs_per_trip: registry.histogram("busprobe_core_observations_per_trip", &OBS_BUCKETS),
+            stage_ingest_batch: registry.stage("busprobe_core_stage_ingest_batch"),
+            stage_pipeline: registry.stage("busprobe_core_stage_pipeline"),
+            stage_matching: registry.stage("busprobe_core_stage_matching"),
+            stage_clustering: registry.stage("busprobe_core_stage_clustering"),
+            stage_mapping: registry.stage("busprobe_core_stage_mapping"),
+            stage_estimation: registry.stage("busprobe_core_stage_estimation"),
+            stage_fusion: registry.stage("busprobe_core_stage_fusion"),
+            stage_refresh: registry.stage("busprobe_core_stage_refresh"),
+        }
+    }
+
+    pub(crate) fn span_ingest_batch(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_ingest_batch))
+    }
+
+    pub(crate) fn span_pipeline(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_pipeline))
+    }
+
+    pub(crate) fn span_matching(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_matching))
+    }
+
+    pub(crate) fn span_clustering(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_clustering))
+    }
+
+    pub(crate) fn span_mapping(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_mapping))
+    }
+
+    pub(crate) fn span_estimation(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_estimation))
+    }
+
+    pub(crate) fn span_fusion(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_fusion))
+    }
+
+    pub(crate) fn span_refresh(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_refresh))
+    }
+}

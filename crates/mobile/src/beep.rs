@@ -8,6 +8,7 @@
 //! target bands simultaneously.
 
 use crate::goertzel::Goertzel;
+use crate::telemetry::metrics;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the beep detector.
@@ -212,6 +213,10 @@ impl BeepDetector {
             let window: Vec<f64> = self.buffer.drain(..window_len).collect();
             let t = self.samples_consumed as f64 / self.config.sample_rate_hz;
             self.samples_consumed += window_len;
+            metrics().windows.inc();
+            metrics()
+                .goertzel_invocations
+                .add((self.target_filters.len() + self.reference_filters.len()) as u64);
 
             // Smoothed band powers: raw 30 ms powers are exponentially
             // distributed, so a few-window average is what makes the 3-sigma
@@ -257,8 +262,12 @@ impl BeepDetector {
             if all_jumped && t - self.last_detection_s >= self.config.refractory_s {
                 detections.push(t);
                 self.last_detection_s = t;
+                metrics().beeps_detected.inc();
                 // Do not poison the background statistics with beep windows.
             } else {
+                if all_jumped {
+                    metrics().beeps_suppressed_refractory.inc();
+                }
                 for (stat, s) in self.stats.iter_mut().zip(&strengths) {
                     stat.push(*s);
                 }

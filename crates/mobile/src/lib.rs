@@ -39,6 +39,7 @@ pub mod fft;
 pub mod goertzel;
 pub mod motion;
 pub mod phone;
+mod telemetry;
 pub mod trip;
 
 pub use beep::{BeepDetector, BeepDetectorConfig};

@@ -132,6 +132,7 @@ impl Phone {
         for offset in self.detector.process(samples) {
             let t = self.audio_epoch_s + offset;
             if !gate_open {
+                crate::telemetry::metrics().beeps_gated_motion.inc();
                 continue;
             }
             if let Some(trip) = self.recorder.record_beep(t, scan(t)) {

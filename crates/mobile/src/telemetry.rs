@@ -1,0 +1,47 @@
+//! Cached telemetry handles for the phone-side pipeline.
+//!
+//! All instruments live in the global [`busprobe_telemetry`] registry
+//! under the `busprobe_mobile_*` naming scheme. Phones and detectors are
+//! created per simulated rider, so the handles are resolved once per
+//! process and shared.
+
+use busprobe_telemetry::Counter;
+use std::sync::OnceLock;
+
+/// Pre-resolved instruments for the on-device pipeline.
+#[derive(Debug)]
+pub(crate) struct MobileMetrics {
+    /// Audio analysis windows fed through the band filters.
+    pub windows: Counter,
+    /// Individual Goertzel filter evaluations (target + reference bands).
+    pub goertzel_invocations: Counter,
+    /// Beeps that passed the jump test and were reported.
+    pub beeps_detected: Counter,
+    /// Jumps swallowed by the refractory dead time (double-tap guard).
+    pub beeps_suppressed_refractory: Counter,
+    /// Detections discarded because the motion gate said "not a bus".
+    pub beeps_gated_motion: Counter,
+    /// Trips concluded by the recorder (timeout or flush).
+    pub trips_assembled: Counter,
+    /// Cellular samples carried by those trips.
+    pub trip_samples: Counter,
+}
+
+static METRICS: OnceLock<MobileMetrics> = OnceLock::new();
+
+/// The process-wide mobile instrument set.
+pub(crate) fn metrics() -> &'static MobileMetrics {
+    METRICS.get_or_init(|| {
+        let registry = busprobe_telemetry::global();
+        MobileMetrics {
+            windows: registry.counter("busprobe_mobile_audio_windows_total"),
+            goertzel_invocations: registry.counter("busprobe_mobile_goertzel_invocations_total"),
+            beeps_detected: registry.counter("busprobe_mobile_beeps_detected_total"),
+            beeps_suppressed_refractory: registry
+                .counter("busprobe_mobile_beeps_suppressed_refractory_total"),
+            beeps_gated_motion: registry.counter("busprobe_mobile_beeps_gated_motion_total"),
+            trips_assembled: registry.counter("busprobe_mobile_trips_assembled_total"),
+            trip_samples: registry.counter("busprobe_mobile_trip_samples_total"),
+        }
+    })
+}

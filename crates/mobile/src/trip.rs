@@ -7,6 +7,7 @@
 //! starts uploading another independent trip when new beeps are thereafter
 //! detected" (§III-B).
 
+use crate::telemetry::metrics;
 use busprobe_cellular::CellScan;
 use serde::{Deserialize, Serialize};
 
@@ -122,9 +123,12 @@ impl TripRecorder {
         if self.current.is_empty() {
             None
         } else {
-            Some(Trip {
+            let trip = Trip {
                 samples: std::mem::take(&mut self.current),
-            })
+            };
+            metrics().trips_assembled.inc();
+            metrics().trip_samples.add(trip.samples.len() as u64);
+            Some(trip)
         }
     }
 }

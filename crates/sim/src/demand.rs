@@ -59,6 +59,7 @@ impl DemandModel {
         rng: &mut R,
     ) -> u32 {
         let lambda = self.boarding_rate_per_min(site, t) * headway_s / 60.0;
+        crate::telemetry::metrics().demand_draws.inc();
         sample_poisson(lambda, rng)
     }
 

@@ -3,6 +3,7 @@ use crate::output::{
     BeepEvent, BusId, BusTrace, RiderId, RiderTrip, SimOutput, StopVisit, TracePoint,
 };
 use crate::profile::{BusSpeedModel, TrafficProfile};
+use crate::telemetry::metrics;
 use crate::time::SimTime;
 use busprobe_network::{BusRoute, SegmentKey, TransitNetwork};
 use rand::rngs::StdRng;
@@ -153,6 +154,7 @@ impl Simulation {
     /// Runs every dispatch of every route to completion.
     #[must_use]
     pub fn run(&self) -> SimOutput {
+        let _run_span = metrics().span_run();
         let mut output = SimOutput::default();
         let mut bus_counter = 0u32;
         let mut rider_counter = 0u64;
@@ -198,6 +200,7 @@ impl Simulation {
         record_trace: bool,
         output: &mut SimOutput,
     ) {
+        metrics().bus_runs.inc();
         let s = &self.scenario;
         let stops = route.stops();
         let mut t = dispatch;
@@ -265,6 +268,7 @@ impl Simulation {
                 });
                 tap_time = tap_time + TAP_INTERVAL_S;
             }
+            metrics().riders.add(u64::from(boarded));
             for _ in 0..boarded {
                 let rider = RiderId(*rider_counter);
                 *rider_counter += 1;
@@ -291,6 +295,8 @@ impl Simulation {
             } else {
                 arrival
             };
+            metrics().stop_visits.inc();
+            metrics().beeps.add(u64::from(boarded + alighted));
             output.stop_visits.push(StopVisit {
                 bus,
                 route: route.id,
@@ -350,6 +356,7 @@ impl Simulation {
         debug_assert!(remaining >= -1e-9, "route offsets move forward");
         let mut prev_speed = 0.0;
         while remaining > 1e-9 {
+            metrics().travel_steps.inc();
             let seg = s.network.segment(seg_key);
             let (car, free) = match seg {
                 Some(seg) => (s.profile.car_speed_mps(seg, now), seg.free_speed_mps),

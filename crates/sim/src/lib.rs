@@ -44,6 +44,7 @@ mod engine;
 mod official;
 mod output;
 mod profile;
+mod telemetry;
 mod time;
 
 pub use demand::DemandModel;

@@ -1,0 +1,261 @@
+//! Snapshot exporters: JSON and Prometheus text exposition.
+//!
+//! Both renderers read the same [`Snapshot`], so the two formats always
+//! agree on every number. JSON is hand-assembled here to keep this
+//! crate dependency-light (std + parking_lot only).
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Render a float exactly (shortest round-trip form).
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        // JSON has no Inf/NaN; Prometheus renders them specially, but a
+        // shared representation keeps the exporters consistent.
+        "null".to_string()
+    }
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Replace characters outside `[a-zA-Z0-9_:]` so a registry name is a
+/// legal Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+impl Snapshot {
+    /// The snapshot as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, name);
+            out.push(':');
+            out.push_str(&fmt_f64(*value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, &h.name);
+            out.push_str(":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f64(*b));
+            }
+            out.push_str("],\"buckets\":[");
+            for (j, c) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":{}}}", h.count, fmt_f64(h.sum));
+        }
+        out.push_str("},\"stages\":{");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ":{{\"calls\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                s.calls, s.total_ns, s.max_ns
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\"events_dropped\":{},\"events\":[",
+            self.events_dropped
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"epoch_ms\":{},\"level\":",
+                e.seq, e.epoch_ms
+            );
+            json_escape(&mut out, e.level.as_str());
+            out.push_str(",\"target\":");
+            json_escape(&mut out, &e.target);
+            out.push_str(",\"message\":");
+            json_escape(&mut out, &e.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters keep their registered names; stage timers export
+    /// `<name>_calls_total`, `<name>_seconds_total` and
+    /// `<name>_max_seconds`; histograms export cumulative
+    /// `<name>_bucket{le="…"}` series plus `_sum` and `_count`. Events
+    /// are not exported (Prometheus carries numbers, not logs).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, value) in &self.counters {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let name = prom_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", fmt_f64(*value));
+        }
+        for h in &self.histograms {
+            let name = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    fmt_f64(*bound)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum));
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        for s in &self.stages {
+            let name = prom_name(&s.name);
+            let _ = writeln!(out, "# TYPE {name}_calls_total counter");
+            let _ = writeln!(out, "{name}_calls_total {}", s.calls);
+            let _ = writeln!(out, "# TYPE {name}_seconds_total counter");
+            let _ = writeln!(out, "{name}_seconds_total {}", fmt_f64(s.total_seconds()));
+            let _ = writeln!(out, "# TYPE {name}_max_seconds gauge");
+            let _ = writeln!(out, "{name}_max_seconds {}", fmt_f64(s.max_ns as f64 / 1e9));
+        }
+        let _ = writeln!(
+            out,
+            "# TYPE busprobe_telemetry_events_dropped_total counter"
+        );
+        let _ = writeln!(
+            out,
+            "busprobe_telemetry_events_dropped_total {}",
+            self.events_dropped
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::events::Level;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter("busprobe_core_trips_ingested_total")
+            .add(7);
+        registry.gauge("busprobe_core_db_sites").set(42.5);
+        registry
+            .histogram("busprobe_core_obs_per_trip", &[1.0, 4.0])
+            .record(2.0);
+        registry
+            .stage("busprobe_core_stage_matching")
+            .record_ns(1_500_000);
+        registry.event(Level::Info, "core::ingest", "trip accepted");
+        registry
+    }
+
+    #[test]
+    fn json_exports_every_section() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.contains("\"busprobe_core_trips_ingested_total\":7"));
+        assert!(json.contains("\"busprobe_core_db_sites\":42.5"));
+        assert!(json.contains("\"bounds\":[1.0,4.0]"));
+        assert!(json.contains("\"buckets\":[0,1,0]"));
+        assert!(json.contains("\"calls\":1,\"total_ns\":1500000"));
+        assert!(json.contains("\"message\":\"trip accepted\""));
+        assert!(json.contains("\"events_dropped\":0"));
+    }
+
+    #[test]
+    fn prometheus_exports_cumulative_buckets() {
+        let text = sample_registry().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE busprobe_core_trips_ingested_total counter"));
+        assert!(text.contains("busprobe_core_trips_ingested_total 7"));
+        assert!(text.contains("busprobe_core_db_sites 42.5"));
+        assert!(text.contains("busprobe_core_obs_per_trip_bucket{le=\"1.0\"} 0"));
+        assert!(text.contains("busprobe_core_obs_per_trip_bucket{le=\"4.0\"} 1"));
+        assert!(text.contains("busprobe_core_obs_per_trip_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("busprobe_core_stage_matching_calls_total 1"));
+        assert!(text.contains("busprobe_core_stage_matching_seconds_total 0.0015"));
+    }
+
+    #[test]
+    fn exporters_agree_on_values() {
+        let snap = sample_registry().snapshot();
+        let json = snap.to_json();
+        let prom = snap.to_prometheus();
+        for (name, value) in &snap.counters {
+            assert!(json.contains(&format!("\"{name}\":{value}")));
+            assert!(prom.contains(&format!("{name} {value}")));
+        }
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        use super::prom_name;
+        assert_eq!(prom_name("core::ingest.total"), "core::ingest_total");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("ok_name:x"), "ok_name:x");
+    }
+}

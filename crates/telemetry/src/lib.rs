@@ -1,0 +1,106 @@
+//! Pipeline-wide observability for busprobe: named counters, gauges,
+//! fixed-bucket histograms, per-stage wall-time spans and a structured
+//! event ring, with JSON and Prometheus text exporters.
+//!
+//! Instruments live in a [`Registry`]. Most code uses the process-wide
+//! global registry through the free functions:
+//!
+//! ```
+//! busprobe_telemetry::counter("busprobe_doc_example_total").inc();
+//! {
+//!     let _span = busprobe_telemetry::span("busprobe_doc_example_stage");
+//!     // ... timed work ...
+//! }
+//! let snapshot = busprobe_telemetry::snapshot();
+//! assert_eq!(snapshot.counter("busprobe_doc_example_total"), Some(1));
+//! ```
+//!
+//! Metric names follow `busprobe_<crate>_<name>` (see DESIGN.md,
+//! "Observability"). Hot paths should hold instrument handles rather
+//! than re-looking them up by name; handles record with a single atomic
+//! operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod export;
+mod metrics;
+mod registry;
+mod span;
+
+pub use events::{Event, Level};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{HistogramSnapshot, Registry, Snapshot, StageSnapshot, DEFAULT_EVENT_CAPACITY};
+pub use span::{Span, StageTimer};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+#[must_use]
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The global counter named `name` (created on first use).
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// The global gauge named `name` (created on first use).
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// The global histogram named `name` (bounds fixed on first use).
+#[must_use]
+pub fn histogram(name: &str, bounds: &[f64]) -> std::sync::Arc<Histogram> {
+    global().histogram(name, bounds)
+}
+
+/// Start timing `stage` in the global registry.
+pub fn span(stage: &str) -> Span {
+    global().span(stage)
+}
+
+/// Record a structured event in the global registry.
+pub fn event(level: Level, target: &str, message: impl Into<String>) {
+    global().event(level, target, message);
+}
+
+/// A point-in-time snapshot of the global registry.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Zero every global instrument and clear the event ring.
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry is process-wide, so this test uses names no
+    // other test touches.
+    #[test]
+    fn global_free_functions_share_one_registry() {
+        counter("libtest_hits_total").add(3);
+        gauge("libtest_level").set(1.25);
+        {
+            let _span = span("libtest_stage");
+        }
+        event(Level::Info, "libtest", "hello");
+        let snap = snapshot();
+        assert_eq!(snap.counter("libtest_hits_total"), Some(3));
+        assert_eq!(snap.gauge("libtest_level"), Some(1.25));
+        assert_eq!(snap.stage("libtest_stage").unwrap().calls, 1);
+        assert!(snap.events.iter().any(|e| e.target == "libtest"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The metric registry: named instruments plus point-in-time snapshots.
+
+use crate::events::{Event, EventRing, Level};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::span::{Span, StageTimer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Default capacity of the event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A collection of named counters, gauges, histograms, stage timers and
+/// an event ring.
+///
+/// Instrument lookup takes a short read lock (write lock only on first
+/// registration); recording through a returned handle is lock-free.
+/// Names follow the `busprobe_<crate>_<name>` scheme described in
+/// DESIGN.md.
+#[derive(Debug)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    stages: RwLock<BTreeMap<String, Arc<StageTimer>>>,
+    events: Mutex<EventRing>,
+    min_level: AtomicU8,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default event capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty registry keeping at most `capacity` recent events.
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            stages: RwLock::new(BTreeMap::new()),
+            events: Mutex::new(EventRing::new(capacity)),
+            min_level: AtomicU8::new(Level::Debug as u8),
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(counter) = self.counters.read().get(name) {
+            return counter.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(gauge) = self.gauges.read().get(name) {
+            return gauge.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use. Later calls ignore `bounds` and return the
+    /// existing instrument.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(histogram) = self.histograms.read().get(name) {
+            return Arc::clone(histogram);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// The stage timer registered under `name`, creating it on first
+    /// use.
+    pub fn stage(&self, name: &str) -> Arc<StageTimer> {
+        if let Some(timer) = self.stages.read().get(name) {
+            return Arc::clone(timer);
+        }
+        Arc::clone(
+            self.stages
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(StageTimer::new())),
+        )
+    }
+
+    /// Start timing `stage`; the returned guard records on drop.
+    pub fn span(&self, stage: &str) -> Span {
+        Span::start(self.stage(stage))
+    }
+
+    /// Drop events below `level` from now on.
+    pub fn set_min_level(&self, level: Level) {
+        self.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Record a structured event (subject to the level filter).
+    pub fn event(&self, level: Level, target: &str, message: impl Into<String>) {
+        if (level as u8) < self.min_level.load(Ordering::Relaxed) {
+            return;
+        }
+        self.events.lock().push(level, target, message.into());
+    }
+
+    /// A consistent point-in-time copy of every instrument.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+            })
+            .collect();
+        let stages = self
+            .stages
+            .read()
+            .iter()
+            .map(|(name, t)| StageSnapshot {
+                name: name.clone(),
+                calls: t.calls(),
+                total_ns: t.total_ns(),
+                max_ns: t.max_ns(),
+            })
+            .collect();
+        let (events, events_dropped) = {
+            let ring = self.events.lock();
+            (ring.snapshot(), ring.dropped())
+        };
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            stages,
+            events,
+            events_dropped,
+        }
+    }
+
+    /// Zero every instrument and clear the event ring. Instrument
+    /// handles held by callers stay valid (they share the zeroed
+    /// atomics).
+    pub fn reset(&self) {
+        for counter in self.counters.read().values() {
+            counter.reset();
+        }
+        for gauge in self.gauges.read().values() {
+            gauge.reset();
+        }
+        for histogram in self.histograms.read().values() {
+            histogram.reset();
+        }
+        for stage in self.stages.read().values() {
+            stage.reset();
+        }
+        self.events.lock().clear();
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// Point-in-time copy of a [`StageTimer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Registered stage name.
+    pub name: String,
+    /// Completed spans.
+    pub calls: u64,
+    /// Aggregate wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageSnapshot {
+    /// Aggregate wall time in seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Mean span duration in seconds (zero when never called).
+    #[must_use]
+    pub fn mean_seconds(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_seconds() / self.calls as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Stage timer states, sorted by name.
+    pub stages: Vec<StageSnapshot>,
+    /// Recent events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring since the last reset.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The state of stage timer `name`, if registered.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The state of histogram `name`, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_get_or_create() {
+        let registry = Registry::new();
+        registry.counter("a").add(2);
+        registry.counter("a").add(3);
+        assert_eq!(registry.snapshot().counter("a"), Some(5));
+        assert_eq!(registry.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_at_first_registration() {
+        let registry = Registry::new();
+        let h = registry.histogram("h", &[1.0, 2.0]);
+        let again = registry.histogram("h", &[99.0]);
+        h.record(1.5);
+        assert_eq!(again.count(), 1, "same instrument");
+        assert_eq!(again.bounds(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spans_feed_stage_snapshots() {
+        let registry = Registry::new();
+        {
+            let _span = registry.span("stage_x");
+        }
+        let snap = registry.snapshot();
+        let stage = snap.stage("stage_x").unwrap();
+        assert_eq!(stage.calls, 1);
+        assert!(stage.mean_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn level_filter_drops_chatty_events() {
+        let registry = Registry::new();
+        registry.set_min_level(Level::Warn);
+        registry.event(Level::Debug, "t", "dropped");
+        registry.event(Level::Error, "t", "kept");
+        let snap = registry.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].message, "kept");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let registry = Registry::new();
+        let c = registry.counter("kept");
+        c.add(9);
+        registry.event(Level::Info, "t", "old");
+        registry.reset();
+        assert_eq!(registry.snapshot().counter("kept"), Some(0));
+        assert!(registry.snapshot().events.is_empty());
+        c.inc();
+        assert_eq!(registry.snapshot().counter("kept"), Some(1));
+    }
+}

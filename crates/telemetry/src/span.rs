@@ -1,0 +1,108 @@
+//! Stage timing: named wall-clock aggregates and RAII span guards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Aggregated wall time for one named pipeline stage.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl StageTimer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one measured duration into the aggregate.
+    pub fn record_ns(&self, elapsed_ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Number of completed spans.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total measured wall time in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Longest single span in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard timing one stage execution; records on drop.
+#[must_use = "a span measures until it is dropped"]
+#[derive(Debug)]
+pub struct Span {
+    timer: Arc<StageTimer>,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing against `timer` directly (hot paths cache the
+    /// `Arc<StageTimer>` instead of re-resolving the name).
+    pub fn start(timer: Arc<StageTimer>) -> Self {
+        Self {
+            timer,
+            start: Instant::now(),
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.timer.record_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_into_the_timer() {
+        let timer = Arc::new(StageTimer::new());
+        for _ in 0..3 {
+            let span = Span::start(Arc::clone(&timer));
+            std::hint::black_box(17u64 * 3);
+            span.finish();
+        }
+        assert_eq!(timer.calls(), 3);
+        assert!(timer.max_ns() <= timer.total_ns());
+    }
+
+    #[test]
+    fn record_tracks_max() {
+        let timer = StageTimer::new();
+        timer.record_ns(10);
+        timer.record_ns(50);
+        timer.record_ns(20);
+        assert_eq!(timer.calls(), 3);
+        assert_eq!(timer.total_ns(), 80);
+        assert_eq!(timer.max_ns(), 50);
+    }
+}

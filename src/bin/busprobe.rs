@@ -8,6 +8,8 @@
 //! busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE]
 //!                                                      ingest uploads, print the traffic map
 //! busprobe demo     [--seed N]                         all three steps in memory
+//! busprobe metrics  --dir DIR [--format text|json|prometheus]
+//!                                                      ingest uploads, dump pipeline telemetry
 //! ```
 //!
 //! Artifacts in DIR: `world.json` (metadata), `network.json`,
@@ -16,8 +18,8 @@
 use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
 use busprobe::core::geojson::{map_to_geojson, regional_to_geojson};
 use busprobe::core::{
-    infer_regional, InferenceConfig, MatchConfig, MonitorConfig, MonitorState, StopFingerprintDb,
-    TrafficMonitor,
+    infer_regional, DropReason, InferenceConfig, IngestReport, MatchConfig, MonitorConfig,
+    MonitorState, StopFingerprintDb, TrafficMonitor,
 };
 use busprobe::geo::LocalProjection;
 use busprobe::mobile::{CellularSample, Trip};
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -68,6 +71,7 @@ USAGE:
     busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
     busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE] [--state FILE]
     busprobe demo     [--seed N]
+    busprobe metrics  --dir DIR [--format text|json|prometheus]
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -282,6 +286,101 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         println!("saved server state to {path:?}");
     }
     Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let dir = dir_of(args)?;
+    let format = flag_value(args, "--format").unwrap_or("text");
+    let (_, network, _) = load_world(&dir)?;
+    let db: StopFingerprintDb = read_json(&dir.join("db.json"))?;
+    let trips: Vec<Trip> = read_json(&dir.join("trips.json"))?;
+    if trips.is_empty() {
+        return Err("trips.json contains no uploads; run `busprobe simulate` first".into());
+    }
+
+    // Telemetry is in-process: re-run the ingest pipeline over the stored
+    // uploads so the snapshot describes exactly this data set.
+    let monitor = TrafficMonitor::new(network, db, MonitorConfig::default());
+    let reports = monitor.ingest_batch(&trips);
+    monitor.refresh_database();
+    let snapshot = monitor.telemetry();
+
+    match format {
+        "json" => println!("{}", snapshot.to_json()),
+        "prometheus" | "prom" => print!("{}", snapshot.to_prometheus()),
+        "text" => print_metrics_text(&snapshot, &reports),
+        other => return Err(format!("unknown --format `{other}` (text|json|prometheus)")),
+    }
+    Ok(())
+}
+
+/// Human-readable telemetry report: counters, stage timings, histograms,
+/// drop attribution and recent events.
+fn print_metrics_text(snapshot: &busprobe::telemetry::Snapshot, reports: &[IngestReport]) {
+    println!("== counters ==");
+    for (name, value) in &snapshot.counters {
+        println!("{name:<52} {value:>12}");
+    }
+
+    println!();
+    println!("== stages ==");
+    println!(
+        "{:<42} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "calls", "total ms", "mean ms", "max ms"
+    );
+    for stage in &snapshot.stages {
+        println!(
+            "{:<42} {:>8} {:>12.3} {:>12.4} {:>12.4}",
+            stage.name,
+            stage.calls,
+            stage.total_seconds() * 1e3,
+            stage.mean_seconds() * 1e3,
+            stage.max_ns as f64 / 1e6
+        );
+    }
+
+    if !snapshot.histograms.is_empty() {
+        println!();
+        println!("== histograms ==");
+        for h in &snapshot.histograms {
+            println!("{} (count {}, sum {:.1})", h.name, h.count, h.sum);
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                let label = h
+                    .bounds
+                    .get(i)
+                    .map_or_else(|| "+Inf".to_string(), |b| format!("{b}"));
+                println!("    le={label:<8} {bucket}");
+            }
+        }
+    }
+
+    println!();
+    println!("== drop attribution ==");
+    let dropped = reports.iter().filter(|r| r.drop_reason().is_some()).count();
+    let productive = reports.len() - dropped;
+    println!("uploads ingested      {:>8}", reports.len());
+    println!("produced observations {productive:>8}");
+    println!("dropped               {dropped:>8}");
+    for (reason, label) in [
+        (DropReason::RejectedDuplicate, "  duplicate digest"),
+        (DropReason::UnmatchedScans, "  no scans matched"),
+        (DropReason::Unmapped, "  no visits mapped"),
+        (DropReason::TooFewVisits, "  too few visits"),
+    ] {
+        let n = reports
+            .iter()
+            .filter(|r| r.drop_reason() == Some(reason))
+            .count();
+        println!("{label:<22} {n:>8}");
+    }
+
+    if !snapshot.events.is_empty() {
+        println!();
+        println!("== recent events ({} dropped) ==", snapshot.events_dropped);
+        for event in snapshot.events.iter().rev().take(10).rev() {
+            println!("[{:>5}] {}: {}", event.level, event.target, event.message);
+        }
+    }
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {

@@ -23,6 +23,7 @@
 //! | [`sim`] | traffic/bus/rider simulation + ground-truth feeds |
 //! | [`sensors`] | synthetic audio/accelerometer/GPS/cellular phone traces |
 //! | [`mobile`] | phone pipeline: Goertzel, beep detection, trip recorder, energy |
+//! | [`telemetry`] | counters, stage timers, event log, JSON/Prometheus exporters |
 //! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
 //!
 //! ## Quickstart
@@ -58,3 +59,4 @@ pub use busprobe_mobile as mobile;
 pub use busprobe_network as network;
 pub use busprobe_sensors as sensors;
 pub use busprobe_sim as sim;
+pub use busprobe_telemetry as telemetry;

@@ -1,8 +1,8 @@
 //! End-to-end integration: simulate a morning, upload, ingest, and check
 //! the backend's traffic estimates against the simulator's ground truth.
 
-use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
-use busprobe::core::{MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+use busprobe::cellular::{CellScan, DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe::core::{DropReason, MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
 use busprobe::mobile::{CellularSample, Trip};
 use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
@@ -197,6 +197,140 @@ fn stop_identification_accuracy_is_high() {
     }
     let accuracy = f64::from(correct) / f64::from(total);
     assert!(accuracy > 0.85, "identification accuracy {accuracy:.3}");
+}
+
+#[test]
+fn ingest_reports_attribute_every_dropped_trip_to_a_stage() {
+    let world = build_world(25);
+    let output = Simulation::new(world.scenario.clone()).run();
+    let trips = uploads(&world, &output, 4);
+    assert!(trips.len() > 50, "enough uploads: {}", trips.len());
+
+    let reports = world.monitor.ingest_batch(&trips);
+
+    // Every zero-observation trip carries exactly one drop reason; every
+    // productive trip carries none, so the reasons sum to
+    // (trips ingested − trips producing observations).
+    let productive = reports.iter().filter(|r| r.observations > 0).count();
+    let dropped = reports.iter().filter(|r| r.drop_reason().is_some()).count();
+    assert_eq!(dropped, reports.len() - productive);
+    for report in &reports {
+        match report.drop_reason() {
+            None => assert!(report.observations > 0 && !report.duplicate),
+            Some(DropReason::RejectedDuplicate) => assert!(report.duplicate),
+            Some(DropReason::UnmatchedScans) => assert_eq!(report.matched, 0),
+            Some(DropReason::Unmapped) => {
+                assert!(report.matched > 0);
+                assert_eq!(report.visits, 0);
+            }
+            Some(DropReason::TooFewVisits) => {
+                assert!(report.visits > 0);
+                assert_eq!(report.observations, 0);
+            }
+        }
+    }
+
+    // Re-uploading a seen trip is rejected as a duplicate digest.
+    let replay = world.monitor.ingest_trip(&trips[0]);
+    assert!(replay.duplicate);
+    assert_eq!(replay.drop_reason(), Some(DropReason::RejectedDuplicate));
+    assert_eq!(replay.observations, 0);
+
+    // A trip whose scans hear nothing can match no stop.
+    let silent = Trip {
+        samples: (0..3)
+            .map(|i| CellularSample {
+                time_s: 1000.0 + 60.0 * f64::from(i),
+                scan: CellScan::new(vec![]),
+            })
+            .collect(),
+    };
+    let report = world.monitor.ingest_trip(&silent);
+    assert_eq!(report.matched, 0);
+    assert_eq!(report.unmatched_scans(), 3);
+    assert_eq!(report.drop_reason(), Some(DropReason::UnmatchedScans));
+
+    // A single-stop trip maps at most one visit: no segment to estimate.
+    let site = &world.network.sites()[0];
+    let mut rng = StdRng::seed_from_u64(77);
+    let one_stop = Trip {
+        samples: (0..2)
+            .map(|i| CellularSample {
+                time_s: 2000.0 + 3.0 * f64::from(i),
+                scan: world.scanner.scan(site.position, &mut rng),
+            })
+            .collect(),
+    };
+    let report = world.monitor.ingest_trip(&one_stop);
+    if report.observations == 0 {
+        assert!(matches!(
+            report.drop_reason(),
+            Some(DropReason::TooFewVisits | DropReason::Unmapped | DropReason::UnmatchedScans)
+        ));
+    }
+}
+
+#[test]
+fn telemetry_snapshot_covers_every_pipeline_stage() {
+    let world = build_world(26);
+    let output = Simulation::new(world.scenario.clone()).run();
+    let trips = uploads(&world, &output, 5);
+    let reports = world.monitor.ingest_batch(&trips);
+    world.monitor.refresh_database();
+    assert!(reports.iter().any(|r| r.observations > 0));
+
+    // The registry is process-global (other tests contribute too), so
+    // assert non-zero coverage rather than exact values.
+    let snapshot = world.monitor.telemetry();
+    for counter in [
+        "busprobe_core_trips_ingested_total",
+        "busprobe_core_samples_total",
+        "busprobe_core_scans_matched_total",
+        "busprobe_core_clusters_total",
+        "busprobe_core_visits_mapped_total",
+        "busprobe_core_observations_total",
+        "busprobe_core_fusion_updates_total",
+    ] {
+        assert!(
+            snapshot.counter(counter).unwrap_or(0) > 0,
+            "counter {counter} must be non-zero after a simulated day"
+        );
+    }
+    for stage in [
+        "busprobe_core_stage_ingest_batch",
+        "busprobe_core_stage_pipeline",
+        "busprobe_core_stage_matching",
+        "busprobe_core_stage_clustering",
+        "busprobe_core_stage_mapping",
+        "busprobe_core_stage_estimation",
+        "busprobe_core_stage_fusion",
+        "busprobe_core_stage_refresh",
+    ] {
+        let s = snapshot.stage(stage).unwrap_or_else(|| {
+            panic!("stage {stage} must be registered");
+        });
+        assert!(s.calls > 0, "stage {stage} must have recorded spans");
+        assert!(s.total_ns > 0, "stage {stage} must have wall time");
+        assert!(s.max_ns <= s.total_ns);
+    }
+    let histogram = snapshot
+        .histogram("busprobe_core_observations_per_trip")
+        .expect("per-trip histogram registered");
+    assert!(histogram.count >= trips.len() as u64);
+
+    // Both exporters publish the same counter values.
+    let json = snapshot.to_json();
+    let prom = snapshot.to_prometheus();
+    for (name, value) in &snapshot.counters {
+        assert!(
+            json.contains(&format!("\"{name}\":{value}")),
+            "JSON must carry {name}={value}"
+        );
+        assert!(
+            prom.contains(&format!("{name} {value}")),
+            "Prometheus must carry {name}={value}"
+        );
+    }
 }
 
 #[test]

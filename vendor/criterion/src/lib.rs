@@ -1,0 +1,311 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-group API surface this workspace uses —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! measured with plain `std::time::Instant` wall clocks. Each benchmark
+//! warms up briefly, calibrates an iteration count to a target sample
+//! duration, then reports min/mean/max per-iteration times (and
+//! throughput when configured) on stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each measured sample should roughly take.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Warm-up budget per benchmark.
+const WARM_UP: Duration = Duration::from_millis(50);
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A hierarchical benchmark name: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    per_iter_ns: f64,
+}
+
+/// Run one benchmark: warm up, calibrate, then measure `samples` samples.
+fn run_benchmark<F: FnMut(&mut Bencher)>(samples: usize, mut routine: F) -> Vec<Sample> {
+    // Warm-up and calibration: grow the iteration count until one
+    // sample takes about TARGET_SAMPLE.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.elapsed >= TARGET_SAMPLE || warm_up_start.elapsed() >= WARM_UP {
+            let per_iter = bencher.elapsed.as_secs_f64() / iters.max(1) as f64;
+            if per_iter > 0.0 {
+                let wanted = (TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64;
+                iters = wanted.clamp(1, 1_000_000_000);
+            }
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    (0..samples.max(1))
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher);
+            Sample {
+                per_iter_ns: bencher.elapsed.as_secs_f64() * 1e9 / iters.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn report(name: &str, samples: &[Sample], throughput: Option<Throughput>) {
+    let mut times: Vec<f64> = samples.iter().map(|s| s.per_iter_ns).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let min = times[0];
+    let max = times[times.len() - 1];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (mean / 1e9);
+        println!("{:<50} thrpt: {rate:.1} {unit}/s", "");
+    }
+}
+
+/// Entry point holding global benchmark settings.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) harness command-line arguments.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: F,
+    ) -> &mut Self {
+        let samples = run_benchmark(self.sample_size, &mut routine);
+        report(&id.to_string(), &samples, None);
+        self
+    }
+
+    /// Final summary hook; the stand-in reports per-benchmark instead.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report throughput derived from per-iteration time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: F,
+    ) -> &mut Self {
+        let samples = run_benchmark(self.sample_size, &mut routine);
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = run_benchmark(self.sample_size, |b| routine(b, input));
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("unit_test_spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit_group");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` with the crossbeam 0.8 calling convention
+//! (`scope(|s| { s.spawn(|_| ...); }).unwrap()`), implemented on top of
+//! `std::thread::scope`. Child panics propagate as panics of the scope
+//! (std semantics) instead of surfacing in the returned `Result`; the
+//! `Result` wrapper exists so call sites written against crossbeam's API
+//! compile unchanged.
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`] closures; spawns scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope handle so
+    /// nested spawns are possible, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let nested = Scope { inner };
+            f(&nested)
+        })
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+/// Scoped threads module, mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut counts = [0u64; 4];
+        super::scope(|s| {
+            for slot in counts.iter_mut() {
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        *slot += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(counts.iter().all(|&c| c == 1000));
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `serde` to this self-contained implementation. Instead of serde's
+//! visitor-based zero-copy data model, it uses a simple tree model: every
+//! serializable type converts to and from a [`Value`] (the JSON data
+//! model), and `serde_json` renders a `Value` to text and parses it back.
+//!
+//! What is kept API-compatible with real serde, because workspace code
+//! relies on it:
+//!
+//! - `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   stand-in), including `#[serde(skip)]`, `#[serde(default)]` and
+//!   `#[serde(with = "module")]` field attributes. A `with` module
+//!   provides `to_value(&T) -> Value` and `from_value(&Value) ->
+//!   Result<T, Error>` instead of serde's `serialize`/`deserialize`.
+//! - The trait names and bound shapes: `Serialize`, `Deserialize<'de>`
+//!   (lifetime kept so `for<'de> Deserialize<'de>` bounds compile) and
+//!   `de::DeserializeOwned`.
+//! - Externally-tagged enum representation, map-as-array-of-pairs for
+//!   non-string keys (applied to *all* maps here, which round-trips and
+//!   sidesteps serde_json's string-key restriction).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+mod value;
+pub use value::{Number, Value};
+
+/// Serialization/deserialization error: a message describing what failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a tree value.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+///
+/// The `'de` lifetime parameter is unused (this model owns all data); it
+/// exists so code written against real serde's `for<'de>
+/// Deserialize<'de>` bounds compiles unchanged.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a tree value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Serialization half of the API, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Deserialization half of the API, mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// A `Deserialize` usable with owned data at any lifetime.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| type_error(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32);
+
+macro_rules! impl_serde_uint_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| type_error(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint_wide!(u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| type_error(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value.as_i64().ok_or_else(|| type_error("isize", value))?;
+        isize::try_from(n).map_err(|_| Error(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| type_error("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| type_error("f32", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(type_error("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(type_error("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding and container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(|v| v.into_iter().collect())
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs regardless of key type:
+// uniform, JSON-safe for non-string keys, and exactly round-trippable.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_pairs(value)?
+            .map(|pair| Ok((K::from_value(pair.0)?, V::from_value(pair.1)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        map_pairs(value)?
+            .map(|pair| Ok((K::from_value(pair.0)?, V::from_value(pair.1)?)))
+            .collect()
+    }
+}
+
+/// Iterates the `[key, value]` pairs of a map serialized as an array.
+fn map_pairs(value: &Value) -> Result<impl Iterator<Item = (&Value, &Value)>, Error> {
+    match value {
+        Value::Array(items) => {
+            for item in items {
+                match item {
+                    Value::Array(pair) if pair.len() == 2 => {}
+                    other => return Err(type_error("[key, value] pair", other)),
+                }
+            }
+            Ok(items.iter().map(|item| match item {
+                Value::Array(pair) => (&pair[0], &pair[1]),
+                _ => unreachable!("validated above"),
+            }))
+        }
+        other => Err(type_error("array of pairs", other)),
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(type_error("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&0.1f64.to_value()).unwrap(), 0.1);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn maps_round_trip_with_non_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), "a".to_string());
+        m.insert((3, 4), "b".to_string());
+        let back: BTreeMap<(u32, u32), String> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the value-model `Serialize`/`Deserialize` traits of the
+//! sibling `serde` stand-in for plain (non-generic) structs with named
+//! fields and for enums with unit, tuple or named-field variants —
+//! exactly the shapes this workspace uses. Supported field attributes:
+//!
+//! - `#[serde(skip)]` — never serialized, rebuilt with `Default`
+//! - `#[serde(default)]` — `Default` when the field is absent
+//! - `#[serde(with = "path")]` — delegate to `path::to_value` /
+//!   `path::from_value`
+//!
+//! Implemented with hand-rolled token walking and string code generation:
+//! `syn`/`quote` are unavailable offline, and the supported grammar is
+//! small enough that a full parser is unnecessary.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field serde configuration parsed from `#[serde(...)]`.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::TupleStruct { name, arity } => gen_tuple_struct_serialize(name, *arity),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::TupleStruct { name, arity } => gen_tuple_struct_deserialize(name, *arity),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Item-level attributes and visibility.
+    skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in does not support generic type `{name}`");
+    }
+    // Tuple structs: `struct Name(T, ...);`
+    if keyword == "struct" {
+        if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                return Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                };
+            }
+        }
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive: `{name}` has unsupported body {other:?} (only braced structs/enums)"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1; // '#'
+        assert!(
+            matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket),
+            "serde derive: malformed attribute"
+        );
+        *pos += 1; // [...]
+    }
+}
+
+/// Collects attributes, extracting `#[serde(...)]` configuration.
+fn take_field_attrs(tokens: &[TokenTree], pos: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let TokenTree::Group(group) = &tokens[*pos] else {
+            panic!("serde derive: malformed attribute");
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        parse_serde_args(args.stream(), &mut attrs);
+    }
+    attrs
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    "with" => {
+                        // with = "path"
+                        pos += 1; // '='
+                        assert!(
+                            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '='),
+                            "serde derive: expected `=` after `with`"
+                        );
+                        pos += 1;
+                        let TokenTree::Literal(lit) = &tokens[pos] else {
+                            panic!("serde derive: expected string after `with =`");
+                        };
+                        let raw = lit.to_string();
+                        attrs.with = Some(raw.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde derive stand-in: unsupported serde attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde derive: unexpected attribute token {other:?}"),
+        }
+        pos += 1;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1; // pub(crate) etc.
+        }
+    }
+}
+
+/// Skips a type (or discriminant expression), stopping at a comma that is
+/// not nested inside angle brackets. Token groups are atomic, so only
+/// `<`/`>` depth needs tracking.
+fn skip_until_field_end(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_field_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        pos += 1;
+        skip_until_field_end(&tokens, &mut pos);
+        pos += 1; // consume ',' (or step past end)
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional explicit discriminant: `= expr`.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            skip_until_field_end(&tokens, &mut pos);
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Counts the comma-separated types inside a tuple variant's parens.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        skip_until_field_end(&tokens, &mut pos);
+        pos += 1; // ','
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        if field.attrs.skip {
+            continue;
+        }
+        let f = &field.name;
+        let conv = match &field.attrs.with {
+            Some(path) => format!("{path}::to_value(&self.{f})"),
+            None => format!("::serde::Serialize::to_value(&self.{f})"),
+        };
+        pushes.push_str(&format!("fields.push((\"{f}\".to_string(), {conv}));\n"));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_field_from_value(owner: &str, field: &Field, source: &str) -> String {
+    let f = &field.name;
+    if field.attrs.skip {
+        return format!("{f}: ::std::default::Default::default(),\n");
+    }
+    let conv = match &field.attrs.with {
+        Some(path) => format!("{path}::from_value(v)?"),
+        None => "::serde::Deserialize::from_value(v)?".to_string(),
+    };
+    let missing = if field.attrs.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\"missing field `{f}` in {owner}\"))"
+        )
+    };
+    format!(
+        "{f}: match {source}.get(\"{f}\") {{\n\
+             ::std::option::Option::Some(v) => {conv},\n\
+             ::std::option::Option::None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut field_code = String::new();
+    for field in fields {
+        field_code.push_str(&gen_field_from_value(name, field, "value"));
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                         \"expected object for {name}, got {{}}\", value.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {field_code}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Newtype structs serialize transparently as their inner value; wider
+/// tuple structs serialize as arrays (matching serde's conventions).
+fn gen_tuple_struct_serialize(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_tuple_struct_deserialize(name: &str, arity: usize) -> String {
+    let body = if arity == 1 {
+        format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+    } else {
+        let items: Vec<String> = (0..arity)
+            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+            .collect();
+        format!(
+            "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                     ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\n\
+                     \"expected {arity}-element array for {name}\")),\n\
+             }}",
+            items.join(", ")
+        )
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+            )),
+            VariantShape::Tuple(1) => arms.push_str(&format!(
+                "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                    binders.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+            )),
+            VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                             ::std::result::Result::Ok({name}::{v}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::Error::msg(\n\
+                             \"expected {n}-element array for {name}::{v}\")),\n\
+                     }},\n",
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let mut field_code = String::new();
+                for field in fields {
+                    field_code.push_str(&gen_field_from_value(name, field, "inner"));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{\n\
+                         {field_code}\
+                     }}),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                         \"expected string or 1-field object for {name}, got {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,510 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Works over the tree data model of the sibling `serde` stand-in:
+//! [`to_string`] renders a [`Value`] (or anything `Serialize`) as compact
+//! JSON, [`from_str`] parses JSON and reconstructs any `Deserialize`
+//! type. Floats use Rust's shortest-round-trip formatting, giving the
+//! same exactness as serde_json's `float_roundtrip` feature; `u64`/`i64`
+//! integers round-trip bit-exactly.
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// Error from serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// A specialized `Result` for JSON operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes `value` as a human-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(input: &str) -> Result<T> {
+    let value = parse_value(input)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: for<'de> serde::Deserialize<'de>>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_inner);
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(input: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+                }
+            }
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs for astral characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let text = std::str::from_utf8(&rest[..utf8_len(b).min(rest.len())])
+                        .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?;
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("empty UTF-8 decode"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        let text = std::str::from_utf8(hex).map_err(|_| Error::new("bad \\u escape"))?;
+        u32::from_str_radix(text, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number chars are UTF-8");
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::NegInt(n)));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-looking syntax, like `serde_json::json!`.
+///
+/// Supports `null`/`true`/`false`, literals, arbitrary `Serialize`
+/// expressions, nested `[...]` arrays and `{ "key": value }` objects with
+/// string-literal keys.
+#[macro_export]
+macro_rules! json {
+    // --- internal: array elements — accumulate tokens of one element
+    // until a top-level comma, then emit and continue ------------------------
+    (@array [$($out:tt)*] ($($elem:tt)+) , $($rest:tt)+) => {
+        $crate::json!(@array [$($out)* $crate::json!($($elem)+),] () $($rest)+)
+    };
+    (@array [$($out:tt)*] ($($elem:tt)+) ,) => {
+        ::std::vec![$($out)* $crate::json!($($elem)+)]
+    };
+    (@array [$($out:tt)*] ($($elem:tt)+)) => {
+        ::std::vec![$($out)* $crate::json!($($elem)+)]
+    };
+    (@array [$($out:tt)*] ($($elem:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json!(@array [$($out)*] ($($elem)* $next) $($rest)*)
+    };
+
+    // --- internal: object entries — literal key, colon, value tokens
+    // until a top-level comma ------------------------------------------------
+    (@object [$($out:tt)*] $key:literal : $($rest:tt)+) => {
+        $crate::json!(@value [$($out)*] $key () $($rest)+)
+    };
+    (@object [$($out:tt)*]) => { ::std::vec![$($out)*] };
+    (@value [$($out:tt)*] $key:literal ($($val:tt)+) , $($rest:tt)+) => {
+        $crate::json!(@object [$($out)* ($key.to_string(), $crate::json!($($val)+)),] $($rest)+)
+    };
+    (@value [$($out:tt)*] $key:literal ($($val:tt)+) ,) => {
+        ::std::vec![$($out)* ($key.to_string(), $crate::json!($($val)+))]
+    };
+    (@value [$($out:tt)*] $key:literal ($($val:tt)+)) => {
+        ::std::vec![$($out)* ($key.to_string(), $crate::json!($($val)+))]
+    };
+    (@value [$($out:tt)*] $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json!(@value [$($out)*] $key ($($val)* $next) $($rest)*)
+    };
+
+    // --- public entry points ------------------------------------------------
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json!(@array [] () $($tt)+)) };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::Value::Object($crate::json!(@object [] $($tt)+)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "3.25", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn u64_and_floats_round_trip_exactly() {
+        let digest = u64::MAX - 12345;
+        let text = to_string(&digest).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, digest);
+
+        for f in [0.1f64, 1.0 / 3.0, 1e-308, 123_456_789.123_456_78] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} via {text}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][1], 2.5);
+        assert!(v["a"][2]["b"].is_null());
+        assert_eq!(v["c"], "x");
+        let compact = to_string(&v).unwrap();
+        let again: Value = from_str(&compact).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let speed = 12.34f64;
+        let name = "Stop A".to_string();
+        let features = vec![json!({"id": 1}), json!({"id": 2})];
+        let v = json!({
+            "type": "FeatureCollection",
+            "speed_kmh": (speed * 10.0).round() / 10.0,
+            "name": name,
+            "coords": [[1.0, 2.0], [3.0, 4.0]],
+            "features": features,
+            "empty": [],
+            "nothing": null,
+        });
+        assert_eq!(v["type"], "FeatureCollection");
+        assert_eq!(v["speed_kmh"], 12.3);
+        assert_eq!(v["name"], "Stop A");
+        assert_eq!(v["coords"][1][0], 3.0);
+        assert_eq!(v["features"].as_array().unwrap().len(), 2);
+        assert_eq!(v["features"][1]["id"].as_u64(), Some(2));
+        assert_eq!(v["empty"].as_array().unwrap().len(), 0);
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}
