@@ -9,6 +9,14 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== fault matrix (chaos suite) =="
+# Graceful-degradation contract at each fault level: no panics, every
+# drop attributed, bounded error growth (see tests/faults.rs).
+cargo test -q --test faults chaos_clean
+cargo test -q --test faults chaos_calibrated
+cargo test -q --test faults chaos_extreme
+cargo test -q --test faults chaos_fault_rate_sweep
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -36,16 +36,12 @@ pub struct CellScan {
 impl CellScan {
     /// Builds a scan from raw observations; sorts by descending RSS.
     ///
-    /// # Panics
-    ///
-    /// Panics if any RSS value is NaN.
+    /// Never panics: NaN RSS values sort last (`total_cmp`), so malformed
+    /// uploads survive construction and can be quarantined downstream
+    /// instead of crashing ingestion.
     #[must_use]
     pub fn new(mut observations: Vec<CellObservation>) -> Self {
-        observations.sort_by(|a, b| {
-            b.rss_dbm
-                .partial_cmp(&a.rss_dbm)
-                .expect("RSS values are finite")
-        });
+        observations.sort_by(|a, b| b.rss_dbm.total_cmp(&a.rss_dbm));
         CellScan { observations }
     }
 
@@ -74,10 +70,14 @@ impl CellScan {
     }
 
     /// The RSS-ordered cell-ID set — the paper's bus-stop signature.
+    ///
+    /// Duplicate tower entries (a corrupted upload or modem double-report)
+    /// are dropped, keeping the first — i.e. strongest — occurrence, so
+    /// this never panics on hostile input.
     #[must_use]
     pub fn fingerprint(&self) -> Fingerprint {
-        Fingerprint::new(self.observations.iter().map(|o| o.tower).collect())
-            .expect("scan order produces a valid fingerprint")
+        // FromIterator dedups while preserving RSS order.
+        self.observations.iter().map(|o| o.tower).collect()
     }
 }
 

@@ -80,6 +80,7 @@ impl Cluster {
     /// Panics on an empty cluster (the clusterer never emits one).
     #[must_use]
     pub fn arrival_s(&self) -> f64 {
+        // invariant: the clusterer only emits clusters with ≥1 sample.
         self.samples.first().expect("clusters are non-empty").time_s
     }
 
@@ -90,6 +91,7 @@ impl Cluster {
     /// Panics on an empty cluster (the clusterer never emits one).
     #[must_use]
     pub fn departure_s(&self) -> f64 {
+        // invariant: the clusterer only emits clusters with ≥1 sample.
         self.samples.last().expect("clusters are non-empty").time_s
     }
 
@@ -124,11 +126,12 @@ impl Cluster {
                 mean_score: score_sum / n as f64,
             })
             .collect();
+        // total_cmp: scores from hostile uploads may be NaN; a stable
+        // (if arbitrary) order beats a panic mid-ingest.
         out.sort_by(|a, b| {
             b.probability
-                .partial_cmp(&a.probability)
-                .expect("finite")
-                .then(b.mean_score.partial_cmp(&a.mean_score).expect("finite"))
+                .total_cmp(&a.probability)
+                .then(b.mean_score.total_cmp(&a.mean_score))
         });
         out
     }
@@ -179,11 +182,15 @@ impl Clusterer {
     /// Samples are sorted by time first (uploads may interleave).
     #[must_use]
     pub fn cluster(&self, mut samples: Vec<MatchedSample>) -> Vec<Cluster> {
-        samples.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"));
+        // total_cmp, not partial_cmp: sanitization rejects non-finite
+        // times, but clustering must stay panic-free on its own.
+        samples.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
         let mut clusters: Vec<Cluster> = Vec::new();
         for sample in samples {
             match clusters.last_mut() {
                 Some(cluster)
+                    // invariant: every cluster is created with one sample
+                    // and only ever grows.
                     if self.affinity(cluster.samples.last().expect("non-empty"), &sample)
                         > self.config.epsilon =>
                 {

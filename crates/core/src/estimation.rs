@@ -105,28 +105,26 @@ impl<'a> TripEstimator<'a> {
         for w in visits.windows(2) {
             let (from, to) = (&w[0], &w[1]);
             let raw = to.arrival_s - from.departure_s;
-            if raw < self.config.min_btt_s {
+            // NaN compares false against the threshold, so reject
+            // non-finite timing explicitly.
+            if !raw.is_finite() || raw < self.config.min_btt_s {
                 continue;
             }
             let btt = (raw - self.config.hop_overhead_s).max(self.config.min_btt_s);
             let Some(chain) = self.network.segment_chain(from.site, to.site) else {
                 continue;
             };
-            let length: f64 = chain
-                .iter()
-                .map(|k| self.network.segment(*k).expect("chain segment").length_m)
-                .sum();
+            // A chain key without segment data means the network handed us
+            // an inconsistent chain; skip the hop rather than panic —
+            // hostile uploads must not be able to reach an abort.
+            let segments: Option<Vec<_>> = chain.iter().map(|k| self.network.segment(*k)).collect();
+            let Some(segments) = segments else {
+                continue;
+            };
+            let length: f64 = segments.iter().map(|s| s.length_m).sum();
             // Free speed of the chain: length-weighted harmonic composition
             // (total free travel time of the pieces).
-            let free_time: f64 = chain
-                .iter()
-                .map(|k| {
-                    self.network
-                        .segment(*k)
-                        .expect("chain segment")
-                        .free_travel_time_s()
-                })
-                .sum();
+            let free_time: f64 = segments.iter().map(|s| s.free_travel_time_s()).sum();
             let att = self.config.b * btt + free_time;
             let speed = length / att;
             let mid_time = (from.departure_s + to.arrival_s) / 2.0;

@@ -61,6 +61,7 @@ pub mod inference;
 pub mod map;
 pub mod mapping;
 pub mod matching;
+pub mod sanitize;
 mod serde_util;
 pub mod server;
 mod telemetry;
@@ -75,5 +76,6 @@ pub use inference::{infer_regional, EstimateSource, InferenceConfig, RegionalMap
 pub use map::{GoogleMapsIndicator, SegmentEstimate, SpeedLevel, TrafficMap};
 pub use mapping::{MappedVisit, TripMapper};
 pub use matching::{MatchConfig, MatchResult, Matcher};
+pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport};
 pub use server::{DropReason, IngestReport, MonitorConfig, MonitorState, TrafficMonitor};
 pub use updater::{DbUpdater, UpdaterConfig};

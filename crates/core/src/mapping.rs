@@ -117,6 +117,40 @@ impl<'a> TripMapper<'a> {
         Some(visits)
     }
 
+    /// [`map_trip`](Self::map_trip) with partial-trip salvage: instead of
+    /// trusting the full mapped sequence, keep only the longest contiguous
+    /// run of visits whose consecutive transitions the route graph supports
+    /// (`order_weight > 0`). A corrupted or interleaved upload then still
+    /// contributes its consistent core instead of poisoning estimation
+    /// with impossible hops.
+    ///
+    /// Returns the salvaged visits plus how many mapped visits were cut.
+    #[must_use]
+    pub fn map_trip_salvaged(&self, clusters: &[Cluster]) -> Option<(Vec<MappedVisit>, usize)> {
+        let visits = self.map_trip(clusters)?;
+        if visits.len() <= 1 {
+            return Some((visits, 0));
+        }
+        // Longest run of consecutive route-consistent transitions.
+        let (mut best_start, mut best_len) = (0, 1);
+        let (mut start, mut len) = (0, 1);
+        for (i, w) in visits.windows(2).enumerate() {
+            if self.order_weight(w[0].site, w[1].site) > 0.0 {
+                len += 1;
+            } else {
+                start = i + 1;
+                len = 1;
+            }
+            if len > best_len {
+                best_start = start;
+                best_len = len;
+            }
+        }
+        let dropped = visits.len() - best_len;
+        let salvaged = visits[best_start..best_start + best_len].to_vec();
+        Some((salvaged, dropped))
+    }
+
     /// The raw Eq. (2) optimum: the chosen candidate per (non-empty)
     /// cluster and the achieved total score. This is the exact quantity the
     /// paper's exhaustive search maximises; the Viterbi dynamic program
@@ -165,7 +199,11 @@ impl<'a> TripMapper<'a> {
                             scores[i - 1][j] + weight * self.order_weight(prev.site, cand.site),
                         )
                     })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+                    // total_cmp: NaN scores from hostile uploads must not
+                    // panic the DP; they simply never win.
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    // invariant: pools with no candidates were filtered out
+                    // above, so prev_pool has ≥1 entry.
                     .expect("pool is non-empty");
                 row.push(best_score);
                 row_back.push(best_prev);
@@ -179,8 +217,10 @@ impl<'a> TripMapper<'a> {
         let (mut idx, best_total) = scores[last]
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, &v)| (k, v))
+            // invariant: each row has one entry per candidate of a
+            // non-empty pool.
             .expect("non-empty row");
         let mut chosen = vec![idx; scores.len()];
         for i in (1..scores.len()).rev() {
@@ -496,6 +536,50 @@ mod tests {
                 "DP {dp_score} != exhaustive {best}"
             );
         }
+    }
+
+    #[test]
+    fn salvage_keeps_the_longest_consistent_run() {
+        let n = network();
+        let m = TripMapper::new(&n);
+        // Forced sequence 3 → 0 → 1 → 2: the 3→0 transition is illegal
+        // (no route), the 0→1→2 tail is fully consistent.
+        let clusters = vec![
+            pure_cluster(0.0, 3, 5.0, 2),
+            pure_cluster(120.0, 0, 5.0, 2),
+            pure_cluster(240.0, 1, 5.0, 2),
+            pure_cluster(360.0, 2, 5.0, 2),
+        ];
+        let (visits, dropped) = m.map_trip_salvaged(&clusters).unwrap();
+        let sites: Vec<u32> = visits.iter().map(|v| v.site.0).collect();
+        assert_eq!(sites, vec![0, 1, 2]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn salvage_is_a_no_op_on_consistent_trips() {
+        let n = network();
+        let m = TripMapper::new(&n);
+        let clusters = vec![
+            pure_cluster(0.0, 0, 5.0, 3),
+            pure_cluster(120.0, 1, 5.0, 2),
+            pure_cluster(240.0, 2, 5.0, 4),
+        ];
+        let (visits, dropped) = m.map_trip_salvaged(&clusters).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(visits, m.map_trip(&clusters).unwrap());
+    }
+
+    #[test]
+    fn salvage_on_single_visit_is_trivial() {
+        let n = network();
+        let m = TripMapper::new(&n);
+        let (visits, dropped) = m
+            .map_trip_salvaged(&[pure_cluster(0.0, 2, 6.0, 3)])
+            .unwrap();
+        assert_eq!(visits.len(), 1);
+        assert_eq!(dropped, 0);
+        assert!(m.map_trip_salvaged(&[]).is_none());
     }
 
     #[test]

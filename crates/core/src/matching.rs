@@ -178,10 +178,11 @@ impl Matcher {
                 })
             })
             .collect();
+        // total_cmp: alignment scores are finite by construction, but the
+        // matcher sits on the hostile-upload path and must not panic.
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .total_cmp(&a.score)
                 .then(b.common_cells.cmp(&a.common_cells))
                 .then(a.site.cmp(&b.site))
         });

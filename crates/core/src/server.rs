@@ -13,14 +13,16 @@ use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
 use crate::mapping::{MappedVisit, TripMapper};
 use crate::matching::Matcher;
+use crate::sanitize::{self, SanitizeConfig, SanitizeReport};
 use crate::telemetry::PipelineMetrics;
 use crate::updater::{DbUpdater, UpdaterConfig};
 use crate::{ClusterConfig, EstimatorConfig, MatchConfig};
-use busprobe_mobile::Trip;
+use busprobe_mobile::{CellularSample, Trip};
 use busprobe_network::TransitNetwork;
 use busprobe_telemetry::Level;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Complete backend configuration.
@@ -32,6 +34,9 @@ pub struct MonitorConfig {
     pub clustering: ClusterConfig,
     /// Eq. (3) estimation parameters.
     pub estimation: EstimatorConfig,
+    /// Upload sanitization limits and tolerances (validation, clock
+    /// normalization, reordering, duplicate suppression).
+    pub sanitize: SanitizeConfig,
     /// Harvest high-confidence samples into the online database updater
     /// during ingest (Fig. 4's online update path). Off by default.
     pub online_db_update: bool,
@@ -56,6 +61,11 @@ pub struct MonitorState {
 pub enum DropReason {
     /// The upload was a byte-identical duplicate and was skipped whole.
     RejectedDuplicate,
+    /// The upload's fuzzy content digest matched an already-ingested trip
+    /// (a jittered retry) and was skipped whole.
+    RejectedNearDuplicate,
+    /// No sample survived sanitization (or the upload was empty).
+    Malformed,
     /// No sample passed the γ matching threshold.
     UnmatchedScans,
     /// Matches existed but no route-consistent stop sequence did.
@@ -63,6 +73,9 @@ pub enum DropReason {
     /// Stops were identified, but too few (or too far apart in time)
     /// to estimate any segment speed.
     TooFewVisits,
+    /// The pipeline panicked on this upload; the trip was isolated and
+    /// dropped (a bug, but never a silent one and never an outage).
+    InternalError,
 }
 
 /// Diagnostics for one ingested trip.
@@ -71,23 +84,41 @@ pub struct IngestReport {
     /// The upload was a byte-identical duplicate of one already ingested
     /// (retry storms) and was skipped entirely.
     pub duplicate: bool,
-    /// Samples in the upload.
+    /// The upload's fuzzy near-duplicate digest matched an ingested trip
+    /// (a jittered retry) and was skipped entirely.
+    pub near_duplicate: bool,
+    /// The pipeline panicked on this upload; the trip was isolated.
+    pub internal_error: bool,
+    /// Samples in the raw upload.
     pub samples: usize,
+    /// Samples surviving sanitization.
+    pub kept: usize,
+    /// Samples quarantined by sanitization (invalid timestamp, too late
+    /// to reorder, or overflow).
+    pub quarantined: usize,
+    /// Tower observations removed while repairing scans.
+    pub scrubbed: usize,
+    /// Clock correction applied to the upload's timestamps, seconds.
+    pub clock_skew_s: f64,
     /// Samples that passed the γ acceptance threshold.
     pub matched: usize,
     /// Clusters formed.
     pub clusters: usize,
-    /// Stop visits after per-trip mapping.
+    /// Stop visits after per-trip mapping and salvage.
     pub visits: usize,
+    /// Mapped visits cut by partial-trip salvage (route-inconsistent
+    /// head/tail of the visit sequence).
+    pub salvage_dropped: usize,
     /// Speed observations folded into the map.
     pub observations: usize,
 }
 
 impl IngestReport {
-    /// Samples that failed the γ matching threshold.
+    /// Samples that survived sanitization but failed the γ matching
+    /// threshold.
     #[must_use]
     pub fn unmatched_scans(&self) -> usize {
-        self.samples.saturating_sub(self.matched)
+        self.kept.saturating_sub(self.matched)
     }
 
     /// The stage that dropped this trip, or `None` if it produced
@@ -97,8 +128,14 @@ impl IngestReport {
     pub fn drop_reason(&self) -> Option<DropReason> {
         if self.duplicate {
             Some(DropReason::RejectedDuplicate)
+        } else if self.near_duplicate {
+            Some(DropReason::RejectedNearDuplicate)
+        } else if self.internal_error {
+            Some(DropReason::InternalError)
         } else if self.observations > 0 {
             None
+        } else if self.kept == 0 {
+            Some(DropReason::Malformed)
         } else if self.matched == 0 {
             Some(DropReason::UnmatchedScans)
         } else if self.visits == 0 {
@@ -180,9 +217,45 @@ impl TrafficMonitor {
         &self.config
     }
 
-    /// Runs one trip upload through matching → clustering → mapping →
-    /// estimation and folds the result into the shared traffic state.
+    /// Runs one trip upload through sanitization → matching → clustering →
+    /// mapping → estimation and folds the result into the shared traffic
+    /// state. Equivalent to [`ingest_upload`](Self::ingest_upload) without
+    /// a server-side arrival time (clock normalization is skipped).
     pub fn ingest_trip(&self, trip: &Trip) -> IngestReport {
+        self.ingest_upload(trip, None)
+    }
+
+    /// The hardened ingest front door: sanitizes the upload (using
+    /// `received_s`, the trustworthy server-side arrival time, to bound the
+    /// phone's clock error), suppresses exact and near duplicates, runs the
+    /// pipeline and folds the result into the shared traffic state.
+    ///
+    /// Never panics on hostile input: any pipeline panic is caught, the
+    /// trip is isolated, and the report carries
+    /// [`DropReason::InternalError`].
+    pub fn ingest_upload(&self, trip: &Trip, received_s: Option<f64>) -> IngestReport {
+        match catch_unwind(AssertUnwindSafe(|| self.ingest_inner(trip, received_s))) {
+            Ok(report) => report,
+            Err(_) => {
+                self.metrics.drop_internal_error.inc();
+                busprobe_telemetry::event(
+                    Level::Warn,
+                    "core::ingest",
+                    format!(
+                        "pipeline panicked; trip isolated ({} samples)",
+                        trip.samples.len()
+                    ),
+                );
+                IngestReport {
+                    internal_error: true,
+                    samples: trip.samples.len(),
+                    ..IngestReport::default()
+                }
+            }
+        }
+    }
+
+    fn ingest_inner(&self, trip: &Trip, received_s: Option<f64>) -> IngestReport {
         self.metrics.trips.inc();
         self.metrics.samples.add(trip.samples.len() as u64);
         if !self.seen.lock().insert(Self::digest(trip)) {
@@ -198,10 +271,33 @@ impl TrafficMonitor {
                 ..IngestReport::default()
             };
         }
-        let (report, visits, observations) = self.pipeline(trip);
+
+        // Sanitize: validate, normalize the clock, reorder, deduplicate.
+        let span = self.metrics.span_sanitize();
+        let (samples, san) = sanitize::sanitize(&trip.samples, received_s, &self.config.sanitize);
+        span.finish();
+        self.record_sanitize(&san);
+        let mut report = Self::base_report(trip.samples.len(), &san);
+
+        // Near-duplicate suppression on the sanitized content: a jittered
+        // or re-skewed retry reduces to the same fuzzy digest even though
+        // its bytes differ.
+        if let Some(digests) = sanitize::near_duplicate_digests(&samples, &self.config.sanitize) {
+            let mut seen = self.seen.lock();
+            let dup = digests.iter().any(|d| seen.contains(d));
+            seen.extend(digests);
+            drop(seen);
+            if dup {
+                report.near_duplicate = true;
+                self.count_drop(&report);
+                return report;
+            }
+        }
+
+        let (visits, observations) = self.pipeline(&samples, &mut report);
         self.count_drop(&report);
         if self.config.online_db_update {
-            self.harvest(trip, &visits);
+            self.harvest(&samples, &visits);
         }
         let span = self.metrics.span_fusion();
         let mut fusion = self.fusion.lock();
@@ -215,14 +311,45 @@ impl TrafficMonitor {
         report
     }
 
+    /// Seeds a report with the raw sample count and sanitizer accounting.
+    fn base_report(raw_samples: usize, san: &SanitizeReport) -> IngestReport {
+        IngestReport {
+            samples: raw_samples,
+            kept: san.samples_kept,
+            quarantined: san.quarantined(),
+            scrubbed: san.observations_scrubbed,
+            clock_skew_s: san.clock_skew_s,
+            ..IngestReport::default()
+        }
+    }
+
+    /// Folds one upload's sanitizer accounting into the global counters.
+    fn record_sanitize(&self, san: &SanitizeReport) {
+        self.metrics
+            .samples_quarantined
+            .add(san.quarantined() as u64);
+        self.metrics
+            .observations_scrubbed
+            .add(san.observations_scrubbed as u64);
+        self.metrics
+            .samples_deduplicated
+            .add(san.duplicates_suppressed as u64);
+        self.metrics.samples_reordered.add(san.reordered as u64);
+        if san.clock_skew_s != 0.0 {
+            self.metrics.clock_normalized_trips.inc();
+        }
+    }
+
     /// Attribute a zero-observation (non-duplicate) trip to the stage
     /// that dropped it.
     fn count_drop(&self, report: &IngestReport) {
         match report.drop_reason() {
+            Some(DropReason::RejectedNearDuplicate) => self.metrics.drop_near_duplicate.inc(),
+            Some(DropReason::Malformed) => self.metrics.drop_malformed.inc(),
             Some(DropReason::UnmatchedScans) => self.metrics.drop_unmatched_scans.inc(),
             Some(DropReason::Unmapped) => self.metrics.drop_unmapped.inc(),
             Some(DropReason::TooFewVisits) => self.metrics.drop_too_few_visits.inc(),
-            Some(DropReason::RejectedDuplicate) | None => {}
+            Some(DropReason::RejectedDuplicate | DropReason::InternalError) | None => {}
         }
         if let Some(reason) = report.drop_reason() {
             busprobe_telemetry::event(
@@ -236,13 +363,13 @@ impl TrafficMonitor {
     /// Feeds the online updater: for every confidently-identified visit,
     /// the trip samples taken during that visit are fresh fingerprints of
     /// that stop.
-    fn harvest(&self, trip: &Trip, visits: &[MappedVisit]) {
+    fn harvest(&self, samples: &[CellularSample], visits: &[MappedVisit]) {
         let mut updater = self.updater.lock();
         for visit in visits {
             if visit.confidence < self.config.updater.min_confidence {
                 continue;
             }
-            for sample in &trip.samples {
+            for sample in samples {
                 if sample.time_s >= visit.arrival_s - 1.0
                     && sample.time_s <= visit.departure_s + 1.0
                 {
@@ -315,26 +442,29 @@ impl TrafficMonitor {
     /// Runs the pipeline on one trip *without* touching the shared traffic
     /// state, returning the diagnostics and the raw per-segment speed
     /// observations. Useful for evaluation harnesses that bucket
-    /// observations themselves.
+    /// observations themselves. The trip is sanitized first (without a
+    /// server-side arrival time, so clock normalization is skipped).
     #[must_use]
     pub fn observations_for(&self, trip: &Trip) -> (IngestReport, Vec<SpeedObservation>) {
-        let (report, _, observations) = self.pipeline(trip);
+        let (samples, san) = sanitize::sanitize(&trip.samples, None, &self.config.sanitize);
+        let mut report = Self::base_report(trip.samples.len(), &san);
+        let (_, observations) = self.pipeline(&samples, &mut report);
         (report, observations)
     }
 
-    /// The full §III-C/§III-D pipeline for one trip.
-    fn pipeline(&self, trip: &Trip) -> (IngestReport, Vec<MappedVisit>, Vec<SpeedObservation>) {
+    /// The full §III-C/§III-D pipeline for one sanitized upload. Fills the
+    /// stage fields of `report` in place.
+    fn pipeline(
+        &self,
+        samples: &[CellularSample],
+        report: &mut IngestReport,
+    ) -> (Vec<MappedVisit>, Vec<SpeedObservation>) {
         let _pipeline_span = self.metrics.span_pipeline();
-        let mut report = IngestReport {
-            samples: trip.samples.len(),
-            ..Default::default()
-        };
 
         // Per-sample matching (γ filter included).
         let span = self.metrics.span_matching();
         let matcher = self.matcher.read();
-        let matched: Vec<MatchedSample> = trip
-            .samples
+        let matched: Vec<MatchedSample> = samples
             .iter()
             .filter_map(|s| {
                 matcher
@@ -354,7 +484,7 @@ impl TrafficMonitor {
             .scans_unmatched
             .add(report.unmatched_scans() as u64);
         if matched.is_empty() {
-            return (report, Vec::new(), Vec::new());
+            return (Vec::new(), Vec::new());
         }
 
         // Per-stop clustering.
@@ -364,16 +494,24 @@ impl TrafficMonitor {
         report.clusters = clusters.len();
         self.metrics.clusters.add(clusters.len() as u64);
 
-        // Per-trip mapping.
+        // Per-trip mapping with partial-trip salvage: keep the longest
+        // route-consistent run instead of dropping a noisy trip whole.
         let span = self.metrics.span_mapping();
         let mapper = TripMapper::new(&self.network);
-        let mapped = mapper.map_trip(&clusters);
+        let mapped = mapper.map_trip_salvaged(&clusters);
         span.finish();
-        let Some(visits) = mapped else {
-            return (report, Vec::new(), Vec::new());
+        let Some((visits, salvage_dropped)) = mapped else {
+            return (Vec::new(), Vec::new());
         };
         report.visits = visits.len();
+        report.salvage_dropped = salvage_dropped;
         self.metrics.visits_mapped.add(visits.len() as u64);
+        if salvage_dropped > 0 {
+            self.metrics.salvaged_trips.inc();
+            self.metrics
+                .salvage_dropped_visits
+                .add(salvage_dropped as u64);
+        }
 
         // Traffic estimation.
         let span = self.metrics.span_estimation();
@@ -382,26 +520,49 @@ impl TrafficMonitor {
         span.finish();
         report.observations = observations.len();
         self.metrics.observations.add(observations.len() as u64);
-        (report, visits, observations)
+        (visits, observations)
     }
 
     /// Ingests many trips using all available cores (crossbeam scoped
     /// threads); returns per-trip reports in input order.
     #[must_use]
     pub fn ingest_batch(&self, trips: &[Trip]) -> Vec<IngestReport> {
+        self.batch_impl(trips, None)
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) with per-trip server-side
+    /// arrival times (parallel uploads from a faulted batch). `received_s`
+    /// is matched to `trips` by index; trips beyond its length ingest
+    /// without an arrival time.
+    #[must_use]
+    pub fn ingest_batch_received(&self, trips: &[Trip], received_s: &[f64]) -> Vec<IngestReport> {
+        self.batch_impl(trips, Some(received_s))
+    }
+
+    fn batch_impl(&self, trips: &[Trip], received_s: Option<&[f64]>) -> Vec<IngestReport> {
         let _batch_span = self.metrics.span_ingest_batch();
         let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         let chunk = trips.len().div_ceil(workers).max(1);
         let mut reports = vec![IngestReport::default(); trips.len()];
         crossbeam::scope(|scope| {
-            for (trip_chunk, report_chunk) in trips.chunks(chunk).zip(reports.chunks_mut(chunk)) {
+            for (i, (trip_chunk, report_chunk)) in trips
+                .chunks(chunk)
+                .zip(reports.chunks_mut(chunk))
+                .enumerate()
+            {
+                let base = i * chunk;
                 scope.spawn(move |_| {
-                    for (trip, slot) in trip_chunk.iter().zip(report_chunk.iter_mut()) {
-                        *slot = self.ingest_trip(trip);
+                    for (k, (trip, slot)) in
+                        trip_chunk.iter().zip(report_chunk.iter_mut()).enumerate()
+                    {
+                        let recv = received_s.and_then(|r| r.get(base + k).copied());
+                        *slot = self.ingest_upload(trip, recv);
                     }
                 });
             }
         })
+        // invariant: ingest_upload catches panics per trip, so workers
+        // cannot unwind.
         .expect("ingest workers do not panic");
         reports
     }

@@ -24,17 +24,30 @@ pub(crate) struct PipelineMetrics {
     pub observations: Counter,
     pub fusion_updates: Counter,
     pub db_promotions: Counter,
+    // Sanitization accounting: repaired, reordered and quarantined input.
+    pub samples_quarantined: Counter,
+    pub observations_scrubbed: Counter,
+    pub samples_deduplicated: Counter,
+    pub samples_reordered: Counter,
+    pub clock_normalized_trips: Counter,
+    // Partial-trip salvage.
+    pub salvaged_trips: Counter,
+    pub salvage_dropped_visits: Counter,
     // Drop attribution: every ingested trip that yields zero
     // observations increments exactly one of these.
     pub drop_rejected_duplicate: Counter,
+    pub drop_near_duplicate: Counter,
+    pub drop_malformed: Counter,
     pub drop_unmatched_scans: Counter,
     pub drop_unmapped: Counter,
     pub drop_too_few_visits: Counter,
+    pub drop_internal_error: Counter,
     // Distribution of observations per accepted trip.
     pub obs_per_trip: Arc<Histogram>,
     // Wall-time per pipeline stage.
     stage_ingest_batch: Arc<StageTimer>,
     stage_pipeline: Arc<StageTimer>,
+    stage_sanitize: Arc<StageTimer>,
     stage_matching: Arc<StageTimer>,
     stage_clustering: Arc<StageTimer>,
     stage_mapping: Arc<StageTimer>,
@@ -56,14 +69,25 @@ impl PipelineMetrics {
             observations: registry.counter("busprobe_core_observations_total"),
             fusion_updates: registry.counter("busprobe_core_fusion_updates_total"),
             db_promotions: registry.counter("busprobe_core_db_promotions_total"),
+            samples_quarantined: registry.counter("busprobe_core_samples_quarantined_total"),
+            observations_scrubbed: registry.counter("busprobe_core_observations_scrubbed_total"),
+            samples_deduplicated: registry.counter("busprobe_core_samples_deduplicated_total"),
+            samples_reordered: registry.counter("busprobe_core_samples_reordered_total"),
+            clock_normalized_trips: registry.counter("busprobe_core_clock_normalized_trips_total"),
+            salvaged_trips: registry.counter("busprobe_core_salvaged_trips_total"),
+            salvage_dropped_visits: registry.counter("busprobe_core_salvage_dropped_visits_total"),
             drop_rejected_duplicate: registry
                 .counter("busprobe_core_drop_rejected_duplicate_total"),
+            drop_near_duplicate: registry.counter("busprobe_core_drop_near_duplicate_total"),
+            drop_malformed: registry.counter("busprobe_core_drop_malformed_total"),
             drop_unmatched_scans: registry.counter("busprobe_core_drop_unmatched_scans_total"),
             drop_unmapped: registry.counter("busprobe_core_drop_unmapped_total"),
             drop_too_few_visits: registry.counter("busprobe_core_drop_too_few_visits_total"),
+            drop_internal_error: registry.counter("busprobe_core_drop_internal_error_total"),
             obs_per_trip: registry.histogram("busprobe_core_observations_per_trip", &OBS_BUCKETS),
             stage_ingest_batch: registry.stage("busprobe_core_stage_ingest_batch"),
             stage_pipeline: registry.stage("busprobe_core_stage_pipeline"),
+            stage_sanitize: registry.stage("busprobe_core_stage_sanitize"),
             stage_matching: registry.stage("busprobe_core_stage_matching"),
             stage_clustering: registry.stage("busprobe_core_stage_clustering"),
             stage_mapping: registry.stage("busprobe_core_stage_mapping"),
@@ -79,6 +103,10 @@ impl PipelineMetrics {
 
     pub(crate) fn span_pipeline(&self) -> Span {
         Span::start(Arc::clone(&self.stage_pipeline))
+    }
+
+    pub(crate) fn span_sanitize(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_sanitize))
     }
 
     pub(crate) fn span_matching(&self) -> Span {

@@ -93,6 +93,7 @@ impl DbUpdater {
             .map(|(&k, _)| k)
             .collect();
         for site in ready {
+            // invariant: `site` came from iterating `pending` above.
             let samples = self.pending.remove(&site).expect("just listed");
             // Candidates: every fresh sample plus the current entry.
             let mut candidates: Vec<&Fingerprint> = samples.iter().collect();
@@ -109,8 +110,10 @@ impl DbUpdater {
                         .sum();
                     (total, *cand)
                 })
-                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
                 .map(|(_, cand)| cand.clone())
+                // invariant: `ready` requires ≥ min_samples ≥ 1 pending
+                // samples, each of which is a candidate.
                 .expect("at least one candidate");
             if current.as_ref() != Some(&best) {
                 db.insert(site, best);

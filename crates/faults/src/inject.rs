@@ -1,0 +1,458 @@
+//! The injector: applies a [`FaultPlan`] to clean simulator trips,
+//! deterministically.
+//!
+//! Each input trip models one phone. Faults are applied in a fixed order
+//! per trip (drop → false beeps → clock skew/drift → truncation →
+//! reordering → corruption → duplication → interleaving) so a given
+//! `(plan, seed, trips)` triple always produces the same uploads.
+
+use crate::plan::FaultPlan;
+use crate::telemetry::metrics;
+use busprobe_cellular::{CellObservation, CellScan};
+use busprobe_mobile::{CellularSample, Trip};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One faulted trip as the backend receives it: the (possibly lying)
+/// phone-reported samples plus the server-side arrival timestamp.
+///
+/// Phones mis-report time — their clocks skew and drift — but the upload's
+/// arrival time is stamped by the server's own clock, so the backend's
+/// sanitizer can trust `received_s` to bound the phone's clock error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Upload {
+    /// The trip exactly as the phone would upload it.
+    pub trip: Trip,
+    /// Server clock when the upload arrived (true end of trip plus a
+    /// short transfer delay; unaffected by the phone's clock faults).
+    pub received_s: f64,
+}
+
+/// Exactly which faults were injected into one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Clean trips fed in.
+    pub trips_in: usize,
+    /// Uploads produced (duplicates add, interleaving subtracts).
+    pub uploads_out: usize,
+    /// Samples removed by missed-beep injection.
+    pub beeps_dropped: usize,
+    /// Spurious samples inserted by false-beep injection.
+    pub false_beeps: usize,
+    /// Trips whose clock was skewed and/or drifted.
+    pub trips_skewed: usize,
+    /// Scans truncated to their strongest one or two towers.
+    pub scans_truncated: usize,
+    /// Adjacent sample pairs swapped out of order.
+    pub samples_reordered: usize,
+    /// Jittered (non-byte-identical) re-uploads injected.
+    pub duplicates_injected: usize,
+    /// Byte-identical re-uploads injected.
+    pub exact_duplicates_injected: usize,
+    /// Trip pairs merged into one interleaved upload.
+    pub trips_interleaved: usize,
+    /// Samples with one field corrupted.
+    pub fields_corrupted: usize,
+    /// Trips left with zero samples after faulting (still uploaded).
+    pub trips_emptied: usize,
+}
+
+/// The result of applying a plan to a batch of trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    /// The faulted uploads, in arrival order.
+    pub uploads: Vec<Upload>,
+    /// What was injected.
+    pub report: FaultReport,
+}
+
+/// Applies a [`FaultPlan`] to batches of clean trips.
+///
+/// Deterministic: the same `(plan, seed)` injector applied to the same
+/// trips always produces the same uploads, so robustness experiments
+/// reproduce bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan` seeded with `seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: StdRng::seed_from_u64(seed ^ 0xFA17_5EED_0000_0000),
+        }
+    }
+
+    /// The active fault model.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Applies the plan to `trips`, producing the uploads a backend under
+    /// this noise regime would receive.
+    pub fn apply(&mut self, trips: &[Trip]) -> Injection {
+        let mut report = FaultReport {
+            trips_in: trips.len(),
+            ..FaultReport::default()
+        };
+        let m = metrics();
+        m.trips_in.add(trips.len() as u64);
+
+        let mut uploads: Vec<Upload> = Vec::with_capacity(trips.len());
+        let mut pending_merge: Option<Trip> = None;
+        for trip in trips {
+            // Server-side arrival time: the truthful end of the trip plus a
+            // short transfer delay, before any clock fault is applied.
+            let true_end = trip.samples.last().map_or(0.0, |s| s.time_s);
+            let received_s = true_end + self.rng.gen_range(1.0..20.0);
+
+            let mut faulted = self.fault_one(trip, &mut report);
+
+            // Interleaving: hold this trip back and merge the next one into
+            // it (two phones uploading through one batching proxy).
+            if let Some(held) = pending_merge.take() {
+                let mut samples = held.samples;
+                samples.extend(faulted.samples);
+                samples.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+                faulted = Trip { samples };
+                report.trips_interleaved += 1;
+                m.trips_interleaved.inc();
+            } else if self.plan.interleave_rate > 0.0
+                && self.rng.gen_bool(self.plan.interleave_rate)
+            {
+                pending_merge = Some(faulted);
+                continue;
+            }
+
+            if faulted.samples.is_empty() {
+                report.trips_emptied += 1;
+                m.trips_emptied.inc();
+            }
+
+            // Duplication: retry storms. Exact duplicates are byte-identical;
+            // jittered duplicates re-stamp every sample slightly, defeating
+            // byte-level digests.
+            let exact_dup = self.plan.exact_duplicate_rate > 0.0
+                && self.rng.gen_bool(self.plan.exact_duplicate_rate);
+            let jitter_dup =
+                self.plan.duplicate_rate > 0.0 && self.rng.gen_bool(self.plan.duplicate_rate);
+
+            uploads.push(Upload {
+                trip: faulted.clone(),
+                received_s,
+            });
+            if exact_dup {
+                report.exact_duplicates_injected += 1;
+                m.exact_duplicates_injected.inc();
+                uploads.push(Upload {
+                    trip: faulted.clone(),
+                    received_s: received_s + self.rng.gen_range(1.0..60.0),
+                });
+            }
+            if jitter_dup {
+                report.duplicates_injected += 1;
+                m.duplicates_injected.inc();
+                let mut jittered = faulted;
+                for s in &mut jittered.samples {
+                    s.time_s += self.rng.gen_range(-1.0..1.0);
+                }
+                uploads.push(Upload {
+                    trip: jittered,
+                    received_s: received_s + self.rng.gen_range(5.0..120.0),
+                });
+            }
+        }
+        // A trailing held-back trip is uploaded unmerged.
+        if let Some(held) = pending_merge {
+            let true_end = held.samples.last().map_or(0.0, |s| s.time_s);
+            uploads.push(Upload {
+                received_s: true_end + self.rng.gen_range(1.0..20.0),
+                trip: held,
+            });
+        }
+
+        report.uploads_out = uploads.len();
+        m.uploads_out.add(uploads.len() as u64);
+        Injection { uploads, report }
+    }
+
+    /// Applies the per-trip fault classes to one trip.
+    fn fault_one(&mut self, trip: &Trip, report: &mut FaultReport) -> Trip {
+        let m = metrics();
+        let p = self.plan;
+        let mut samples: Vec<CellularSample> = Vec::with_capacity(trip.samples.len());
+
+        // Missed beeps (dropped samples) and false beeps (double detections
+        // of one reader tone, shortly after the real one).
+        for s in &trip.samples {
+            if p.beep_drop_rate > 0.0 && self.rng.gen_bool(p.beep_drop_rate) {
+                report.beeps_dropped += 1;
+                m.beeps_dropped.inc();
+                continue;
+            }
+            samples.push(s.clone());
+            if p.false_beep_rate > 0.0 && self.rng.gen_bool(p.false_beep_rate) {
+                report.false_beeps += 1;
+                m.false_beeps.inc();
+                samples.push(CellularSample {
+                    time_s: s.time_s + self.rng.gen_range(0.2..1.5),
+                    scan: s.scan.clone(),
+                });
+            }
+        }
+
+        // Per-phone clock skew and drift: every timestamp of the trip is
+        // offset by a constant and elapsed time is stretched by a factor.
+        if p.clock_skew_s > 0.0 || p.clock_drift > 0.0 {
+            let offset = if p.clock_skew_s > 0.0 {
+                self.rng.gen_range(-p.clock_skew_s..=p.clock_skew_s)
+            } else {
+                0.0
+            };
+            let stretch = if p.clock_drift > 0.0 {
+                1.0 + self.rng.gen_range(-p.clock_drift..=p.clock_drift)
+            } else {
+                1.0
+            };
+            if offset != 0.0 || stretch != 1.0 {
+                let start = samples.first().map_or(0.0, |s| s.time_s);
+                for s in &mut samples {
+                    s.time_s = start + offset + (s.time_s - start) * stretch;
+                }
+                report.trips_skewed += 1;
+                m.trips_skewed.inc();
+            }
+        }
+
+        // Scan truncation: the modem gave up after the strongest 1–2 towers.
+        if p.scan_truncate_rate > 0.0 {
+            for s in &mut samples {
+                if s.scan.len() > 2 && self.rng.gen_bool(p.scan_truncate_rate) {
+                    let keep = self.rng.gen_range(1usize..=2);
+                    s.scan = CellScan::new(s.scan.observations()[..keep].to_vec());
+                    report.scans_truncated += 1;
+                    m.scans_truncated.inc();
+                }
+            }
+        }
+
+        // Out-of-order delivery inside the upload: swap adjacent pairs.
+        if p.reorder_rate > 0.0 && samples.len() >= 2 {
+            let mut k = 0;
+            while k + 1 < samples.len() {
+                if self.rng.gen_bool(p.reorder_rate) {
+                    samples.swap(k, k + 1);
+                    report.samples_reordered += 1;
+                    m.samples_reordered.inc();
+                    k += 2; // a swapped pair is not re-swapped
+                } else {
+                    k += 1;
+                }
+            }
+        }
+
+        // Field corruption: one field of the sample is garbage.
+        if p.corrupt_field_rate > 0.0 {
+            for s in &mut samples {
+                if !self.rng.gen_bool(p.corrupt_field_rate) {
+                    continue;
+                }
+                report.fields_corrupted += 1;
+                m.fields_corrupted.inc();
+                match self.rng.gen_range(0u32..5) {
+                    0 => s.time_s = f64::NAN,
+                    1 => s.time_s = -1.0e12,
+                    2 => {
+                        // NaN RSS on every tower of the scan.
+                        let obs: Vec<CellObservation> = s
+                            .scan
+                            .observations()
+                            .iter()
+                            .map(|o| CellObservation {
+                                tower: o.tower,
+                                rss_dbm: f64::NAN,
+                            })
+                            .collect();
+                        s.scan = CellScan::new(obs);
+                    }
+                    3 => {
+                        // Duplicated tower entry (a modem double-report).
+                        let mut obs = s.scan.observations().to_vec();
+                        if let Some(first) = obs.first().copied() {
+                            obs.push(first);
+                        }
+                        s.scan = CellScan::new(obs);
+                    }
+                    _ => s.scan = CellScan::new(vec![]),
+                }
+            }
+        }
+
+        Trip { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_cellular::CellTowerId;
+
+    fn obs(tower: u32, rss: f64) -> CellObservation {
+        CellObservation {
+            tower: CellTowerId(tower),
+            rss_dbm: rss,
+        }
+    }
+
+    fn trip(n: usize, t0: f64) -> Trip {
+        Trip {
+            samples: (0..n)
+                .map(|k| CellularSample {
+                    time_s: t0 + k as f64 * 30.0,
+                    scan: CellScan::new(vec![
+                        obs(1 + k as u32, -60.0),
+                        obs(100 + k as u32, -70.0),
+                        obs(200 + k as u32, -80.0),
+                    ]),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let trips = vec![trip(5, 0.0), trip(3, 1000.0)];
+        let mut inj = FaultInjector::new(FaultPlan::clean(), 1);
+        let out = inj.apply(&trips);
+        assert_eq!(out.uploads.len(), 2);
+        for (u, t) in out.uploads.iter().zip(&trips) {
+            assert_eq!(u.trip, *t, "clean plan must not alter samples");
+            let end = t.samples.last().unwrap().time_s;
+            assert!(u.received_s > end && u.received_s < end + 20.0);
+        }
+        assert_eq!(out.report.trips_in, 2);
+        assert_eq!(out.report.uploads_out, 2);
+        assert_eq!(
+            out.report,
+            FaultReport {
+                trips_in: 2,
+                uploads_out: 2,
+                ..FaultReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let trips = vec![trip(8, 0.0), trip(6, 2000.0), trip(4, 4000.0)];
+        let a = FaultInjector::new(FaultPlan::extreme(), 42).apply(&trips);
+        let b = FaultInjector::new(FaultPlan::extreme(), 42).apply(&trips);
+        let c = FaultInjector::new(FaultPlan::extreme(), 43).apply(&trips);
+        assert_eq!(a, b, "same seed → same uploads");
+        assert_ne!(a, c, "different seed → different uploads");
+    }
+
+    #[test]
+    fn beep_drop_rate_one_empties_every_trip() {
+        let plan: FaultPlan = "drop=1".parse().unwrap();
+        let trips = vec![trip(5, 0.0)];
+        let out = FaultInjector::new(plan, 7).apply(&trips);
+        assert_eq!(out.report.beeps_dropped, 5);
+        assert_eq!(out.report.trips_emptied, 1);
+        assert!(out.uploads[0].trip.samples.is_empty());
+    }
+
+    #[test]
+    fn skew_shifts_but_preserves_sample_count() {
+        let plan: FaultPlan = "skew=300".parse().unwrap();
+        let trips = vec![trip(5, 10_000.0)];
+        let out = FaultInjector::new(plan, 9).apply(&trips);
+        let faulted = &out.uploads[0].trip;
+        assert_eq!(faulted.samples.len(), 5);
+        let shift = faulted.samples[0].time_s - 10_000.0;
+        assert!(shift.abs() <= 300.0 && shift.abs() > 1e-9, "shift {shift}");
+        // Constant offset: inter-sample spacing is preserved.
+        for (f, c) in faulted.samples.windows(2).zip(trips[0].samples.windows(2)) {
+            let df = f[1].time_s - f[0].time_s;
+            let dc = c[1].time_s - c[0].time_s;
+            assert!((df - dc).abs() < 1e-9);
+        }
+        // The server-side arrival time is not fooled by the phone clock.
+        assert!(out.uploads[0].received_s > 10_000.0 + 4.0 * 30.0);
+    }
+
+    #[test]
+    fn exact_duplicates_are_byte_identical() {
+        let plan: FaultPlan = "exact_dup=1".parse().unwrap();
+        let out = FaultInjector::new(plan, 3).apply(&[trip(4, 0.0)]);
+        assert_eq!(out.uploads.len(), 2);
+        assert_eq!(out.uploads[0].trip, out.uploads[1].trip);
+        assert_eq!(out.report.exact_duplicates_injected, 1);
+    }
+
+    #[test]
+    fn jittered_duplicates_differ_slightly() {
+        let plan: FaultPlan = "dup=1".parse().unwrap();
+        let out = FaultInjector::new(plan, 4).apply(&[trip(4, 0.0)]);
+        assert_eq!(out.uploads.len(), 2);
+        assert_ne!(out.uploads[0].trip, out.uploads[1].trip);
+        for (a, b) in out.uploads[0]
+            .trip
+            .samples
+            .iter()
+            .zip(&out.uploads[1].trip.samples)
+        {
+            assert!((a.time_s - b.time_s).abs() < 1.0 + 1e-9);
+            assert_eq!(a.scan, b.scan);
+        }
+    }
+
+    #[test]
+    fn interleaving_merges_adjacent_trips() {
+        let plan: FaultPlan = "interleave=1".parse().unwrap();
+        let trips = vec![trip(3, 0.0), trip(3, 40.0)];
+        let out = FaultInjector::new(plan, 5).apply(&trips);
+        assert_eq!(out.uploads.len(), 1, "two trips merged into one upload");
+        assert_eq!(out.uploads[0].trip.samples.len(), 6);
+        assert_eq!(out.report.trips_interleaved, 1);
+        // Merged samples are time-sorted (interleaved, not concatenated).
+        for w in out.uploads[0].trip.samples.windows(2) {
+            assert!(w[0].time_s <= w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn corruption_injects_malformed_fields_without_panicking() {
+        let plan: FaultPlan = "corrupt=1".parse().unwrap();
+        let out = FaultInjector::new(plan, 6).apply(&[trip(40, 0.0)]);
+        assert_eq!(out.report.fields_corrupted, 40);
+        let samples = &out.uploads[0].trip.samples;
+        assert!(
+            samples.iter().any(|s| !s.time_s.is_finite())
+                || samples.iter().any(|s| s.scan.is_empty()),
+            "at least one corruption class must show"
+        );
+    }
+
+    #[test]
+    fn empty_trip_is_tolerated() {
+        let mut inj = FaultInjector::new(FaultPlan::extreme(), 8);
+        let out = inj.apply(&[Trip { samples: vec![] }]);
+        assert_eq!(out.report.trips_in, 1);
+        assert!(!out.uploads.is_empty());
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let out = FaultInjector::new(FaultPlan::calibrated(), 11).apply(&[trip(10, 0.0)]);
+        let json = serde_json::to_string(&out.report).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(out.report, back);
+    }
+}

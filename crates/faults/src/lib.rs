@@ -1,0 +1,39 @@
+//! Deterministic fault injection for crowdsourced trip uploads.
+//!
+//! The paper's pipeline is fed by uncontrolled rider phones. Real uploads
+//! arrive with missed and spurious beeps, per-phone clock skew and drift,
+//! truncated or reordered cellular scans, duplicate retries, interleaved
+//! trips and outright field corruption. This crate perturbs clean
+//! simulator output into exactly that noise regime, *deterministically*
+//! (seeded), so robustness experiments reproduce bit-for-bit:
+//!
+//! * [`FaultPlan`] — the fault model: one rate/magnitude per fault class,
+//!   with `clean` / `calibrated` / `extreme` presets and a `key=value`
+//!   spec grammar for the CLI (`busprobe simulate --faults <spec>`),
+//! * [`FaultInjector`] — applies a plan to a batch of clean uploads and
+//!   reports exactly which faults were injected ([`FaultReport`]),
+//! * [`Upload`] — a faulted trip plus its trustworthy server-side arrival
+//!   time (phones lie about timestamps; the network does not), which the
+//!   backend's sanitizer uses to bound clock skew.
+//!
+//! # Examples
+//!
+//! ```
+//! use busprobe_faults::{FaultInjector, FaultPlan};
+//! use busprobe_mobile::Trip;
+//!
+//! let plan: FaultPlan = "calibrated,beep_drop=0.2".parse().unwrap();
+//! let mut injector = FaultInjector::new(plan, 42);
+//! let injection = injector.apply(&[Trip { samples: vec![] }]);
+//! assert_eq!(injection.report.trips_in, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+mod telemetry;
+
+pub use inject::{FaultInjector, FaultReport, Injection, Upload};
+pub use plan::{FaultPlan, ParsePlanError};

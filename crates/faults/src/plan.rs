@@ -1,0 +1,298 @@
+//! The fault model: per-class rates and magnitudes, presets, and the
+//! `--faults` spec grammar.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Rates and magnitudes of every fault class the injector can apply.
+///
+/// All `*_rate` fields are probabilities in `[0, 1]`; magnitudes carry
+/// their unit in the name. The defaults (`FaultPlan::default()` ==
+/// [`FaultPlan::clean`]) inject nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that a phone misses one beep (drops a sample).
+    pub beep_drop_rate: f64,
+    /// Probability of a spurious beep detection after a real one (an
+    /// extra sample with a slightly-off scan).
+    pub false_beep_rate: f64,
+    /// Per-phone constant clock offset: drawn uniformly from
+    /// `[-σ, σ]` seconds and added to every timestamp of that phone.
+    pub clock_skew_s: f64,
+    /// Per-phone relative clock drift bound: the elapsed time since the
+    /// trip's first sample is stretched by a factor drawn from
+    /// `[1 − d, 1 + d]`.
+    pub clock_drift: f64,
+    /// Probability that a scan is truncated to its strongest one or two
+    /// towers (modem gave up mid-scan).
+    pub scan_truncate_rate: f64,
+    /// Probability that each adjacent sample pair is swapped (out-of-order
+    /// delivery inside the upload).
+    pub reorder_rate: f64,
+    /// Probability that a trip is re-uploaded with jittered timestamps
+    /// (a retry the byte-identical digest cannot catch).
+    pub duplicate_rate: f64,
+    /// Probability that a trip is re-uploaded byte-identically (a plain
+    /// retry storm).
+    pub exact_duplicate_rate: f64,
+    /// Probability that a trip is merged with the next one into a single
+    /// interleaved upload (two phones behind one NAT / batching proxy).
+    pub interleave_rate: f64,
+    /// Probability that a sample has one field corrupted: a non-finite or
+    /// negative timestamp, a NaN RSS value, a duplicated tower entry, or
+    /// an emptied scan.
+    pub corrupt_field_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+impl FaultPlan {
+    /// No faults at all — the control arm of every sweep.
+    #[must_use]
+    pub fn clean() -> Self {
+        FaultPlan {
+            beep_drop_rate: 0.0,
+            false_beep_rate: 0.0,
+            clock_skew_s: 0.0,
+            clock_drift: 0.0,
+            scan_truncate_rate: 0.0,
+            reorder_rate: 0.0,
+            duplicate_rate: 0.0,
+            exact_duplicate_rate: 0.0,
+            interleave_rate: 0.0,
+            corrupt_field_rate: 0.0,
+        }
+    }
+
+    /// The noise regime a deployed participatory system should expect:
+    /// roughly the S-BLE / EATR participatory-transit error rates. The
+    /// graceful-degradation contract (DESIGN.md "Robustness") is
+    /// calibrated at this level.
+    #[must_use]
+    pub fn calibrated() -> Self {
+        FaultPlan {
+            beep_drop_rate: 0.10,
+            false_beep_rate: 0.05,
+            clock_skew_s: 60.0,
+            clock_drift: 0.002,
+            scan_truncate_rate: 0.05,
+            reorder_rate: 0.05,
+            duplicate_rate: 0.05,
+            exact_duplicate_rate: 0.05,
+            interleave_rate: 0.02,
+            corrupt_field_rate: 0.02,
+        }
+    }
+
+    /// Far beyond any plausible deployment — the pipeline must survive
+    /// (no panics, attributed drops) even if accuracy collapses.
+    #[must_use]
+    pub fn extreme() -> Self {
+        FaultPlan {
+            beep_drop_rate: 0.35,
+            false_beep_rate: 0.20,
+            clock_skew_s: 900.0,
+            clock_drift: 0.02,
+            scan_truncate_rate: 0.25,
+            reorder_rate: 0.30,
+            duplicate_rate: 0.15,
+            exact_duplicate_rate: 0.15,
+            interleave_rate: 0.10,
+            corrupt_field_rate: 0.15,
+        }
+    }
+
+    /// The calibrated plan with every rate and magnitude multiplied by
+    /// `factor` (rates clamped to 1) — the x-axis of the fault-sweep
+    /// accuracy curve in EXPERIMENTS.md.
+    #[must_use]
+    pub fn calibrated_scaled(factor: f64) -> Self {
+        let c = Self::calibrated();
+        let rate = |r: f64| (r * factor).clamp(0.0, 1.0);
+        FaultPlan {
+            beep_drop_rate: rate(c.beep_drop_rate),
+            false_beep_rate: rate(c.false_beep_rate),
+            clock_skew_s: c.clock_skew_s * factor,
+            clock_drift: c.clock_drift * factor,
+            scan_truncate_rate: rate(c.scan_truncate_rate),
+            reorder_rate: rate(c.reorder_rate),
+            duplicate_rate: rate(c.duplicate_rate),
+            exact_duplicate_rate: rate(c.exact_duplicate_rate),
+            interleave_rate: rate(c.interleave_rate),
+            corrupt_field_rate: rate(c.corrupt_field_rate),
+        }
+    }
+
+    /// Whether this plan injects nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == Self::clean()
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), ParsePlanError> {
+        let v: f64 = value
+            .parse()
+            .map_err(|_| ParsePlanError(format!("`{key}`: invalid number `{value}`")))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(ParsePlanError(format!(
+                "`{key}`: value must be finite and non-negative, got `{value}`"
+            )));
+        }
+        let rate_bound = |v: f64, key: &str| {
+            if v > 1.0 {
+                Err(ParsePlanError(format!(
+                    "`{key}`: rate must be <= 1, got {v}"
+                )))
+            } else {
+                Ok(v)
+            }
+        };
+        match key {
+            "beep_drop" | "drop" => self.beep_drop_rate = rate_bound(v, key)?,
+            "false_beep" | "false" => self.false_beep_rate = rate_bound(v, key)?,
+            "skew" | "clock_skew" => self.clock_skew_s = v,
+            "drift" | "clock_drift" => self.clock_drift = v,
+            "truncate" | "scan_truncate" => self.scan_truncate_rate = rate_bound(v, key)?,
+            "reorder" => self.reorder_rate = rate_bound(v, key)?,
+            "dup" | "duplicate" => self.duplicate_rate = rate_bound(v, key)?,
+            "exact_dup" | "exact_duplicate" => self.exact_duplicate_rate = rate_bound(v, key)?,
+            "interleave" => self.interleave_rate = rate_bound(v, key)?,
+            "corrupt" => self.corrupt_field_rate = rate_bound(v, key)?,
+            other => {
+                return Err(ParsePlanError(format!(
+                    "unknown fault key `{other}` (expected beep_drop, false_beep, skew, drift, \
+                     truncate, reorder, dup, exact_dup, interleave, corrupt)"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `--faults` spec that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlanError(pub String);
+
+impl fmt::Display for ParsePlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePlanError {}
+
+/// Spec grammar: a comma-separated list whose first element may be a
+/// preset (`clean`, `calibrated`, `extreme`, or `scale:<factor>`) and
+/// whose remaining elements are `key=value` overrides.
+///
+/// ```
+/// use busprobe_faults::FaultPlan;
+///
+/// let plan: FaultPlan = "calibrated,beep_drop=0.3,skew=120".parse().unwrap();
+/// assert_eq!(plan.beep_drop_rate, 0.3);
+/// assert_eq!(plan.clock_skew_s, 120.0);
+/// assert_eq!(plan.false_beep_rate, FaultPlan::calibrated().false_beep_rate);
+/// ```
+impl FromStr for FaultPlan {
+    type Err = ParsePlanError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::clean();
+        for (i, part) in spec.split(',').map(str::trim).enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            match (i, part) {
+                (0, "clean") => plan = FaultPlan::clean(),
+                (0, "calibrated") => plan = FaultPlan::calibrated(),
+                (0, "extreme") => plan = FaultPlan::extreme(),
+                (0, scale) if scale.starts_with("scale:") => {
+                    let factor: f64 = scale["scale:".len()..]
+                        .parse()
+                        .map_err(|_| ParsePlanError(format!("bad scale factor in `{scale}`")))?;
+                    if !factor.is_finite() || factor < 0.0 {
+                        return Err(ParsePlanError(format!(
+                            "scale factor must be finite and non-negative, got `{scale}`"
+                        )));
+                    }
+                    plan = FaultPlan::calibrated_scaled(factor);
+                }
+                _ => {
+                    let (key, value) = part.split_once('=').ok_or_else(|| {
+                        ParsePlanError(format!("`{part}` is neither a preset nor key=value"))
+                    })?;
+                    plan.set(key.trim(), value.trim())?;
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert!(FaultPlan::default().is_clean());
+        assert!("".parse::<FaultPlan>().unwrap().is_clean());
+        assert!("clean".parse::<FaultPlan>().unwrap().is_clean());
+    }
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(
+            "calibrated".parse::<FaultPlan>().unwrap(),
+            FaultPlan::calibrated()
+        );
+        assert_eq!(
+            "extreme".parse::<FaultPlan>().unwrap(),
+            FaultPlan::extreme()
+        );
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_preset() {
+        let plan: FaultPlan = "calibrated,drop=0.5,skew=10".parse().unwrap();
+        assert_eq!(plan.beep_drop_rate, 0.5);
+        assert_eq!(plan.clock_skew_s, 10.0);
+        assert_eq!(plan.reorder_rate, FaultPlan::calibrated().reorder_rate);
+    }
+
+    #[test]
+    fn scaled_preset() {
+        let plan: FaultPlan = "scale:2".parse().unwrap();
+        assert_eq!(plan, FaultPlan::calibrated_scaled(2.0));
+        assert_eq!(
+            plan.beep_drop_rate,
+            FaultPlan::calibrated().beep_drop_rate * 2.0
+        );
+        // Scaling cannot push a rate past 1.
+        let extreme = FaultPlan::calibrated_scaled(100.0);
+        assert_eq!(extreme.beep_drop_rate, 1.0);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("nonsense".parse::<FaultPlan>().is_err());
+        assert!("drop=abc".parse::<FaultPlan>().is_err());
+        assert!("drop=1.5".parse::<FaultPlan>().is_err());
+        assert!("drop=-0.1".parse::<FaultPlan>().is_err());
+        assert!("drop=NaN".parse::<FaultPlan>().is_err());
+        assert!("scale:-1".parse::<FaultPlan>().is_err());
+        assert!("wat=1".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plan = FaultPlan::extreme();
+        let back: FaultPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(plan, back);
+    }
+}

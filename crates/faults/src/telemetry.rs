@@ -1,0 +1,43 @@
+//! Cached telemetry handles for the injector (`busprobe_faults_*`).
+
+use busprobe_telemetry::Counter;
+use std::sync::OnceLock;
+
+/// Pre-resolved counters, one per fault class.
+#[derive(Debug)]
+pub(crate) struct FaultMetrics {
+    pub trips_in: Counter,
+    pub uploads_out: Counter,
+    pub beeps_dropped: Counter,
+    pub false_beeps: Counter,
+    pub trips_skewed: Counter,
+    pub scans_truncated: Counter,
+    pub samples_reordered: Counter,
+    pub duplicates_injected: Counter,
+    pub exact_duplicates_injected: Counter,
+    pub trips_interleaved: Counter,
+    pub fields_corrupted: Counter,
+    pub trips_emptied: Counter,
+}
+
+pub(crate) fn metrics() -> &'static FaultMetrics {
+    static METRICS: OnceLock<FaultMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = busprobe_telemetry::global();
+        FaultMetrics {
+            trips_in: registry.counter("busprobe_faults_trips_in_total"),
+            uploads_out: registry.counter("busprobe_faults_uploads_out_total"),
+            beeps_dropped: registry.counter("busprobe_faults_beeps_dropped_total"),
+            false_beeps: registry.counter("busprobe_faults_false_beeps_total"),
+            trips_skewed: registry.counter("busprobe_faults_trips_skewed_total"),
+            scans_truncated: registry.counter("busprobe_faults_scans_truncated_total"),
+            samples_reordered: registry.counter("busprobe_faults_samples_reordered_total"),
+            duplicates_injected: registry.counter("busprobe_faults_duplicates_injected_total"),
+            exact_duplicates_injected: registry
+                .counter("busprobe_faults_exact_duplicates_injected_total"),
+            trips_interleaved: registry.counter("busprobe_faults_trips_interleaved_total"),
+            fields_corrupted: registry.counter("busprobe_faults_fields_corrupted_total"),
+            trips_emptied: registry.counter("busprobe_faults_trips_emptied_total"),
+        }
+    })
+}

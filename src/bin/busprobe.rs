@@ -4,7 +4,8 @@
 //! ```text
 //! busprobe init     --dir DIR [--seed N] [--small]     create region + towers + fingerprint DB
 //! busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
-//!                                                      simulate a service window, write uploads
+//!                   [--faults SPEC] [--fault-seed N]   simulate a service window, write uploads
+//!                                                      (optionally perturbed by a fault plan)
 //! busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE]
 //!                                                      ingest uploads, print the traffic map
 //! busprobe demo     [--seed N]                         all three steps in memory
@@ -12,8 +13,14 @@
 //!                                                      ingest uploads, dump pipeline telemetry
 //! ```
 //!
+//! `sim` is accepted as an alias for `simulate`. A fault SPEC is a preset
+//! (`clean`, `calibrated`, `extreme`, `scale:<factor>`) optionally followed
+//! by `key=value` overrides, e.g. `calibrated,beep_drop=0.3,skew=120`.
+//!
 //! Artifacts in DIR: `world.json` (metadata), `network.json`,
-//! `towers.json`, `db.json`, `trips.json`.
+//! `towers.json`, `db.json`, `trips.json`, and — when simulating with
+//! faults — `received.json` (per-upload server-side arrival times, which
+//! ingest uses to bound phone clock skew).
 
 use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
 use busprobe::core::geojson::{map_to_geojson, regional_to_geojson};
@@ -21,6 +28,7 @@ use busprobe::core::{
     infer_regional, DropReason, InferenceConfig, IngestReport, MatchConfig, MonitorConfig,
     MonitorState, StopFingerprintDb, TrafficMonitor,
 };
+use busprobe::faults::{FaultInjector, FaultPlan};
 use busprobe::geo::LocalProjection;
 use busprobe::mobile::{CellularSample, Trip};
 use busprobe::network::{NetworkGenerator, TransitNetwork};
@@ -44,7 +52,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("init") => cmd_init(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("simulate" | "sim") => cmd_simulate(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
@@ -69,9 +77,14 @@ busprobe — participatory urban traffic monitoring (ICDCS'15 reproduction)
 USAGE:
     busprobe init     --dir DIR [--seed N] [--small]
     busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
+                      [--faults SPEC] [--fault-seed N]
     busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE] [--state FILE]
     busprobe demo     [--seed N]
     busprobe metrics  --dir DIR [--format text|json|prometheus]
+
+`sim` is an alias for `simulate`. A fault SPEC is a preset (clean,
+calibrated, extreme, scale:<factor>) plus optional key=value overrides,
+e.g. `--faults calibrated,beep_drop=0.3,skew=120`.
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -189,6 +202,15 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|_| "invalid --seed".to_string())?
         .unwrap_or(meta.seed);
+    let fault_plan: Option<FaultPlan> = flag_value(args, "--faults")
+        .map(str::parse)
+        .transpose()
+        .map_err(|e| format!("{e}"))?;
+    let fault_seed: u64 = flag_value(args, "--fault-seed")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "invalid --fault-seed".to_string())?
+        .unwrap_or(sim_seed);
 
     let scenario = Scenario::new(network, sim_seed).with_span(start, end);
     let output = Simulation::new(scenario).run();
@@ -212,14 +234,75 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             });
         }
     }
-    write_json(&dir.join("trips.json"), &trips)?;
-    println!(
-        "simulated {start}-{end}: {} stop visits, {} taps, wrote {} uploads to trips.json",
-        output.stop_visits.len(),
-        output.beeps.len(),
-        trips.len()
-    );
+    let clean_count = trips.len();
+    let received_path = dir.join("received.json");
+    match fault_plan {
+        Some(plan) if !plan.is_clean() => {
+            let mut injector = FaultInjector::new(plan, fault_seed);
+            let injection = injector.apply(&trips);
+            let (faulted, received): (Vec<Trip>, Vec<f64>) = injection
+                .uploads
+                .into_iter()
+                .map(|u| (u.trip, u.received_s))
+                .unzip();
+            write_json(&dir.join("trips.json"), &faulted)?;
+            write_json(&received_path, &received)?;
+            let r = injection.report;
+            println!(
+                "simulated {start}-{end}: {} stop visits, {} taps, {clean_count} clean uploads",
+                output.stop_visits.len(),
+                output.beeps.len(),
+            );
+            println!(
+                "faults (seed {fault_seed}): {} uploads written \
+                 ({} beeps dropped, {} false beeps, {} trips skewed, {} scans truncated, \
+                 {} reorders, {} dups, {} exact dups, {} interleaved, {} corrupted fields, \
+                 {} emptied)",
+                r.uploads_out,
+                r.beeps_dropped,
+                r.false_beeps,
+                r.trips_skewed,
+                r.scans_truncated,
+                r.samples_reordered,
+                r.duplicates_injected,
+                r.exact_duplicates_injected,
+                r.trips_interleaved,
+                r.fields_corrupted,
+                r.trips_emptied
+            );
+        }
+        _ => {
+            write_json(&dir.join("trips.json"), &trips)?;
+            // A stale received.json from an earlier faulted run would
+            // mis-anchor these clean uploads.
+            let _ = std::fs::remove_file(&received_path);
+            println!(
+                "simulated {start}-{end}: {} stop visits, {} taps, wrote {} uploads to trips.json",
+                output.stop_visits.len(),
+                output.beeps.len(),
+                trips.len()
+            );
+        }
+    }
     Ok(())
+}
+
+/// Loads `received.json` (per-upload server-side arrival times, written by
+/// `simulate --faults`) when present and consistent with `trips`.
+fn load_received(dir: &Path, trips: &[Trip]) -> Result<Option<Vec<f64>>, String> {
+    let path = dir.join("received.json");
+    if !path.exists() {
+        return Ok(None);
+    }
+    let received: Vec<f64> = read_json(&path)?;
+    if received.len() != trips.len() {
+        return Err(format!(
+            "received.json has {} entries for {} uploads; re-run `busprobe simulate`",
+            received.len(),
+            trips.len()
+        ));
+    }
+    Ok(Some(received))
 }
 
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
@@ -230,11 +313,21 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     if trips.is_empty() {
         return Err("trips.json contains no uploads; run `busprobe simulate` first".into());
     }
+    let received = load_received(&dir, &trips)?;
     let snapshot_t = match flag_value(args, "--snapshot") {
         Some(v) => parse_hhmm(v)?,
         None => {
-            // Default: just after the last upload.
-            SimTime::from_seconds(trips.iter().map(|t| t.end_s()).fold(0.0, f64::max) + 60.0)
+            // Default: just after the last upload. Faulted uploads may be
+            // empty or carry non-finite timestamps, so compute the end
+            // defensively rather than via Trip::end_s (which panics on
+            // empty trips).
+            let last = trips
+                .iter()
+                .flat_map(|t| t.samples.last())
+                .map(|s| s.time_s)
+                .filter(|t| t.is_finite())
+                .fold(0.0, f64::max);
+            SimTime::from_seconds(last + 60.0)
         }
     };
 
@@ -249,11 +342,16 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         }
         _ => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
     };
-    let reports = monitor.ingest_batch(&trips);
+    let reports = match &received {
+        Some(r) => monitor.ingest_batch_received(&trips, r),
+        None => monitor.ingest_batch(&trips),
+    };
     let matched: usize = reports.iter().map(|r| r.matched).sum();
     let observations: usize = reports.iter().map(|r| r.observations).sum();
+    let quarantined: usize = reports.iter().map(|r| r.quarantined).sum();
     println!(
-        "ingested {} uploads: {matched} samples matched, {observations} speed observations",
+        "ingested {} uploads: {matched} samples matched, {observations} speed observations, \
+         {quarantined} samples quarantined",
         trips.len()
     );
 
@@ -300,8 +398,12 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 
     // Telemetry is in-process: re-run the ingest pipeline over the stored
     // uploads so the snapshot describes exactly this data set.
+    let received = load_received(&dir, &trips)?;
     let monitor = TrafficMonitor::new(network, db, MonitorConfig::default());
-    let reports = monitor.ingest_batch(&trips);
+    let reports = match &received {
+        Some(r) => monitor.ingest_batch_received(&trips, r),
+        None => monitor.ingest_batch(&trips),
+    };
     monitor.refresh_database();
     let snapshot = monitor.telemetry();
 
@@ -363,9 +465,12 @@ fn print_metrics_text(snapshot: &busprobe::telemetry::Snapshot, reports: &[Inges
     println!("dropped               {dropped:>8}");
     for (reason, label) in [
         (DropReason::RejectedDuplicate, "  duplicate digest"),
+        (DropReason::RejectedNearDuplicate, "  near-duplicate"),
+        (DropReason::Malformed, "  malformed upload"),
         (DropReason::UnmatchedScans, "  no scans matched"),
         (DropReason::Unmapped, "  no visits mapped"),
         (DropReason::TooFewVisits, "  too few visits"),
+        (DropReason::InternalError, "  internal error"),
     ] {
         let n = reports
             .iter()

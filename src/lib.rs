@@ -23,6 +23,7 @@
 //! | [`sim`] | traffic/bus/rider simulation + ground-truth feeds |
 //! | [`sensors`] | synthetic audio/accelerometer/GPS/cellular phone traces |
 //! | [`mobile`] | phone pipeline: Goertzel, beep detection, trip recorder, energy |
+//! | [`faults`] | deterministic fault injection: beep loss, clock skew, duplicates, corruption |
 //! | [`telemetry`] | counters, stage timers, event log, JSON/Prometheus exporters |
 //! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
 //!
@@ -54,6 +55,7 @@
 
 pub use busprobe_cellular as cellular;
 pub use busprobe_core as core;
+pub use busprobe_faults as faults;
 pub use busprobe_geo as geo;
 pub use busprobe_mobile as mobile;
 pub use busprobe_network as network;

@@ -218,6 +218,8 @@ fn ingest_reports_attribute_every_dropped_trip_to_a_stage() {
         match report.drop_reason() {
             None => assert!(report.observations > 0 && !report.duplicate),
             Some(DropReason::RejectedDuplicate) => assert!(report.duplicate),
+            Some(DropReason::RejectedNearDuplicate) => assert!(report.near_duplicate),
+            Some(DropReason::Malformed) => assert_eq!(report.kept, 0),
             Some(DropReason::UnmatchedScans) => assert_eq!(report.matched, 0),
             Some(DropReason::Unmapped) => {
                 assert!(report.matched > 0);
@@ -226,6 +228,9 @@ fn ingest_reports_attribute_every_dropped_trip_to_a_stage() {
             Some(DropReason::TooFewVisits) => {
                 assert!(report.visits > 0);
                 assert_eq!(report.observations, 0);
+            }
+            Some(DropReason::InternalError) => {
+                panic!("clean uploads must not trip the panic isolation: {report:?}")
             }
         }
     }

@@ -191,6 +191,12 @@ impl Serialize for f64 {
 
 impl<'de> Deserialize<'de> for f64 {
     fn from_value(value: &Value) -> Result<Self, Error> {
+        // The writer renders non-finite floats as `null` (serde_json's
+        // behaviour); accept them back as NaN so corrupted corpora
+        // round-trip instead of aborting the whole parse.
+        if matches!(value, Value::Null) {
+            return Ok(f64::NAN);
+        }
         value.as_f64().ok_or_else(|| type_error("f64", value))
     }
 }
@@ -203,6 +209,9 @@ impl Serialize for f32 {
 
 impl<'de> Deserialize<'de> for f32 {
     fn from_value(value: &Value) -> Result<Self, Error> {
+        if matches!(value, Value::Null) {
+            return Ok(f32::NAN);
+        }
         value
             .as_f64()
             .map(|f| f as f32)
