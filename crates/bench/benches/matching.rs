@@ -43,5 +43,38 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matching);
+/// Indexed vs brute-force scaling: the same queries against synthetic
+/// databases of 110 / 500 / 2000 stops (the EXPERIMENTS.md table).
+fn bench_indexed_vs_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_index_scaling");
+    for &stops in &[110usize, 500, 2000] {
+        let db = World::synthetic_db(stops, 7);
+        let mut matcher = Matcher::new(db.clone(), MatchConfig::default());
+        // Query with stored fingerprints of evenly-spaced sites: every
+        // query has a real answer, and locality varies across the db.
+        let samples: Vec<_> = db
+            .iter()
+            .step_by((stops / 16).max(1))
+            .map(|(_, fp)| fp.clone())
+            .collect();
+        let mut k = 0usize;
+        group.bench_function(BenchmarkId::new("indexed", stops), |b| {
+            b.iter(|| {
+                k = (k + 1) % samples.len();
+                black_box(matcher.best_match(black_box(&samples[k])))
+            })
+        });
+        matcher.set_use_index(false);
+        let mut k = 0usize;
+        group.bench_function(BenchmarkId::new("brute", stops), |b| {
+            b.iter(|| {
+                k = (k + 1) % samples.len();
+                black_box(matcher.best_match(black_box(&samples[k])))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_indexed_vs_brute);
 criterion_main!(benches);

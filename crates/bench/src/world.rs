@@ -1,9 +1,12 @@
 //! The assembled experiment world: one seed → region, radio environment,
 //! fingerprint database and simulation scenario.
 
-use busprobe_cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe_cellular::{
+    CellTowerId, DeploymentSpec, Fingerprint, PropagationModel, Scanner, TowerDeployment,
+};
 use busprobe_core::{MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
 use busprobe_mobile::{CellularSample, Trip};
+use busprobe_network::StopSiteId;
 use busprobe_network::{NetworkGenerator, TransitNetwork};
 use busprobe_sensors::trip_observations;
 use busprobe_sim::{RiderTrip, Scenario, SimOutput, SimTime, Simulation};
@@ -35,6 +38,82 @@ impl World {
     pub fn small(seed: u64) -> Self {
         let network = NetworkGenerator::small(seed).generate();
         World::with_network(network, seed)
+    }
+
+    /// The perf-calibration region: the paper's grid with twice the
+    /// routes, so the fingerprint database holds ≥ 110 stop sites — the
+    /// scale the perf-regression corpus is calibrated to.
+    #[must_use]
+    pub fn calibrated(seed: u64) -> Self {
+        let network = NetworkGenerator::paper_region(seed)
+            .with_routes(16)
+            .generate();
+        assert!(
+            network.sites().len() >= 110,
+            "calibrated world needs >=110 sites, got {}",
+            network.sites().len()
+        );
+        World::with_network(network, seed)
+    }
+
+    /// A purely synthetic fingerprint database of `stops` entries with
+    /// corridor-style tower locality: each stop draws 6–11 towers from a
+    /// window that slides with the stop index, so neighbours share
+    /// towers and distant stops don't — the overlap structure the
+    /// inverted index faces in a real city. Sized freely (110 / 500 /
+    /// 2000 stops) for matcher micro-benchmarks, independent of any
+    /// network (the site ids exist only in the database).
+    #[must_use]
+    pub fn synthetic_db(stops: usize, seed: u64) -> StopFingerprintDb {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBADC_0FFE_E0DD_F00D);
+        (0..stops)
+            .map(|k| {
+                let len = rng.gen_range(6usize..12);
+                let base = k as u32 * 3;
+                let mut cells: Vec<CellTowerId> = Vec::with_capacity(len);
+                while cells.len() < len {
+                    let cell = CellTowerId(base + rng.gen_range(0u32..40));
+                    if !cells.contains(&cell) {
+                        cells.push(cell);
+                    }
+                }
+                let fp: Fingerprint = cells.into_iter().collect();
+                (StopSiteId(k as u32), fp)
+            })
+            .collect()
+    }
+
+    /// Fabricates `count` ride uploads over this world's routes — the
+    /// perf-regression corpus. Each trip boards a random route, rides a
+    /// 4–8-stop segment, and taps 2–3 times per stop with noisy scans
+    /// taken at the true stop positions, so a 1000-trip corpus exercises
+    /// the full pipeline (dedup, matching, clustering, mapping, fusion)
+    /// without the cost of a rider simulation. Deterministic in `seed`.
+    #[must_use]
+    pub fn ride_corpus(&self, count: usize, seed: u64) -> Vec<Trip> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51DE_C0DE_0B05_1DE5);
+        let routes = self.network.routes();
+        (0..count)
+            .map(|_| {
+                let route = &routes[rng.gen_range(0..routes.len())];
+                let n = route.stop_count();
+                let len = rng.gen_range(4..=n.min(8));
+                let start = rng.gen_range(0..=n - len);
+                let taps = rng.gen_range(2usize..=3);
+                let hop_s = rng.gen_range(60.0..120.0);
+                let mut samples = Vec::with_capacity(len * taps);
+                for (k, stop) in route.stops()[start..start + len].iter().enumerate() {
+                    let position = self.network.site(stop.site).position;
+                    for tap in 0..taps {
+                        samples.push(CellularSample {
+                            time_s: k as f64 * hop_s + tap as f64 * 2.0,
+                            scan: self.scanner.scan(position, &mut rng),
+                        });
+                    }
+                }
+                Trip { samples }
+            })
+            .collect()
     }
 
     fn with_network(network: TransitNetwork, seed: u64) -> Self {
@@ -147,6 +226,43 @@ mod tests {
         let w = World::small(4);
         let db = w.build_db(3);
         assert_eq!(db.len(), w.network.sites().len());
+    }
+
+    #[test]
+    fn calibrated_world_reaches_city_scale() {
+        let w = World::calibrated(7);
+        assert!(w.network.sites().len() >= 110);
+        let db = w.build_db(3);
+        assert!(db.len() >= 110);
+    }
+
+    #[test]
+    fn synthetic_db_is_deterministic_and_sized() {
+        let a = World::synthetic_db(120, 9);
+        let b = World::synthetic_db(120, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        // Locality: consecutive stops share towers, distant ones don't.
+        let first = a.get(StopSiteId(0)).unwrap();
+        let second = a.get(StopSiteId(1)).unwrap();
+        let far = a.get(StopSiteId(100)).unwrap();
+        assert!(first.common_cells(second) > 0, "neighbours overlap");
+        assert_eq!(first.common_cells(far), 0, "distant stops are disjoint");
+    }
+
+    #[test]
+    fn ride_corpus_is_deterministic_and_ingestible() {
+        let w = World::small(8);
+        let a = w.ride_corpus(50, 3);
+        let b = w.ride_corpus(50, 3);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+        // Every trip rides ≥4 stops with ≥2 taps each.
+        assert!(a.iter().all(|t| t.samples.len() >= 8));
+        let monitor = w.monitor();
+        let reports = monitor.ingest_batch(&a);
+        let observations: usize = reports.iter().map(|r| r.observations).sum();
+        assert!(observations > 0, "corpus must produce speed observations");
     }
 
     #[test]

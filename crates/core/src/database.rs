@@ -42,15 +42,25 @@ impl StopFingerprintDb {
                 0 => continue,
                 1 => fps[0].clone(),
                 _ => {
+                    // Similarity is symmetric (the DP transposes exactly,
+                    // bit-for-bit), so score each unordered pair once and
+                    // mirror it — n(n−1)/2 alignments instead of n(n−1).
+                    let n = fps.len();
+                    let mut sim = vec![0.0f64; n * n];
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            let s = similarity(&fps[i], &fps[j], config);
+                            sim[i * n + j] = s;
+                            sim[j * n + i] = s;
+                        }
+                    }
                     let mut best_idx = 0;
                     let mut best_total = f64::NEG_INFINITY;
-                    for (i, candidate) in fps.iter().enumerate() {
-                        let total: f64 = fps
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| *j != i)
-                            .map(|(_, other)| similarity(candidate, other, config))
-                            .sum();
+                    for i in 0..n {
+                        // Summed in ascending-j order, exactly like the
+                        // historical rescore-everything loop, so totals and
+                        // the elected sample are bit-identical to it.
+                        let total: f64 = (0..n).filter(|&j| j != i).map(|j| sim[i * n + j]).sum();
                         if total > best_total {
                             best_total = total;
                             best_idx = i;
@@ -154,6 +164,57 @@ mod tests {
         let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
         assert_eq!(db.len(), 1);
         assert_eq!(db.get(StopSiteId(0)), Some(&fp(&[5, 6])));
+    }
+
+    /// The pre-optimization election: rescores every ordered pair.
+    fn elect_rescoring_everything(fps: &[Fingerprint], config: &MatchConfig) -> Fingerprint {
+        let mut best_idx = 0;
+        let mut best_total = f64::NEG_INFINITY;
+        for (i, candidate) in fps.iter().enumerate() {
+            let total: f64 = fps
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, other)| similarity(candidate, other, config))
+                .sum();
+            if total > best_total {
+                best_total = total;
+                best_idx = i;
+            }
+        }
+        fps[best_idx].clone()
+    }
+
+    #[test]
+    fn upper_triangle_election_matches_historical_full_matrix() {
+        // Deterministically generated corpora, including exact ties
+        // (identical samples) where first-maximum must still win.
+        let mut state = 0x9e37_79b9u32;
+        let mut rand = move |bound: u32| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 16) % bound
+        };
+        let config = MatchConfig::default();
+        for case in 0..40 {
+            let count = 2 + rand(5) as usize;
+            let mut fps = Vec::new();
+            for _ in 0..count {
+                let fp: Fingerprint = (0..3 + rand(5)).map(|_| CellTowerId(rand(12))).collect();
+                fps.push(fp);
+            }
+            if case % 4 == 0 {
+                let dup = fps[0].clone();
+                fps.push(dup); // force a tied election
+            }
+            let mut samples = BTreeMap::new();
+            samples.insert(StopSiteId(0), fps.clone());
+            let db = StopFingerprintDb::build_from_samples(&samples, &config);
+            assert_eq!(
+                db.get(StopSiteId(0)),
+                Some(&elect_rescoring_everything(&fps, &config)),
+                "case {case}: election changed"
+            );
+        }
     }
 
     #[test]

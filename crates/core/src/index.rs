@@ -1,0 +1,369 @@
+//! Inverted cell-ID index over the stop-fingerprint database.
+//!
+//! The brute-force matcher aligns every uploaded sample against *every*
+//! stored fingerprint — O(stops · |fp|²) per sample. City-scale databases
+//! make that the pipeline's wall. [`MatchIndex`] makes matching sub-linear
+//! without changing a single result:
+//!
+//! * **Interning.** Every [`CellTowerId`] seen in a stored fingerprint is
+//!   interned to a dense `u32`, and each interned cell keeps a posting
+//!   list of the stop slots whose fingerprint contains it.
+//! * **Candidate counting.** A sample's cells are looked up in the
+//!   interner; walking their posting lists counts, per stop, exactly
+//!   `common_cells(sample, stored)` — the paper's tie-breaker, obtained
+//!   here for free, before any alignment runs.
+//! * **Score-bound pruning.** A modified Smith–Waterman score only ever
+//!   gains from aligned *identical* cells (+`match_score` each); gaps and
+//!   mismatches cost. Hence `score ≤ match_score · common_cells`. Stops
+//!   whose bound falls below the acceptance threshold γ are *provably*
+//!   rejected without alignment, and visiting candidates in descending
+//!   bound order lets the caller stop as soon as the bound drops below
+//!   its current best score.
+//!
+//! The index is maintained online: [`insert`](MatchIndex::insert) and
+//! [`remove`](MatchIndex::remove) keep the posting lists exact while the
+//! paper's database-update path promotes fresh fingerprints. Slots of
+//! removed stops are recycled; the interner only grows (a cell that once
+//! existed costs one empty posting list — negligible against re-keying).
+
+use busprobe_cellular::{CellTowerId, Fingerprint};
+use busprobe_network::StopSiteId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Relative slop applied to the pruning bound so that floating-point
+/// rounding in the DP (sums of `match_score`) can never make the bound
+/// fall *below* an achievable score. Pruning stays provable: the padded
+/// bound is an upper bound on any computed alignment score.
+const BOUND_SLOP: f64 = 1e-12;
+
+/// One indexed stop: its site and the stored fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    site: StopSiteId,
+    fp: Fingerprint,
+}
+
+/// Reusable per-thread scratch for candidate counting: a slot-indexed
+/// count array (kept zeroed between calls), the list of touched slots,
+/// and the bound-ordered candidate list.
+#[derive(Debug, Default)]
+struct CandidateScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+    /// `(shared_cells, site, slot)` — sortable by descending bound with a
+    /// deterministic site tie-break.
+    order: Vec<(u32, StopSiteId, u32)>,
+}
+
+thread_local! {
+    static CANDIDATE_SCRATCH: RefCell<CandidateScratch> =
+        RefCell::new(CandidateScratch::default());
+}
+
+/// Inverted cell→stop index with exact score-bound pruning.
+#[derive(Debug, Clone, Default)]
+pub struct MatchIndex {
+    /// Interner: cell ID → dense index into `postings`.
+    cell_ids: HashMap<CellTowerId, u32>,
+    /// Per interned cell, the slots whose fingerprint contains it.
+    postings: Vec<Vec<u32>>,
+    /// Slot-addressed entries; `None` marks a recycled slot.
+    entries: Vec<Option<Entry>>,
+    /// Site → slot, for O(1) maintenance.
+    by_site: HashMap<StopSiteId, u32>,
+    /// Recycled slots available for reuse.
+    free: Vec<u32>,
+    /// High-water mark of stored fingerprint lengths (sizes DP scratch).
+    max_fp_len: usize,
+}
+
+impl MatchIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        MatchIndex::default()
+    }
+
+    /// Builds the index over `entries`.
+    pub fn build<'a, I: IntoIterator<Item = (StopSiteId, &'a Fingerprint)>>(entries: I) -> Self {
+        let mut index = MatchIndex::new();
+        for (site, fp) in entries {
+            index.insert(site, fp);
+        }
+        index
+    }
+
+    /// Number of indexed stops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_site.len()
+    }
+
+    /// Whether the index holds no stops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_site.is_empty()
+    }
+
+    /// Number of distinct cell IDs ever interned.
+    #[must_use]
+    pub fn interned_cells(&self) -> usize {
+        self.cell_ids.len()
+    }
+
+    /// High-water mark of indexed fingerprint lengths.
+    #[must_use]
+    pub fn max_fingerprint_len(&self) -> usize {
+        self.max_fp_len
+    }
+
+    /// Indexes (or re-indexes) the fingerprint of `site`.
+    pub fn insert(&mut self, site: StopSiteId, fp: &Fingerprint) {
+        self.remove(site);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.entries.push(None);
+            u32::try_from(self.entries.len() - 1).expect("fewer than 2^32 stops")
+        });
+        for &cell in fp.cells() {
+            let next = u32::try_from(self.cell_ids.len()).expect("fewer than 2^32 cells");
+            let ci = *self.cell_ids.entry(cell).or_insert(next);
+            if ci as usize == self.postings.len() {
+                self.postings.push(Vec::new());
+            }
+            self.postings[ci as usize].push(slot);
+        }
+        self.max_fp_len = self.max_fp_len.max(fp.len());
+        self.entries[slot as usize] = Some(Entry {
+            site,
+            fp: fp.clone(),
+        });
+        self.by_site.insert(site, slot);
+    }
+
+    /// Drops `site` from the index. Returns whether it was present.
+    pub fn remove(&mut self, site: StopSiteId) -> bool {
+        let Some(slot) = self.by_site.remove(&site) else {
+            return false;
+        };
+        // invariant: `by_site` only maps to occupied slots.
+        let entry = self.entries[slot as usize].take().expect("occupied slot");
+        for &cell in entry.fp.cells() {
+            if let Some(&ci) = self.cell_ids.get(&cell) {
+                let posting = &mut self.postings[ci as usize];
+                if let Some(pos) = posting.iter().position(|&s| s == slot) {
+                    posting.swap_remove(pos);
+                }
+            }
+        }
+        self.free.push(slot);
+        true
+    }
+
+    /// The provable score upper bound for a candidate sharing
+    /// `shared_cells` cell IDs with the sample.
+    #[must_use]
+    pub fn score_bound(shared_cells: usize, match_score: f64) -> f64 {
+        match_score * shared_cells as f64 * (1.0 + BOUND_SLOP)
+    }
+
+    /// Visits every stop that *could* reach `accept_threshold` against
+    /// `sample`, in descending score-bound order (ties by ascending site
+    /// id). For each, the visitor receives `(site, stored fingerprint,
+    /// shared_cells, bound)` where `shared_cells` is exactly
+    /// `sample.common_cells(stored)`; returning `false` stops the visit
+    /// (the remaining bounds are no larger).
+    ///
+    /// Returns the number of candidates that passed the bound filter
+    /// (whether or not the visitor saw them all).
+    pub(crate) fn visit_candidates<F>(
+        &self,
+        sample: &Fingerprint,
+        match_score: f64,
+        accept_threshold: f64,
+        mut visit: F,
+    ) -> usize
+    where
+        F: FnMut(StopSiteId, &Fingerprint, usize, f64) -> bool,
+    {
+        CANDIDATE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            if scratch.counts.len() < self.entries.len() {
+                scratch.counts.resize(self.entries.len(), 0);
+            }
+            scratch.touched.clear();
+            scratch.order.clear();
+
+            // Count shared cells per slot by walking posting lists.
+            for &cell in sample.cells() {
+                let Some(&ci) = self.cell_ids.get(&cell) else {
+                    continue; // cell unseen by every stored fingerprint
+                };
+                for &slot in &self.postings[ci as usize] {
+                    if scratch.counts[slot as usize] == 0 {
+                        scratch.touched.push(slot);
+                    }
+                    scratch.counts[slot as usize] += 1;
+                }
+            }
+
+            // Keep candidates whose provable bound reaches the threshold.
+            for &slot in &scratch.touched {
+                let shared = scratch.counts[slot as usize];
+                scratch.counts[slot as usize] = 0; // restore the zeroed invariant
+                if Self::score_bound(shared as usize, match_score) >= accept_threshold {
+                    // invariant: postings only reference occupied slots.
+                    let site = self.entries[slot as usize]
+                        .as_ref()
+                        .expect("posted slot occupied")
+                        .site;
+                    scratch.order.push((shared, site, slot));
+                }
+            }
+            // Descending shared count ⇒ descending bound; site ascending
+            // for a deterministic, order-independent visit.
+            scratch
+                .order
+                .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+            let candidates = scratch.order.len();
+            for &(shared, site, slot) in &scratch.order {
+                // invariant: slots in `order` were occupied above and the
+                // index is not mutated during a visit (&self).
+                let entry = self.entries[slot as usize]
+                    .as_ref()
+                    .expect("candidate slot occupied");
+                let bound = Self::score_bound(shared as usize, match_score);
+                if !visit(site, &entry.fp, shared as usize, bound) {
+                    break;
+                }
+            }
+            candidates
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(ids: &[u32]) -> Fingerprint {
+        Fingerprint::new(ids.iter().map(|&i| CellTowerId(i)).collect()).unwrap()
+    }
+
+    fn collect(
+        index: &MatchIndex,
+        sample: &Fingerprint,
+        threshold: f64,
+    ) -> Vec<(StopSiteId, usize)> {
+        let mut out = Vec::new();
+        index.visit_candidates(sample, 1.0, threshold, |site, _, shared, _| {
+            out.push((site, shared));
+            true
+        });
+        out
+    }
+
+    #[test]
+    fn counts_shared_cells_exactly() {
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(0), &fp(&[1, 2, 3, 4]));
+        index.insert(StopSiteId(1), &fp(&[3, 4, 5]));
+        index.insert(StopSiteId(2), &fp(&[9, 10]));
+        let sample = fp(&[2, 3, 4]);
+        let hits = collect(&index, &sample, 2.0);
+        assert_eq!(hits, vec![(StopSiteId(0), 3), (StopSiteId(1), 2)]);
+    }
+
+    #[test]
+    fn bound_filter_drops_hopeless_stops() {
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(0), &fp(&[1, 7, 8]));
+        // One shared cell bounds the score at 1.0 < γ = 2.
+        assert!(collect(&index, &fp(&[1, 2, 3]), 2.0).is_empty());
+        // γ = 1 keeps it.
+        assert_eq!(collect(&index, &fp(&[1, 2, 3]), 1.0).len(), 1);
+    }
+
+    #[test]
+    fn visit_order_is_bound_descending_site_ascending() {
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(5), &fp(&[1, 2]));
+        index.insert(StopSiteId(3), &fp(&[1, 2, 9]));
+        index.insert(StopSiteId(4), &fp(&[1, 2, 8]));
+        let hits = collect(&index, &fp(&[1, 2]), 0.5);
+        let sites: Vec<u32> = hits.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(sites, vec![3, 4, 5], "ties break by ascending site id");
+    }
+
+    #[test]
+    fn early_exit_stops_the_visit() {
+        let mut index = MatchIndex::new();
+        for k in 0..10u32 {
+            index.insert(StopSiteId(k), &fp(&[1, 2, 100 + k]));
+        }
+        let mut seen = 0;
+        let candidates = index.visit_candidates(&fp(&[1, 2]), 1.0, 1.0, |_, _, _, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(candidates, 10, "all candidates passed the bound filter");
+    }
+
+    #[test]
+    fn remove_and_reinsert_recycle_slots() {
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(0), &fp(&[1, 2]));
+        index.insert(StopSiteId(1), &fp(&[2, 3]));
+        assert_eq!(index.len(), 2);
+        assert!(index.remove(StopSiteId(0)));
+        assert!(!index.remove(StopSiteId(0)), "already gone");
+        assert_eq!(index.len(), 1);
+        assert!(collect(&index, &fp(&[1, 2]), 1.0)
+            .iter()
+            .all(|(s, _)| *s != StopSiteId(0)));
+
+        // Reinsertion reuses the freed slot and the stale posting is gone.
+        index.insert(StopSiteId(7), &fp(&[1, 9]));
+        assert_eq!(index.entries.iter().flatten().count(), 2, "slot recycled");
+        let hits = collect(&index, &fp(&[1]), 1.0);
+        assert_eq!(hits, vec![(StopSiteId(7), 1)]);
+    }
+
+    #[test]
+    fn reindexing_a_site_replaces_its_postings() {
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(0), &fp(&[1, 2, 3]));
+        index.insert(StopSiteId(0), &fp(&[7, 8]));
+        assert_eq!(index.len(), 1);
+        assert!(collect(&index, &fp(&[1, 2, 3]), 1.0).is_empty());
+        assert_eq!(collect(&index, &fp(&[7]), 1.0).len(), 1);
+    }
+
+    #[test]
+    fn empty_sample_and_empty_index_are_harmless() {
+        let index = MatchIndex::new();
+        assert!(collect(&index, &fp(&[1, 2]), 1.0).is_empty());
+        let mut index = MatchIndex::new();
+        index.insert(StopSiteId(0), &fp(&[1]));
+        assert!(collect(&index, &Fingerprint::new(vec![]).unwrap(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn score_bound_dominates_match_count() {
+        // The bound must never under-estimate k additions of match_score.
+        for &mc in &[1.0f64, 0.3, 0.7, 1.7] {
+            for k in 0..64usize {
+                let mut acc = 0.0f64;
+                for _ in 0..k {
+                    acc += mc;
+                }
+                assert!(
+                    MatchIndex::score_bound(k, mc) >= acc,
+                    "bound({k}, {mc}) < summed score"
+                );
+            }
+        }
+    }
+}

@@ -57,6 +57,7 @@ pub mod database;
 pub mod estimation;
 pub mod fusion;
 pub mod geojson;
+pub mod index;
 pub mod inference;
 pub mod map;
 pub mod mapping;
@@ -72,10 +73,11 @@ pub use clustering::{Cluster, ClusterCandidate, ClusterConfig, Clusterer, Matche
 pub use database::StopFingerprintDb;
 pub use estimation::{EstimatorConfig, SpeedObservation, TripEstimator};
 pub use fusion::{BayesianSpeed, SegmentFusion};
+pub use index::MatchIndex;
 pub use inference::{infer_regional, EstimateSource, InferenceConfig, RegionalMap};
 pub use map::{GoogleMapsIndicator, SegmentEstimate, SpeedLevel, TrafficMap};
 pub use mapping::{MappedVisit, TripMapper};
-pub use matching::{MatchConfig, MatchResult, Matcher};
+pub use matching::{MatchConfig, MatchMemo, MatchResult, Matcher};
 pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport};
 pub use server::{DropReason, IngestReport, MonitorConfig, MonitorState, TrafficMonitor};
 pub use updater::{DbUpdater, UpdaterConfig};

@@ -6,11 +6,29 @@
 //! different sets." The alignment compares the RSS-descending cell-ID
 //! sequences; matches score +1, mismatches and gaps cost 0.3 (the value the
 //! paper selected by sweeping 0.1–0.9).
+//!
+//! The [`Matcher`] serves two query shapes through one scored-candidates
+//! core (one scoring path, one tie-break comparator, so they cannot
+//! diverge): [`best_match`](Matcher::best_match) and
+//! [`candidates`](Matcher::candidates). Both run against a [`MatchIndex`]
+//! by default — an inverted cell-ID index with provable score-bound
+//! pruning that skips stops which cannot reach the acceptance threshold —
+//! and fall back to the exhaustive scan (also exposed as
+//! [`best_match_brute`](Matcher::best_match_brute) /
+//! [`candidates_brute`](Matcher::candidates_brute)) whenever pruning is
+//! not sound (γ ≤ 0 accepts stops sharing zero cells). Results are
+//! bit-identical between the two paths; `crates/core/tests/`
+//! holds the property suite asserting it.
 
 use crate::database::StopFingerprintDb;
+use crate::index::MatchIndex;
+use crate::telemetry::MatcherMetrics;
 use busprobe_cellular::Fingerprint;
 use busprobe_network::StopSiteId;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
 
 /// Scoring parameters of the modified Smith–Waterman alignment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,6 +55,19 @@ impl Default for MatchConfig {
     }
 }
 
+/// Reusable two-row DP scratch. The matcher's inner loop runs once per
+/// (sample, candidate) pair; reusing rows removes two heap allocations
+/// per alignment from the hottest path in the pipeline.
+#[derive(Debug, Default)]
+struct DpScratch {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+thread_local! {
+    static DP_SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::default());
+}
+
 /// Smith–Waterman local-alignment similarity between two RSS-ordered cell
 /// sequences. Symmetric, non-negative, and at most
 /// `match_score · min(len_a, len_b)`.
@@ -59,6 +90,20 @@ impl Default for MatchConfig {
 /// ```
 #[must_use]
 pub fn similarity(a: &Fingerprint, b: &Fingerprint, config: &MatchConfig) -> f64 {
+    DP_SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        similarity_scratch(a, b, config, scratch)
+    })
+}
+
+/// The DP against caller-provided rows (the arithmetic is identical to
+/// the historical allocating version, so scores are bit-stable).
+fn similarity_scratch(
+    a: &Fingerprint,
+    b: &Fingerprint,
+    config: &MatchConfig,
+    s: &mut DpScratch,
+) -> f64 {
     let xs = a.cells();
     let ys = b.cells();
     if xs.is_empty() || ys.is_empty() {
@@ -66,8 +111,12 @@ pub fn similarity(a: &Fingerprint, b: &Fingerprint, config: &MatchConfig) -> f64
     }
     // Two-row dynamic program; H[i][j] = best local alignment ending at
     // (i, j), floored at zero (local alignment restarts freely).
-    let mut prev = vec![0.0f64; ys.len() + 1];
-    let mut cur = vec![0.0f64; ys.len() + 1];
+    s.prev.clear();
+    s.prev.resize(ys.len() + 1, 0.0);
+    s.cur.clear();
+    s.cur.resize(ys.len() + 1, 0.0);
+    let prev = &mut s.prev;
+    let cur = &mut s.cur;
     let mut best = 0.0f64;
     for &x in xs {
         for (j, &y) in ys.iter().enumerate() {
@@ -85,7 +134,7 @@ pub fn similarity(a: &Fingerprint, b: &Fingerprint, config: &MatchConfig) -> f64
                 best = h;
             }
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
         cur[0] = 0.0;
     }
     best
@@ -103,18 +152,89 @@ pub struct MatchResult {
     pub common_cells: usize,
 }
 
+/// The canonical candidate priority: higher score first, then more common
+/// cells ("the one with a larger number of common cell IDs is selected"),
+/// then smaller site id for determinism. `Less` ranks higher. Every
+/// matcher path — brute-force or indexed, best-only or full pool — orders
+/// results with this one comparator.
+fn rank(a: &MatchResult, b: &MatchResult) -> Ordering {
+    // total_cmp: alignment scores are finite by construction, but the
+    // matcher sits on the hostile-upload path and must not panic.
+    b.score
+        .total_cmp(&a.score)
+        .then(b.common_cells.cmp(&a.common_cells))
+        .then(a.site.cmp(&b.site))
+}
+
+/// A small per-trip memo of `best_match` answers keyed on the sample's
+/// exact cell sequence. Consecutive samples taken while a bus waits at a
+/// stop frequently repeat fingerprints verbatim; the memo answers those
+/// without touching the index. Bounded: once `capacity` distinct
+/// fingerprints are cached, further misses are computed but not stored
+/// (a trip is short — the cap only guards against hostile uploads).
+#[derive(Debug)]
+pub struct MatchMemo {
+    map: HashMap<Fingerprint, Option<MatchResult>>,
+    capacity: usize,
+}
+
+impl MatchMemo {
+    /// A memo storing at most `capacity` distinct fingerprints.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MatchMemo {
+            map: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Number of memoized fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl Default for MatchMemo {
+    /// The per-trip default: 64 distinct fingerprints (beeps arrive a few
+    /// seconds apart; a trip rarely carries more distinct scans).
+    fn default() -> Self {
+        MatchMemo::new(64)
+    }
+}
+
 /// Matches uploaded samples against a [`StopFingerprintDb`].
 #[derive(Debug, Clone)]
 pub struct Matcher {
     db: StopFingerprintDb,
+    index: MatchIndex,
     config: MatchConfig,
+    use_index: bool,
+    metrics: MatcherMetrics,
 }
 
 impl Matcher {
-    /// Creates a matcher over `db`.
+    /// Creates a matcher over `db`, building the inverted cell-ID index
+    /// (timed under `busprobe_core_stage_index_build`).
     #[must_use]
     pub fn new(db: StopFingerprintDb, config: MatchConfig) -> Self {
-        Matcher { db, config }
+        let metrics = MatcherMetrics::new();
+        let span = metrics.span_index_build();
+        let index = MatchIndex::build(db.iter());
+        span.finish();
+        Matcher {
+            db,
+            index,
+            config,
+            use_index: true,
+            metrics,
+        }
     }
 
     /// The scoring configuration.
@@ -129,64 +249,210 @@ impl Matcher {
         &self.db
     }
 
+    /// The inverted index.
+    #[must_use]
+    pub fn index(&self) -> &MatchIndex {
+        &self.index
+    }
+
+    /// Enables or disables the indexed path. Matching results are
+    /// identical either way; this is an evaluation hook for measuring the
+    /// index's speedup and verifying equivalence end-to-end.
+    pub fn set_use_index(&mut self, enabled: bool) {
+        self.use_index = enabled;
+    }
+
+    /// Whether queries will use the inverted index. Pruning is only sound
+    /// when the threshold is positive: γ ≤ 0 accepts stops sharing zero
+    /// cells with the sample, which no cell-driven index can enumerate.
+    #[must_use]
+    pub fn indexed(&self) -> bool {
+        self.use_index && self.config.accept_threshold > 0.0
+    }
+
+    /// Stores (or replaces) the fingerprint of `site` in both the
+    /// database and the index — the online database-update path.
+    pub fn insert(&mut self, site: StopSiteId, fp: Fingerprint) -> Option<Fingerprint> {
+        self.index.insert(site, &fp);
+        self.db.insert(site, fp)
+    }
+
+    /// Removes `site` from both the database and the index.
+    pub fn remove(&mut self, site: StopSiteId) -> Option<Fingerprint> {
+        self.index.remove(site);
+        self.db.remove(site)
+    }
+
+    /// Scores one stored fingerprint against `sample`, applying the γ
+    /// filter. `common` carries the pre-counted shared-cell count when the
+    /// index already knows it; the brute path counts it on demand. This is
+    /// the single scoring core every query path goes through.
+    fn score_one(
+        &self,
+        sample: &Fingerprint,
+        site: StopSiteId,
+        stored: &Fingerprint,
+        common: Option<usize>,
+    ) -> Option<MatchResult> {
+        let score = similarity(sample, stored, &self.config);
+        (score >= self.config.accept_threshold).then(|| MatchResult {
+            site,
+            score,
+            common_cells: common.unwrap_or_else(|| sample.common_cells(stored)),
+        })
+    }
+
+    /// Exhaustively scores the whole database (the brute-force core).
+    fn scored_scan<'a>(
+        &'a self,
+        sample: &'a Fingerprint,
+    ) -> impl Iterator<Item = MatchResult> + 'a {
+        self.db
+            .iter()
+            .filter_map(move |(site, stored)| self.score_one(sample, site, stored, None))
+    }
+
     /// The best-matching bus stop for `sample`, or `None` when every score
     /// falls below the acceptance threshold γ ("all cellular samples whose
     /// highest similarity score is lower than 2 are discarded").
     ///
     /// Ties on score are broken by the larger number of common cell IDs,
     /// then by smaller site id for determinism.
+    ///
+    /// Runs on the inverted index: only stops sharing enough cells to
+    /// possibly reach γ are aligned, visited in descending score-bound
+    /// order with an early exit once no remaining bound can beat the
+    /// current best. Bit-identical to
+    /// [`best_match_brute`](Self::best_match_brute).
     #[must_use]
     pub fn best_match(&self, sample: &Fingerprint) -> Option<MatchResult> {
-        let mut best: Option<MatchResult> = None;
-        for (site, stored) in self.db.iter() {
-            let score = similarity(sample, stored, &self.config);
-            if score < self.config.accept_threshold {
-                continue;
-            }
-            let candidate = MatchResult {
-                site,
-                score,
-                common_cells: sample.common_cells(stored),
-            };
-            best = match best {
-                None => Some(candidate),
-                Some(b) => {
-                    let better = candidate.score > b.score + 1e-12
-                        || ((candidate.score - b.score).abs() <= 1e-12
-                            && candidate.common_cells > b.common_cells);
-                    Some(if better { candidate } else { b })
-                }
-            };
+        if !self.indexed() {
+            return self.best_match_brute(sample);
         }
+        let mut best: Option<MatchResult> = None;
+        let mut scored = 0usize;
+        self.index.visit_candidates(
+            sample,
+            self.config.match_score,
+            self.config.accept_threshold,
+            |site, stored, shared, bound| {
+                if let Some(b) = &best {
+                    // No remaining candidate can reach the current best
+                    // score (bounds are visited in descending order), and
+                    // an exact score tie is impossible below the bound —
+                    // stop aligning.
+                    if bound < b.score {
+                        return false;
+                    }
+                }
+                scored += 1;
+                if let Some(candidate) = self.score_one(sample, site, stored, Some(shared)) {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => rank(&candidate, b) == Ordering::Less,
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                true
+            },
+        );
+        self.record_query(scored);
         best
     }
 
     /// All bus stops whose similarity with `sample` passes the acceptance
     /// threshold, best first. The per-trip mapper consumes these candidate
-    /// pools.
+    /// pools. Index-accelerated; bit-identical to
+    /// [`candidates_brute`](Self::candidates_brute).
     #[must_use]
     pub fn candidates(&self, sample: &Fingerprint) -> Vec<MatchResult> {
-        let mut out: Vec<MatchResult> = self
-            .db
-            .iter()
-            .filter_map(|(site, stored)| {
-                let score = similarity(sample, stored, &self.config);
-                (score >= self.config.accept_threshold).then(|| MatchResult {
-                    site,
-                    score,
-                    common_cells: sample.common_cells(stored),
-                })
-            })
-            .collect();
-        // total_cmp: alignment scores are finite by construction, but the
-        // matcher sits on the hostile-upload path and must not panic.
-        out.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then(b.common_cells.cmp(&a.common_cells))
-                .then(a.site.cmp(&b.site))
-        });
+        let mut out: Vec<MatchResult> = if self.indexed() {
+            let mut pool = Vec::new();
+            let mut scored = 0usize;
+            self.index.visit_candidates(
+                sample,
+                self.config.match_score,
+                self.config.accept_threshold,
+                |site, stored, shared, _bound| {
+                    scored += 1;
+                    if let Some(candidate) = self.score_one(sample, site, stored, Some(shared)) {
+                        pool.push(candidate);
+                    }
+                    true
+                },
+            );
+            self.record_query(scored);
+            pool
+        } else {
+            self.scored_scan(sample).collect()
+        };
+        out.sort_by(rank);
         out
+    }
+
+    /// [`best_match`](Self::best_match) through a per-trip [`MatchMemo`]:
+    /// repeated fingerprints within one upload are answered from the memo
+    /// (counted under `busprobe_core_match_memo_hits_total`).
+    #[must_use]
+    pub fn best_match_memo(
+        &self,
+        sample: &Fingerprint,
+        memo: &mut MatchMemo,
+    ) -> Option<MatchResult> {
+        // The Borrow<[CellTowerId]> bridge looks the cell sequence up
+        // without cloning the fingerprint on the hit path.
+        if let Some(hit) = memo.map.get(sample.cells()) {
+            self.metrics.memo_hits.inc();
+            return *hit;
+        }
+        let result = self.best_match(sample);
+        if memo.map.len() < memo.capacity {
+            memo.map.insert(sample.clone(), result);
+        }
+        result
+    }
+
+    /// Reference implementation of [`best_match`](Self::best_match): a
+    /// full scan of the database. Kept public for equivalence tests and
+    /// the perf-regression harness.
+    #[must_use]
+    pub fn best_match_brute(&self, sample: &Fingerprint) -> Option<MatchResult> {
+        // min_by(rank): rank is a total order and sites are unique, so
+        // the minimum (highest-priority) element is unique.
+        self.scored_scan(sample).min_by(rank)
+    }
+
+    /// Reference implementation of [`candidates`](Self::candidates): a
+    /// full scan of the database.
+    #[must_use]
+    pub fn candidates_brute(&self, sample: &Fingerprint) -> Vec<MatchResult> {
+        let mut out: Vec<MatchResult> = self.scored_scan(sample).collect();
+        out.sort_by(rank);
+        out
+    }
+
+    /// Number of stops that survive the index's score-bound filter for
+    /// `sample` — the alignments an indexed query would run at most.
+    /// Exposed for the bench harness to time the index bookkeeping
+    /// (candidate counting + ordering) separately from alignment.
+    #[must_use]
+    pub fn probe_candidates(&self, sample: &Fingerprint) -> usize {
+        self.index.visit_candidates(
+            sample,
+            self.config.match_score,
+            self.config.accept_threshold,
+            |_, _, _, _| false,
+        )
+    }
+
+    /// Folds one indexed query's counters into telemetry.
+    fn record_query(&self, scored: usize) {
+        self.metrics.candidates_scored.add(scored as u64);
+        self.metrics
+            .candidates_pruned
+            .add((self.db.len().saturating_sub(scored)) as u64);
     }
 }
 
@@ -309,6 +575,93 @@ mod tests {
         assert!(cross < self_score / 2.0);
     }
 
+    #[test]
+    fn indexed_and_brute_agree_on_a_small_db() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3, 4, 5]));
+        db.insert(StopSiteId(1), fp(&[1, 2, 9, 8, 7]));
+        db.insert(StopSiteId(2), fp(&[31, 1, 2, 50]));
+        db.insert(StopSiteId(3), fp(&[60, 61, 62]));
+        let matcher = Matcher::new(db, config());
+        for sample in [
+            fp(&[1, 2, 3, 4, 6]),
+            fp(&[1, 2, 31]),
+            fp(&[60, 61]),
+            fp(&[99, 98]),
+            fp(&[]),
+        ] {
+            assert_eq!(
+                matcher.best_match(&sample),
+                matcher.best_match_brute(&sample)
+            );
+            assert_eq!(
+                matcher.candidates(&sample),
+                matcher.candidates_brute(&sample)
+            );
+        }
+    }
+
+    #[test]
+    fn non_positive_threshold_falls_back_to_the_scan() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2]));
+        db.insert(StopSiteId(1), fp(&[8, 9]));
+        let cfg = MatchConfig {
+            accept_threshold: 0.0,
+            ..config()
+        };
+        let matcher = Matcher::new(db, cfg);
+        assert!(!matcher.indexed(), "γ ≤ 0 cannot be index-pruned");
+        // Every stop passes γ = 0, even with zero shared cells.
+        let cands = matcher.candidates(&fp(&[1, 2]));
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands, matcher.candidates_brute(&fp(&[1, 2])));
+    }
+
+    #[test]
+    fn insert_and_remove_keep_queries_exact() {
+        let mut matcher = Matcher::new(StopFingerprintDb::new(), config());
+        assert!(matcher.best_match(&fp(&[1, 2, 3])).is_none());
+        matcher.insert(StopSiteId(4), fp(&[1, 2, 3, 9]));
+        assert_eq!(
+            matcher.best_match(&fp(&[1, 2, 3])).unwrap().site,
+            StopSiteId(4)
+        );
+        // Replace the entry: the stale postings must not resurrect it.
+        matcher.insert(StopSiteId(4), fp(&[50, 51, 52]));
+        assert!(matcher.best_match(&fp(&[1, 2, 3])).is_none());
+        assert_eq!(
+            matcher.best_match(&fp(&[50, 51])).unwrap().site,
+            StopSiteId(4)
+        );
+        let removed = matcher.remove(StopSiteId(4));
+        assert_eq!(removed, Some(fp(&[50, 51, 52])));
+        assert!(matcher.best_match(&fp(&[50, 51])).is_none());
+    }
+
+    #[test]
+    fn memo_answers_repeats_and_stays_bounded() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3]));
+        let matcher = Matcher::new(db, config());
+        let mut memo = MatchMemo::new(2);
+        let sample = fp(&[1, 2, 3]);
+        let first = matcher.best_match_memo(&sample, &mut memo);
+        let second = matcher.best_match_memo(&sample, &mut memo);
+        assert_eq!(first, second);
+        assert_eq!(memo.len(), 1);
+        // Distinct fingerprints beyond the cap are computed, not stored.
+        for k in 0..10u32 {
+            let _ = matcher.best_match_memo(&fp(&[k + 10]), &mut memo);
+        }
+        assert!(memo.len() <= 2, "memo is bounded");
+        // Misses (and non-stored entries) still answer correctly.
+        assert_eq!(
+            matcher.best_match_memo(&fp(&[1, 2, 3]), &mut memo),
+            matcher.best_match(&fp(&[1, 2, 3]))
+        );
+    }
+
     fn arb_fp(max_len: usize) -> impl Strategy<Value = Fingerprint> {
         proptest::collection::vec(0u32..30, 0..max_len).prop_map(|ids| {
             let mut seen = std::collections::HashSet::new();
@@ -325,7 +678,13 @@ mod tests {
         #[test]
         fn prop_similarity_symmetric(a in arb_fp(10), b in arb_fp(10)) {
             let c = config();
-            prop_assert!((similarity(&a, &b, &c) - similarity(&b, &a, &c)).abs() < 1e-9);
+            // The DP transposes exactly (max is exact, the cell scores are
+            // symmetric), so symmetry holds bit-for-bit — which is what
+            // lets build_from_samples reuse the upper triangle.
+            prop_assert_eq!(
+                similarity(&a, &b, &c).to_bits(),
+                similarity(&b, &a, &c).to_bits()
+            );
         }
 
         #[test]
@@ -340,6 +699,17 @@ mod tests {
         fn prop_self_similarity_is_maximal(a in arb_fp(10), b in arb_fp(10)) {
             let c = config();
             prop_assert!(similarity(&a, &b, &c) <= similarity(&a, &a, &c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_score_bounded_by_shared_cells(a in arb_fp(10), b in arb_fp(10)) {
+            // The pruning invariant: score ≤ match_score · common_cells
+            // (within the index's slop). This is what makes skipping
+            // low-overlap stops provably exact.
+            let c = config();
+            let s = similarity(&a, &b, &c);
+            let bound = crate::index::MatchIndex::score_bound(a.common_cells(&b), c.match_score);
+            prop_assert!(s <= bound, "score {s} exceeds bound {bound}");
         }
     }
 }

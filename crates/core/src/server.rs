@@ -12,7 +12,7 @@ use crate::estimation::{SpeedObservation, TripEstimator};
 use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
 use crate::mapping::{MappedVisit, TripMapper};
-use crate::matching::Matcher;
+use crate::matching::{MatchMemo, Matcher};
 use crate::sanitize::{self, SanitizeConfig, SanitizeReport};
 use crate::telemetry::PipelineMetrics;
 use crate::updater::{DbUpdater, UpdaterConfig};
@@ -380,14 +380,25 @@ impl TrafficMonitor {
     }
 
     /// Applies the online updater: stops with enough fresh harvested
-    /// samples get their fingerprints re-elected, and the matcher swaps to
-    /// the refreshed database. Returns how many entries changed.
+    /// samples get their fingerprints re-elected and applied to the live
+    /// matcher *incrementally* — each promoted entry goes through
+    /// [`Matcher::insert`], which keeps the inverted index exact without
+    /// rebuilding it. Returns how many entries changed.
     pub fn refresh_database(&self) -> usize {
         let _span = self.metrics.span_refresh();
-        let mut db = self.matcher.read().db().clone();
-        let changed = self.updater.lock().refresh(&mut db, &self.config.matching);
+        let changes = {
+            let matcher = self.matcher.read();
+            self.updater
+                .lock()
+                .refresh_changes(matcher.db(), &self.config.matching)
+        };
+        let changed = changes.len();
         if changed > 0 {
-            *self.matcher.write() = Matcher::new(db, self.config.matching);
+            let mut matcher = self.matcher.write();
+            for (site, fp) in changes {
+                matcher.insert(site, fp);
+            }
+            drop(matcher);
             self.metrics.db_promotions.add(changed as u64);
             busprobe_telemetry::event(
                 Level::Info,
@@ -396,6 +407,13 @@ impl TrafficMonitor {
             );
         }
         changed
+    }
+
+    /// Enables or disables the matcher's inverted index (on by default).
+    /// Results are identical either way; the evaluation harness flips this
+    /// to measure the indexed speedup against the brute-force scan.
+    pub fn set_indexed_matching(&self, enabled: bool) {
+        self.matcher.write().set_use_index(enabled);
     }
 
     /// A point-in-time snapshot of the pipeline's telemetry: stage
@@ -461,14 +479,17 @@ impl TrafficMonitor {
     ) -> (Vec<MappedVisit>, Vec<SpeedObservation>) {
         let _pipeline_span = self.metrics.span_pipeline();
 
-        // Per-sample matching (γ filter included).
+        // Per-sample matching (γ filter included). Consecutive beeps near
+        // one stop often repeat the exact cell sequence; the per-trip memo
+        // answers repeats without touching the index.
         let span = self.metrics.span_matching();
         let matcher = self.matcher.read();
+        let mut memo = MatchMemo::default();
         let matched: Vec<MatchedSample> = samples
             .iter()
             .filter_map(|s| {
                 matcher
-                    .best_match(&s.scan.fingerprint())
+                    .best_match_memo(&s.scan.fingerprint(), &mut memo)
                     .map(|hit| MatchedSample {
                         time_s: s.time_s,
                         site: hit.site,

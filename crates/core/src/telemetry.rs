@@ -133,3 +133,37 @@ impl PipelineMetrics {
         Span::start(Arc::clone(&self.stage_refresh))
     }
 }
+
+/// Pre-resolved instruments for one [`Matcher`](crate::Matcher).
+///
+/// Cloned together with the matcher (clones share the underlying global
+/// atomics), so indexed-query accounting survives the server's
+/// copy-on-refresh matcher swaps.
+#[derive(Debug, Clone)]
+pub(crate) struct MatcherMetrics {
+    /// Stops skipped per indexed query because their score bound provably
+    /// cannot reach the acceptance threshold (or the early exit fired).
+    pub candidates_pruned: Counter,
+    /// Stops actually aligned per indexed query.
+    pub candidates_scored: Counter,
+    /// `best_match_memo` answers served from the per-trip memo.
+    pub memo_hits: Counter,
+    /// Wall time of inverted-index construction.
+    stage_index_build: Arc<StageTimer>,
+}
+
+impl MatcherMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = busprobe_telemetry::global();
+        Self {
+            candidates_pruned: registry.counter("busprobe_core_match_candidates_pruned_total"),
+            candidates_scored: registry.counter("busprobe_core_match_candidates_scored_total"),
+            memo_hits: registry.counter("busprobe_core_match_memo_hits_total"),
+            stage_index_build: registry.stage("busprobe_core_stage_index_build"),
+        }
+    }
+
+    pub(crate) fn span_index_build(&self) -> Span {
+        Span::start(Arc::clone(&self.stage_index_build))
+    }
+}

@@ -85,7 +85,25 @@ impl DbUpdater {
     /// candidate with the highest summed similarity to the fresh samples
     /// wins. Consumed stops are cleared. Returns how many entries changed.
     pub fn refresh(&mut self, db: &mut StopFingerprintDb, match_config: &MatchConfig) -> usize {
-        let mut changed = 0;
+        let changes = self.refresh_changes(db, match_config);
+        let changed = changes.len();
+        for (site, fp) in changes {
+            db.insert(site, fp);
+        }
+        changed
+    }
+
+    /// Like [`refresh`](Self::refresh), but returns the promoted entries
+    /// (sorted by site) instead of applying them, so callers holding an
+    /// index-backed matcher can apply the delta through incremental
+    /// `insert`s rather than rebuilding the whole index. Consumed stops
+    /// are cleared either way.
+    pub fn refresh_changes(
+        &mut self,
+        db: &StopFingerprintDb,
+        match_config: &MatchConfig,
+    ) -> Vec<(StopSiteId, Fingerprint)> {
+        let mut changes = Vec::new();
         let ready: Vec<StopSiteId> = self
             .pending
             .iter()
@@ -116,11 +134,13 @@ impl DbUpdater {
                 // samples, each of which is a candidate.
                 .expect("at least one candidate");
             if current.as_ref() != Some(&best) {
-                db.insert(site, best);
-                changed += 1;
+                changes.push((site, best));
             }
         }
-        changed
+        // `pending` is a HashMap; sort so the delta (and its application
+        // order) is deterministic.
+        changes.sort_by_key(|(site, _)| *site);
+        changes
     }
 }
 
@@ -204,6 +224,31 @@ mod tests {
         let changed = u.refresh(&mut db, &MatchConfig::default());
         assert_eq!(changed, 0, "stored entry wins the election");
         assert_eq!(db.get(site(0)), Some(&stored));
+    }
+
+    #[test]
+    fn refresh_changes_returns_the_delta_without_applying() {
+        let mut u = DbUpdater::new(UpdaterConfig {
+            min_samples: 3,
+            ..Default::default()
+        });
+        let mut db = StopFingerprintDb::new();
+        db.insert(site(0), fp(&[1, 2, 3, 4]));
+        for _ in 0..3 {
+            u.record(site(0), fp(&[50, 51, 52, 53]), 9.0);
+            u.record(site(9), fp(&[90, 91, 92]), 9.0);
+        }
+        let changes = u.refresh_changes(&db, &MatchConfig::default());
+        assert_eq!(
+            changes,
+            vec![
+                (site(0), fp(&[50, 51, 52, 53])),
+                (site(9), fp(&[90, 91, 92])),
+            ],
+            "delta sorted by site"
+        );
+        assert_eq!(db.get(site(0)), Some(&fp(&[1, 2, 3, 4])), "db untouched");
+        assert_eq!(u.pending_for(site(0)), 0, "harvest consumed");
     }
 
     #[test]

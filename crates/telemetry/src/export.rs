@@ -107,8 +107,12 @@ impl Snapshot {
             json_escape(&mut out, &s.name);
             let _ = write!(
                 out,
-                ":{{\"calls\":{},\"total_ns\":{},\"max_ns\":{}}}",
-                s.calls, s.total_ns, s.max_ns
+                ":{{\"calls\":{},\"total_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                s.calls,
+                s.total_ns,
+                s.max_ns,
+                s.p50_ns(),
+                s.p99_ns()
             );
         }
         let _ = write!(
@@ -180,6 +184,17 @@ impl Snapshot {
             let _ = writeln!(out, "{name}_seconds_total {}", fmt_f64(s.total_seconds()));
             let _ = writeln!(out, "# TYPE {name}_max_seconds gauge");
             let _ = writeln!(out, "{name}_max_seconds {}", fmt_f64(s.max_ns as f64 / 1e9));
+            let _ = writeln!(out, "# TYPE {name}_seconds summary");
+            let _ = writeln!(
+                out,
+                "{name}_seconds{{quantile=\"0.5\"}} {}",
+                fmt_f64(s.p50_ns() as f64 / 1e9)
+            );
+            let _ = writeln!(
+                out,
+                "{name}_seconds{{quantile=\"0.99\"}} {}",
+                fmt_f64(s.p99_ns() as f64 / 1e9)
+            );
         }
         let _ = writeln!(
             out,
@@ -223,6 +238,9 @@ mod tests {
         assert!(json.contains("\"bounds\":[1.0,4.0]"));
         assert!(json.contains("\"buckets\":[0,1,0]"));
         assert!(json.contains("\"calls\":1,\"total_ns\":1500000"));
+        // One span of 1.5ms lands in the 2^20 bucket; its geometric
+        // midpoint clamps to the observed max.
+        assert!(json.contains("\"p50_ns\":1500000,\"p99_ns\":1500000"));
         assert!(json.contains("\"message\":\"trip accepted\""));
         assert!(json.contains("\"events_dropped\":0"));
     }
@@ -238,6 +256,8 @@ mod tests {
         assert!(text.contains("busprobe_core_obs_per_trip_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("busprobe_core_stage_matching_calls_total 1"));
         assert!(text.contains("busprobe_core_stage_matching_seconds_total 0.0015"));
+        assert!(text.contains("busprobe_core_stage_matching_seconds{quantile=\"0.5\"} 0.0015"));
+        assert!(text.contains("busprobe_core_stage_matching_seconds{quantile=\"0.99\"} 0.0015"));
     }
 
     #[test]

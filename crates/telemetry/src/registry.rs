@@ -161,6 +161,7 @@ impl Registry {
                 calls: t.calls(),
                 total_ns: t.total_ns(),
                 max_ns: t.max_ns(),
+                log2_ns: t.log2_bucket_counts(),
             })
             .collect();
         let (events, events_dropped) = {
@@ -213,7 +214,7 @@ pub struct HistogramSnapshot {
 }
 
 /// Point-in-time copy of a [`StageTimer`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct StageSnapshot {
     /// Registered stage name.
     pub name: String,
@@ -223,6 +224,9 @@ pub struct StageSnapshot {
     pub total_ns: u64,
     /// Longest single span in nanoseconds.
     pub max_ns: u64,
+    /// Power-of-two latency distribution: entry `k` counts spans with
+    /// `floor(log2(ns)) == k`. Empty when the producer predates buckets.
+    pub log2_ns: Vec<u64>,
 }
 
 impl StageSnapshot {
@@ -240,6 +244,45 @@ impl StageSnapshot {
         } else {
             self.total_seconds() / self.calls as f64
         }
+    }
+
+    /// Estimated `q`-quantile span duration in nanoseconds (e.g. `0.5`
+    /// for p50, `0.99` for p99), from the log2 buckets: the answer is the
+    /// geometric midpoint of the bucket holding the `q`-th ranked span,
+    /// clamped to the observed maximum — exact to within a factor of √2.
+    /// Zero when no spans (or no buckets) were recorded.
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        let total: u64 = self.log2_ns.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, &count) in self.log2_ns.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Geometric midpoint of [2^idx, 2^(idx+1)): 1.5 · 2^idx.
+                let mid = (1u64 << idx) + (1u64 << idx) / 2;
+                return mid.min(self.max_ns.max(1));
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median span duration in nanoseconds (see
+    /// [`percentile_ns`](Self::percentile_ns)).
+    #[must_use]
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.5)
+    }
+
+    /// 99th-percentile span duration in nanoseconds (see
+    /// [`percentile_ns`](Self::percentile_ns)).
+    #[must_use]
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
     }
 }
 
@@ -322,6 +365,32 @@ mod tests {
         let stage = snap.stage("stage_x").unwrap();
         assert_eq!(stage.calls, 1);
         assert!(stage.mean_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn stage_percentiles_come_from_log2_buckets() {
+        let registry = Registry::new();
+        let timer = registry.stage("stage_p");
+        // 98 fast spans (~1µs), 2 slow (~1ms): p50 sits in the fast
+        // bucket, p99 in the slow one.
+        for _ in 0..98 {
+            timer.record_ns(1_000);
+        }
+        timer.record_ns(1_000_000);
+        timer.record_ns(1_100_000);
+        let snap = registry.snapshot();
+        let stage = snap.stage("stage_p").unwrap();
+        assert_eq!(stage.log2_ns.iter().sum::<u64>(), 100);
+        let p50 = stage.p50_ns();
+        let p99 = stage.p99_ns();
+        assert!((512..2048).contains(&p50), "p50 {p50} in the ~1µs bucket");
+        assert!(
+            (524_288..2_097_152).contains(&p99),
+            "p99 {p99} in the ~1ms bucket"
+        );
+        assert!(stage.percentile_ns(1.0) <= stage.max_ns);
+        // Zero-call stages report zero.
+        assert_eq!(StageSnapshot::default().p50_ns(), 0);
     }
 
     #[test]

@@ -4,12 +4,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Number of power-of-two latency buckets (covers the whole `u64` ns
+/// range: bucket `k` counts spans with `floor(log2(ns)) == k`).
+pub const LOG2_BUCKETS: usize = 64;
+
 /// Aggregated wall time for one named pipeline stage.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StageTimer {
     calls: AtomicU64,
     total_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Log2 latency distribution, for percentile estimates: one fetch_add
+    /// per record keeps the hot path a handful of relaxed atomics.
+    log2_ns: [AtomicU64; LOG2_BUCKETS],
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        Self {
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            log2_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl StageTimer {
@@ -22,6 +40,20 @@ impl StageTimer {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+        // `| 1` folds a zero-ns span into bucket 0.
+        let idx = 63 - (elapsed_ns | 1).leading_zeros();
+        self.log2_ns[idx as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket span counts: entry `k` counts spans whose duration `d`
+    /// satisfies `2^k <= d < 2^(k+1)` nanoseconds (entry 0 also counts
+    /// sub-nanosecond spans).
+    #[must_use]
+    pub fn log2_bucket_counts(&self) -> Vec<u64> {
+        self.log2_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Number of completed spans.
@@ -46,6 +78,9 @@ impl StageTimer {
         self.calls.store(0, Ordering::Relaxed);
         self.total_ns.store(0, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
+        for bucket in &self.log2_ns {
+            bucket.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -104,5 +139,23 @@ mod tests {
         assert_eq!(timer.calls(), 3);
         assert_eq!(timer.total_ns(), 80);
         assert_eq!(timer.max_ns(), 50);
+    }
+
+    #[test]
+    fn log2_buckets_cover_the_whole_range() {
+        let timer = StageTimer::new();
+        timer.record_ns(0); // bucket 0
+        timer.record_ns(1); // bucket 0
+        timer.record_ns(2); // bucket 1
+        timer.record_ns(3); // bucket 1
+        timer.record_ns(1 << 20); // bucket 20
+        timer.record_ns(u64::MAX); // bucket 63
+        let buckets = timer.log2_bucket_counts();
+        assert_eq!(buckets.len(), LOG2_BUCKETS);
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[1], 2);
+        assert_eq!(buckets[20], 1);
+        assert_eq!(buckets[63], 1);
+        assert_eq!(buckets.iter().sum::<u64>(), timer.calls());
     }
 }

@@ -11,6 +11,8 @@
 //! busprobe demo     [--seed N]                         all three steps in memory
 //! busprobe metrics  --dir DIR [--format text|json|prometheus]
 //!                                                      ingest uploads, dump pipeline telemetry
+//! busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
+//!                                                      perf-regression harness: matcher + pipeline
 //! ```
 //!
 //! `sim` is accepted as an alias for `simulate`. A fault SPEC is a preset
@@ -25,7 +27,7 @@
 use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
 use busprobe::core::geojson::{map_to_geojson, regional_to_geojson};
 use busprobe::core::{
-    infer_regional, DropReason, InferenceConfig, IngestReport, MatchConfig, MonitorConfig,
+    infer_regional, DropReason, InferenceConfig, IngestReport, MatchConfig, Matcher, MonitorConfig,
     MonitorState, StopFingerprintDb, TrafficMonitor,
 };
 use busprobe::faults::{FaultInjector, FaultPlan};
@@ -34,6 +36,7 @@ use busprobe::mobile::{CellularSample, Trip};
 use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
 use busprobe::sim::{Scenario, SimTime, Simulation};
+use busprobe_bench::World;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -56,6 +59,7 @@ fn main() -> ExitCode {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -81,10 +85,18 @@ USAGE:
     busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE] [--state FILE]
     busprobe demo     [--seed N]
     busprobe metrics  --dir DIR [--format text|json|prometheus]
+    busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
 
 `sim` is an alias for `simulate`. A fault SPEC is a preset (clean,
 calibrated, extreme, scale:<factor>) plus optional key=value overrides,
 e.g. `--faults calibrated,beep_drop=0.3,skew=120`.
+
+`bench` measures matcher throughput against synthetic databases and
+end-to-end ingest throughput on the calibrated ≥110-stop corpus, and
+writes `BENCH_matching.json` / `BENCH_pipeline.json` to `--out`
+(default: the current directory). With `--check` it instead compares a
+fresh run against those committed baselines and fails on a regression
+beyond `--tolerance` (default 0.20).
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -427,16 +439,18 @@ fn print_metrics_text(snapshot: &busprobe::telemetry::Snapshot, reports: &[Inges
     println!();
     println!("== stages ==");
     println!(
-        "{:<42} {:>8} {:>12} {:>12} {:>12}",
-        "stage", "calls", "total ms", "mean ms", "max ms"
+        "{:<42} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "calls", "total ms", "mean ms", "p50 ms", "p99 ms", "max ms"
     );
     for stage in &snapshot.stages {
         println!(
-            "{:<42} {:>8} {:>12.3} {:>12.4} {:>12.4}",
+            "{:<42} {:>8} {:>12.3} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
             stage.name,
             stage.calls,
             stage.total_seconds() * 1e3,
             stage.mean_seconds() * 1e3,
+            stage.p50_ns() as f64 / 1e6,
+            stage.p99_ns() as f64 / 1e6,
             stage.max_ns as f64 / 1e6
         );
     }
@@ -485,6 +499,307 @@ fn print_metrics_text(snapshot: &busprobe::telemetry::Snapshot, reports: &[Inges
         for event in snapshot.events.iter().rev().take(10).rev() {
             println!("[{:>5}] {}: {}", event.level, event.target, event.message);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench: the perf-regression harness
+// ---------------------------------------------------------------------------
+
+/// One matcher-throughput measurement against a synthetic database.
+#[derive(Debug, Serialize, Deserialize)]
+struct MatchingPoint {
+    stops: usize,
+    indexed_ns_per_query: f64,
+    brute_ns_per_query: f64,
+    speedup: f64,
+    indexed_samples_per_s: f64,
+}
+
+/// `BENCH_matching.json`: matcher throughput vs database size.
+#[derive(Debug, Serialize, Deserialize)]
+struct MatchingBench {
+    seed: u64,
+    scaling: Vec<MatchingPoint>,
+}
+
+/// Per-stage latency quantiles lifted from the pipeline stage spans.
+#[derive(Debug, Serialize, Deserialize)]
+struct StageQuantiles {
+    name: String,
+    calls: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// `BENCH_pipeline.json`: end-to-end ingest on the calibrated corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct PipelineBench {
+    seed: u64,
+    stops: usize,
+    trips: usize,
+    samples: usize,
+    indexed_trips_per_s: f64,
+    indexed_samples_per_s: f64,
+    brute_trips_per_s: f64,
+    speedup: f64,
+    bit_identical: bool,
+    stages: Vec<StageQuantiles>,
+}
+
+/// Wall-clock of `f()` repeated until at least ~50 ms elapse, in
+/// nanoseconds per call (warmed up first).
+fn ns_per_call(mut f: impl FnMut()) -> f64 {
+    for _ in 0..16 {
+        f();
+    }
+    let mut iters = 16u64;
+    loop {
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 50 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+/// The minimum of [`BENCH_REPS`] `ns_per_call` measurements: the fastest
+/// window is what the machine can actually do, and it is far more stable
+/// run-to-run than any single window — which the 20% regression tolerance
+/// depends on.
+const BENCH_REPS: usize = 3;
+
+fn best_ns_per_call(mut f: impl FnMut()) -> f64 {
+    (0..BENCH_REPS)
+        .map(|_| ns_per_call(&mut f))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Matcher throughput against synthetic 110 / 500 / 2000-stop databases,
+/// indexed vs brute-force (the EXPERIMENTS.md scaling table).
+fn bench_matching(seed: u64) -> MatchingBench {
+    let mut scaling = Vec::new();
+    for &stops in &[110usize, 500, 2000] {
+        let db = World::synthetic_db(stops, seed);
+        let mut matcher = Matcher::new(db.clone(), MatchConfig::default());
+        let samples: Vec<_> = db
+            .iter()
+            .step_by((stops / 16).max(1))
+            .map(|(_, fp)| fp.clone())
+            .collect();
+        let mut k = 0usize;
+        let indexed_ns = best_ns_per_call(|| {
+            k = (k + 1) % samples.len();
+            std::hint::black_box(matcher.best_match(std::hint::black_box(&samples[k])));
+        });
+        matcher.set_use_index(false);
+        let mut k = 0usize;
+        let brute_ns = best_ns_per_call(|| {
+            k = (k + 1) % samples.len();
+            std::hint::black_box(matcher.best_match(std::hint::black_box(&samples[k])));
+        });
+        scaling.push(MatchingPoint {
+            stops,
+            indexed_ns_per_query: indexed_ns,
+            brute_ns_per_query: brute_ns,
+            speedup: brute_ns / indexed_ns,
+            indexed_samples_per_s: 1e9 / indexed_ns,
+        });
+    }
+    MatchingBench { seed, scaling }
+}
+
+/// End-to-end ingest on the calibrated ≥110-stop corpus: first proves the
+/// indexed and brute-force paths bit-identical (sequential ingest, same
+/// per-upload reports, same traffic map), then times `ingest_batch` through
+/// both and captures per-stage p50/p99 from the indexed run's stage spans.
+fn bench_pipeline(seed: u64, trip_count: usize) -> Result<PipelineBench, String> {
+    let world = World::calibrated(seed);
+    let db = world.build_db(5);
+    let corpus = world.ride_corpus(trip_count, seed);
+    let sample_count: usize = corpus.iter().map(|t| t.samples.len()).sum();
+
+    // Bit-identical contract: sequential ingest (deterministic fusion
+    // order) through both paths.
+    let indexed = TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+    let brute = TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+    brute.set_indexed_matching(false);
+    let reports_indexed: Vec<IngestReport> =
+        corpus.iter().map(|t| indexed.ingest_trip(t)).collect();
+    let reports_brute: Vec<IngestReport> = corpus.iter().map(|t| brute.ingest_trip(t)).collect();
+    let end_s = corpus
+        .iter()
+        .flat_map(|t| t.samples.last())
+        .map(|s| s.time_s)
+        .fold(0.0, f64::max)
+        + 60.0;
+    let bit_identical = reports_indexed == reports_brute
+        && indexed.snapshot_with_max_age(end_s, f64::INFINITY)
+            == brute.snapshot_with_max_age(end_s, f64::INFINITY);
+    if !bit_identical {
+        return Err("indexed and brute-force ingest disagree (reports or traffic map)".into());
+    }
+
+    // Throughput: batch ingest on fresh monitors, fastest of BENCH_REPS
+    // runs (stable against scheduler noise). Telemetry is global, so reset
+    // before each run; stage quantiles come from the fastest indexed run.
+    let mut indexed_s = f64::INFINITY;
+    let mut stages = Vec::new();
+    for _ in 0..BENCH_REPS {
+        busprobe::telemetry::reset();
+        let monitor =
+            TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+        let start = std::time::Instant::now();
+        let reports = monitor.ingest_batch(&corpus);
+        let elapsed = start.elapsed().as_secs_f64();
+        if reports.len() != corpus.len() {
+            return Err("batch ingest lost uploads".into());
+        }
+        if elapsed < indexed_s {
+            indexed_s = elapsed;
+            stages = busprobe::telemetry::global()
+                .snapshot()
+                .stages
+                .iter()
+                .map(|s| StageQuantiles {
+                    name: s.name.clone(),
+                    calls: s.calls,
+                    p50_ns: s.p50_ns(),
+                    p99_ns: s.p99_ns(),
+                })
+                .collect();
+        }
+    }
+
+    let mut brute_s = f64::INFINITY;
+    for _ in 0..BENCH_REPS {
+        busprobe::telemetry::reset();
+        let monitor =
+            TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+        monitor.set_indexed_matching(false);
+        let start = std::time::Instant::now();
+        let _ = monitor.ingest_batch(&corpus);
+        brute_s = brute_s.min(start.elapsed().as_secs_f64());
+    }
+
+    let speedup = brute_s / indexed_s;
+    if speedup < 3.0 {
+        return Err(format!(
+            "end-to-end indexed ingest is only {speedup:.2}x faster than brute force (need >=3x)"
+        ));
+    }
+    Ok(PipelineBench {
+        seed,
+        stops: db.len(),
+        trips: corpus.len(),
+        samples: sample_count,
+        indexed_trips_per_s: corpus.len() as f64 / indexed_s,
+        indexed_samples_per_s: sample_count as f64 / indexed_s,
+        brute_trips_per_s: corpus.len() as f64 / brute_s,
+        speedup,
+        bit_identical,
+        stages,
+    })
+}
+
+/// Compares a fresh run against the committed baselines; a metric may be
+/// slower than baseline by at most `tolerance` (faster is always fine).
+fn check_baselines(
+    out: &Path,
+    matching: &MatchingBench,
+    pipeline: &PipelineBench,
+    tolerance: f64,
+) -> Result<(), String> {
+    let base_matching: MatchingBench = read_json(&out.join("BENCH_matching.json"))?;
+    let base_pipeline: PipelineBench = read_json(&out.join("BENCH_pipeline.json"))?;
+    let mut violations = Vec::new();
+    for fresh in &matching.scaling {
+        let Some(base) = base_matching
+            .scaling
+            .iter()
+            .find(|b| b.stops == fresh.stops)
+        else {
+            continue;
+        };
+        if fresh.indexed_ns_per_query > base.indexed_ns_per_query * (1.0 + tolerance) {
+            violations.push(format!(
+                "indexed matching at {} stops regressed: {:.0} ns/query vs baseline {:.0}",
+                fresh.stops, fresh.indexed_ns_per_query, base.indexed_ns_per_query
+            ));
+        }
+    }
+    if pipeline.indexed_trips_per_s < base_pipeline.indexed_trips_per_s * (1.0 - tolerance) {
+        violations.push(format!(
+            "pipeline ingest regressed: {:.0} trips/s vs baseline {:.0}",
+            pipeline.indexed_trips_per_s, base_pipeline.indexed_trips_per_s
+        ));
+    }
+    if violations.is_empty() {
+        println!();
+        println!(
+            "perf check OK (tolerance {:.0}%): no regression against committed baselines",
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression beyond {:.0}% tolerance:\n  {}",
+            tolerance * 100.0,
+            violations.join("\n  ")
+        ))
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let seed = parse_seed(args)?;
+    let trip_count: usize = flag_value(args, "--trips")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "invalid --trips".to_string())?;
+    let out = flag_value(args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let tolerance: f64 = flag_value(args, "--tolerance")
+        .unwrap_or("0.20")
+        .parse()
+        .map_err(|_| "invalid --tolerance".to_string())?;
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err("--tolerance must be in [0, 1)".into());
+    }
+
+    println!("== matcher throughput vs database size ==");
+    let matching = bench_matching(seed);
+    for p in &matching.scaling {
+        println!(
+            "{:>6} stops: indexed {:>9.0} ns/query, brute {:>9.0} ns/query ({:.1}x)",
+            p.stops, p.indexed_ns_per_query, p.brute_ns_per_query, p.speedup
+        );
+    }
+
+    println!();
+    println!("== end-to-end ingest (calibrated corpus, {trip_count} trips) ==");
+    let pipeline = bench_pipeline(seed, trip_count)?;
+    println!(
+        "{} stops, {} samples: indexed {:.0} trips/s ({:.0} samples/s), \
+         brute {:.0} trips/s ({:.1}x) — reports and traffic map bit-identical",
+        pipeline.stops,
+        pipeline.samples,
+        pipeline.indexed_trips_per_s,
+        pipeline.indexed_samples_per_s,
+        pipeline.brute_trips_per_s,
+        pipeline.speedup
+    );
+
+    if flag_present(args, "--check") {
+        check_baselines(&out, &matching, &pipeline, tolerance)
+    } else {
+        write_json(&out.join("BENCH_matching.json"), &matching)?;
+        write_json(&out.join("BENCH_pipeline.json"), &pipeline)?;
+        println!();
+        println!("wrote BENCH_matching.json and BENCH_pipeline.json to {out:?}");
+        Ok(())
     }
 }
 
