@@ -17,10 +17,33 @@ cargo test -q --test faults chaos_calibrated
 cargo test -q --test faults chaos_extreme
 cargo test -q --test faults chaos_fault_rate_sweep
 
+echo "== differential suite (serial == parallel, bit-identical) =="
+# The parallel-ingest equivalence proof at worker counts {1,2,4,8} on
+# clean and fault-injected corpora, the randomized determinism
+# properties, the golden-corpus snapshots and the concurrency stress
+# tests (see tests/differential.rs and DESIGN.md "Parallelism").
+cargo test -q --test differential
+cargo test -q --test determinism_prop
+cargo test -q --test golden
+cargo test -q --test stress_concurrency
+
+echo "== CLI differential: ingest --jobs 1 vs --jobs 4 =="
+# End-to-end through the binary: the same simulated day ingested with 1
+# and 4 workers must export byte-identical GeoJSON.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/busprobe init --dir "$tmpdir" --small --seed 7 >/dev/null
+./target/release/busprobe simulate --dir "$tmpdir" --faults calibrated >/dev/null
+./target/release/busprobe ingest --dir "$tmpdir" --jobs 1 --geojson "$tmpdir/jobs1.geojson" >/dev/null
+./target/release/busprobe ingest --dir "$tmpdir" --jobs 4 --geojson "$tmpdir/jobs4.geojson" >/dev/null
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/jobs4.geojson"
+
 echo "== perf regression check =="
-# Fresh matcher + end-to-end ingest benchmarks compared against the
-# committed BENCH_matching.json / BENCH_pipeline.json baselines; fails
-# on a >20% slowdown (see README for regenerating baselines).
+# Fresh matcher + end-to-end ingest + parallel-scaling benchmarks
+# compared against the committed BENCH_matching.json /
+# BENCH_pipeline.json / BENCH_parallel.json baselines; fails on a >20%
+# slowdown, and on machines with >=4 cores also enforces the >=2.5x
+# speedup floor at 4 workers (see README for regenerating baselines).
 ./target/release/busprobe bench --check
 
 echo "== cargo fmt --check =="

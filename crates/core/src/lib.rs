@@ -62,6 +62,7 @@ pub mod inference;
 pub mod map;
 pub mod mapping;
 pub mod matching;
+pub mod parallel;
 pub mod sanitize;
 mod serde_util;
 pub mod server;

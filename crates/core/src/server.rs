@@ -2,9 +2,21 @@
 //!
 //! [`TrafficMonitor`] owns the whole §III-C/§III-D pipeline behind a
 //! thread-safe facade. Uploads arrive concurrently from many phones, so
-//! ingestion is parallel: matching, clustering and mapping of one trip are
-//! pure reads of shared state; only the final fusion step takes the write
-//! lock.
+//! ingestion is split into two phases:
+//!
+//! - **stage** ([`TrafficMonitor::stage_upload`]): sanitize → match →
+//!   cluster → map → estimate. Pure reads of shared state (the matcher
+//!   behind its `RwLock` read guard), safe to run on any worker thread,
+//!   and speculative — it never mutates the monitor.
+//! - **commit** ([`TrafficMonitor::commit_staged`]): duplicate
+//!   suppression, drop attribution, updater harvest and Bayesian fusion.
+//!   Mutates shared state, and is therefore applied in upload sequence
+//!   order by exactly one thread at a time.
+//!
+//! Serial ingest is stage+commit back to back; [`crate::parallel`] runs
+//! stages on a work-stealing shard pool and feeds commits through a
+//! sequence-numbered reducer, which is why the parallel path is
+//! bit-identical to the serial one at any worker count.
 
 use crate::clustering::{Clusterer, MatchedSample};
 use crate::database::StopFingerprintDb;
@@ -146,6 +158,35 @@ impl IngestReport {
     }
 }
 
+/// The speculative result of the read-only ingest stages for one upload —
+/// everything [`TrafficMonitor::commit_staged`] needs to fold the trip
+/// into shared state without recomputing anything.
+///
+/// Produced by [`TrafficMonitor::stage_upload`] on any worker thread;
+/// consumed exactly once, in upload sequence order, by the committer.
+#[derive(Debug)]
+pub(crate) struct StagedUpload {
+    /// Byte digest of the raw upload (exact-duplicate suppression).
+    digest: u64,
+    /// Speculative per-trip report: sanitizer accounting plus pipeline
+    /// stage counts. Discarded (except the raw sample count) if commit
+    /// rejects the upload as a duplicate.
+    report: IngestReport,
+    /// Sanitizer accounting, for the global counters.
+    san: SanitizeReport,
+    /// Fuzzy content digests for near-duplicate suppression (two
+    /// half-offset start windows); checked and recorded authoritatively
+    /// at commit.
+    near_digests: Option<[u64; 2]>,
+    /// Speed observations to fold into fusion.
+    observations: Vec<SpeedObservation>,
+    /// Sanitized samples and mapped visits retained for the online
+    /// database updater (only when `online_db_update` is configured).
+    harvest: Option<(Vec<CellularSample>, Vec<MappedVisit>)>,
+    /// The pipeline panicked while staging; commit isolates the trip.
+    panicked: bool,
+}
+
 /// The backend server.
 ///
 /// # Examples
@@ -234,80 +275,196 @@ impl TrafficMonitor {
     /// trip is isolated, and the report carries
     /// [`DropReason::InternalError`].
     pub fn ingest_upload(&self, trip: &Trip, received_s: Option<f64>) -> IngestReport {
-        match catch_unwind(AssertUnwindSafe(|| self.ingest_inner(trip, received_s))) {
-            Ok(report) => report,
-            Err(_) => {
-                self.metrics.drop_internal_error.inc();
-                busprobe_telemetry::event(
-                    Level::Warn,
-                    "core::ingest",
-                    format!(
-                        "pipeline panicked; trip isolated ({} samples)",
-                        trip.samples.len()
-                    ),
-                );
-                IngestReport {
-                    internal_error: true,
+        let staged = self.stage_upload(trip, received_s);
+        self.commit_staged(staged)
+    }
+
+    /// Phase 1 of ingest: the read-only, speculative stages — sanitize →
+    /// match → cluster → map → estimate. Touches no mutable monitor state,
+    /// so any worker thread may run it concurrently with others; the
+    /// result is folded in later by [`commit_staged`](Self::commit_staged).
+    ///
+    /// Never panics: a pipeline panic is captured in the staged result and
+    /// surfaces as [`DropReason::InternalError`] at commit.
+    pub(crate) fn stage_upload(&self, trip: &Trip, received_s: Option<f64>) -> StagedUpload {
+        let digest = Self::digest(trip);
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.stage_inner(trip, digest, received_s)
+        })) {
+            Ok(staged) => staged,
+            Err(_) => StagedUpload {
+                digest,
+                report: IngestReport {
                     samples: trip.samples.len(),
                     ..IngestReport::default()
-                }
-            }
+                },
+                san: SanitizeReport::default(),
+                near_digests: None,
+                observations: Vec::new(),
+                harvest: None,
+                panicked: true,
+            },
         }
     }
 
-    fn ingest_inner(&self, trip: &Trip, received_s: Option<f64>) -> IngestReport {
-        self.metrics.trips.inc();
-        self.metrics.samples.add(trip.samples.len() as u64);
-        if !self.seen.lock().insert(Self::digest(trip)) {
-            self.metrics.drop_rejected_duplicate.inc();
-            busprobe_telemetry::event(
-                Level::Debug,
-                "core::ingest",
-                format!("duplicate upload rejected ({} samples)", trip.samples.len()),
-            );
-            return IngestReport {
-                duplicate: true,
+    fn stage_inner(&self, trip: &Trip, digest: u64, received_s: Option<f64>) -> StagedUpload {
+        let skipped = |report| StagedUpload {
+            digest,
+            report,
+            san: SanitizeReport::default(),
+            near_digests: None,
+            observations: Vec::new(),
+            harvest: None,
+            panicked: false,
+        };
+        // Fast path: a digest present in the seen set stays there forever,
+        // so commit is guaranteed to reject this upload as a duplicate —
+        // skip the expensive stages. (A miss here is only a hint: commit
+        // re-checks authoritatively.)
+        if self.seen.lock().contains(&digest) {
+            return skipped(IngestReport {
                 samples: trip.samples.len(),
                 ..IngestReport::default()
-            };
+            });
         }
 
         // Sanitize: validate, normalize the clock, reorder, deduplicate.
         let span = self.metrics.span_sanitize();
         let (samples, san) = sanitize::sanitize(&trip.samples, received_s, &self.config.sanitize);
         span.finish();
-        self.record_sanitize(&san);
         let mut report = Self::base_report(trip.samples.len(), &san);
 
-        // Near-duplicate suppression on the sanitized content: a jittered
-        // or re-skewed retry reduces to the same fuzzy digest even though
-        // its bytes differ.
-        if let Some(digests) = sanitize::near_duplicate_digests(&samples, &self.config.sanitize) {
+        // Near-duplicate digests of the sanitized content: a jittered or
+        // re-skewed retry reduces to the same fuzzy digest even though its
+        // bytes differ. Same fast path as above: a hit now is a hit at
+        // commit, so the pipeline run would be wasted.
+        let near_digests = sanitize::near_duplicate_digests(&samples, &self.config.sanitize);
+        if let Some(digests) = &near_digests {
+            let seen = self.seen.lock();
+            if digests.iter().any(|d| seen.contains(d)) {
+                drop(seen);
+                return StagedUpload {
+                    digest,
+                    report,
+                    san,
+                    near_digests,
+                    observations: Vec::new(),
+                    harvest: None,
+                    panicked: false,
+                };
+            }
+        }
+
+        let (visits, observations) = self.run_stages(&samples, &mut report);
+        let harvest = self.config.online_db_update.then_some((samples, visits));
+        StagedUpload {
+            digest,
+            report,
+            san,
+            near_digests,
+            observations,
+            harvest,
+            panicked: false,
+        }
+    }
+
+    /// Phase 2 of ingest: folds one staged upload into the shared traffic
+    /// state — authoritative duplicate suppression, counter accounting,
+    /// drop attribution, updater harvest and Bayesian fusion.
+    ///
+    /// All mutation happens here, so the order in which commits run fully
+    /// determines the monitor's final state: committing staged uploads in
+    /// sequence order reproduces serial ingest bit for bit, regardless of
+    /// how many threads ran the stage phase.
+    pub(crate) fn commit_staged(&self, staged: StagedUpload) -> IngestReport {
+        let samples = staged.report.samples;
+        match catch_unwind(AssertUnwindSafe(|| self.commit_inner(staged))) {
+            Ok(report) => report,
+            Err(_) => {
+                self.metrics.drop_internal_error.inc();
+                busprobe_telemetry::event(
+                    Level::Warn,
+                    "core::ingest",
+                    format!("commit panicked; trip isolated ({samples} samples)"),
+                );
+                IngestReport {
+                    internal_error: true,
+                    samples,
+                    ..IngestReport::default()
+                }
+            }
+        }
+    }
+
+    fn commit_inner(&self, staged: StagedUpload) -> IngestReport {
+        let raw_samples = staged.report.samples;
+        self.metrics.trips.inc();
+        self.metrics.samples.add(raw_samples as u64);
+        if !self.seen.lock().insert(staged.digest) {
+            self.metrics.drop_rejected_duplicate.inc();
+            busprobe_telemetry::event(
+                Level::Debug,
+                "core::ingest",
+                format!("duplicate upload rejected ({raw_samples} samples)"),
+            );
+            return IngestReport {
+                duplicate: true,
+                samples: raw_samples,
+                ..IngestReport::default()
+            };
+        }
+        if staged.panicked {
+            self.metrics.drop_internal_error.inc();
+            busprobe_telemetry::event(
+                Level::Warn,
+                "core::ingest",
+                format!("pipeline panicked; trip isolated ({raw_samples} samples)"),
+            );
+            return IngestReport {
+                internal_error: true,
+                samples: raw_samples,
+                ..IngestReport::default()
+            };
+        }
+
+        self.record_sanitize(&staged.san);
+
+        // Near-duplicate suppression, authoritative: the check and the
+        // seen-set extension happen here, in commit order, so a retry and
+        // its original racing through the stage pool resolve exactly as
+        // they would serially.
+        if let Some(digests) = &staged.near_digests {
             let mut seen = self.seen.lock();
             let dup = digests.iter().any(|d| seen.contains(d));
-            seen.extend(digests);
+            seen.extend(digests.iter().copied());
             drop(seen);
             if dup {
+                let mut report = Self::base_report(raw_samples, &staged.san);
                 report.near_duplicate = true;
                 self.count_drop(&report);
                 return report;
             }
         }
 
-        let (visits, observations) = self.pipeline(&samples, &mut report);
+        let report = staged.report;
+        self.note_pipeline_counters(&report);
         self.count_drop(&report);
-        if self.config.online_db_update {
-            self.harvest(&samples, &visits);
+        if let Some((samples, visits)) = &staged.harvest {
+            self.harvest(samples, visits);
         }
         let span = self.metrics.span_fusion();
         let mut fusion = self.fusion.lock();
-        for obs in &observations {
+        for obs in &staged.observations {
             fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
         }
         drop(fusion);
         span.finish();
-        self.metrics.fusion_updates.add(observations.len() as u64);
-        self.metrics.obs_per_trip.record(observations.len() as f64);
+        self.metrics
+            .fusion_updates
+            .add(staged.observations.len() as u64);
+        self.metrics
+            .obs_per_trip
+            .record(staged.observations.len() as f64);
         report
     }
 
@@ -338,6 +495,25 @@ impl TrafficMonitor {
         if san.clock_skew_s != 0.0 {
             self.metrics.clock_normalized_trips.inc();
         }
+    }
+
+    /// Folds one committed upload's pipeline stage counts into the global
+    /// volume counters (the mutation half of the old inline accounting;
+    /// the stage phase only fills the report).
+    fn note_pipeline_counters(&self, report: &IngestReport) {
+        self.metrics.scans_matched.add(report.matched as u64);
+        self.metrics
+            .scans_unmatched
+            .add(report.unmatched_scans() as u64);
+        self.metrics.clusters.add(report.clusters as u64);
+        self.metrics.visits_mapped.add(report.visits as u64);
+        if report.salvage_dropped > 0 {
+            self.metrics.salvaged_trips.inc();
+            self.metrics
+                .salvage_dropped_visits
+                .add(report.salvage_dropped as u64);
+        }
+        self.metrics.observations.add(report.observations as u64);
     }
 
     /// Attribute a zero-observation (non-duplicate) trip to the stage
@@ -466,13 +642,19 @@ impl TrafficMonitor {
     pub fn observations_for(&self, trip: &Trip) -> (IngestReport, Vec<SpeedObservation>) {
         let (samples, san) = sanitize::sanitize(&trip.samples, None, &self.config.sanitize);
         let mut report = Self::base_report(trip.samples.len(), &san);
-        let (_, observations) = self.pipeline(&samples, &mut report);
+        let (_, observations) = self.run_stages(&samples, &mut report);
+        self.note_pipeline_counters(&report);
         (report, observations)
     }
 
-    /// The full §III-C/§III-D pipeline for one sanitized upload. Fills the
-    /// stage fields of `report` in place.
-    fn pipeline(
+    /// The full §III-C/§III-D pipeline for one sanitized upload: matching
+    /// → clustering → mapping → estimation. Fills the stage fields of
+    /// `report` in place. Read-only with respect to the monitor (the
+    /// matcher is taken through its read guard), so stage workers may run
+    /// it concurrently; the volume counters it used to bump inline are
+    /// applied at commit by
+    /// [`note_pipeline_counters`](Self::note_pipeline_counters).
+    fn run_stages(
         &self,
         samples: &[CellularSample],
         report: &mut IngestReport,
@@ -500,10 +682,6 @@ impl TrafficMonitor {
         drop(matcher);
         span.finish();
         report.matched = matched.len();
-        self.metrics.scans_matched.add(matched.len() as u64);
-        self.metrics
-            .scans_unmatched
-            .add(report.unmatched_scans() as u64);
         if matched.is_empty() {
             return (Vec::new(), Vec::new());
         }
@@ -513,7 +691,6 @@ impl TrafficMonitor {
         let clusters = self.clusterer.cluster(matched);
         span.finish();
         report.clusters = clusters.len();
-        self.metrics.clusters.add(clusters.len() as u64);
 
         // Per-trip mapping with partial-trip salvage: keep the longest
         // route-consistent run instead of dropping a noisy trip whole.
@@ -526,13 +703,6 @@ impl TrafficMonitor {
         };
         report.visits = visits.len();
         report.salvage_dropped = salvage_dropped;
-        self.metrics.visits_mapped.add(visits.len() as u64);
-        if salvage_dropped > 0 {
-            self.metrics.salvaged_trips.inc();
-            self.metrics
-                .salvage_dropped_visits
-                .add(salvage_dropped as u64);
-        }
 
         // Traffic estimation.
         let span = self.metrics.span_estimation();
@@ -540,15 +710,16 @@ impl TrafficMonitor {
         let observations = estimator.estimate(&visits);
         span.finish();
         report.observations = observations.len();
-        self.metrics.observations.add(observations.len() as u64);
         (visits, observations)
     }
 
-    /// Ingests many trips using all available cores (crossbeam scoped
-    /// threads); returns per-trip reports in input order.
+    /// Ingests many trips using all available cores; returns per-trip
+    /// reports in input order. Deterministic: the final monitor state,
+    /// reports and exported map are bit-identical to ingesting the trips
+    /// serially, whatever the core count (see [`crate::parallel`]).
     #[must_use]
     pub fn ingest_batch(&self, trips: &[Trip]) -> Vec<IngestReport> {
-        self.batch_impl(trips, None)
+        self.ingest_batch_parallel(trips, 0)
     }
 
     /// [`ingest_batch`](Self::ingest_batch) with per-trip server-side
@@ -557,35 +728,31 @@ impl TrafficMonitor {
     /// without an arrival time.
     #[must_use]
     pub fn ingest_batch_received(&self, trips: &[Trip], received_s: &[f64]) -> Vec<IngestReport> {
-        self.batch_impl(trips, Some(received_s))
+        self.ingest_batch_received_parallel(trips, received_s, 0)
     }
 
-    fn batch_impl(&self, trips: &[Trip], received_s: Option<&[f64]>) -> Vec<IngestReport> {
+    /// [`ingest_batch`](Self::ingest_batch) with an explicit worker count
+    /// (`0` = all available cores). Any worker count — including 1 —
+    /// produces bit-identical reports, state and maps: stages run on a
+    /// work-stealing shard pool, commits are applied in upload order by a
+    /// sequence-numbered reducer.
+    #[must_use]
+    pub fn ingest_batch_parallel(&self, trips: &[Trip], workers: usize) -> Vec<IngestReport> {
         let _batch_span = self.metrics.span_ingest_batch();
-        let workers = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-        let chunk = trips.len().div_ceil(workers).max(1);
-        let mut reports = vec![IngestReport::default(); trips.len()];
-        crossbeam::scope(|scope| {
-            for (i, (trip_chunk, report_chunk)) in trips
-                .chunks(chunk)
-                .zip(reports.chunks_mut(chunk))
-                .enumerate()
-            {
-                let base = i * chunk;
-                scope.spawn(move |_| {
-                    for (k, (trip, slot)) in
-                        trip_chunk.iter().zip(report_chunk.iter_mut()).enumerate()
-                    {
-                        let recv = received_s.and_then(|r| r.get(base + k).copied());
-                        *slot = self.ingest_upload(trip, recv);
-                    }
-                });
-            }
-        })
-        // invariant: ingest_upload catches panics per trip, so workers
-        // cannot unwind.
-        .expect("ingest workers do not panic");
-        reports
+        crate::parallel::ingest_batch(self, trips, None, workers)
+    }
+
+    /// [`ingest_batch_parallel`](Self::ingest_batch_parallel) with
+    /// per-trip server-side arrival times.
+    #[must_use]
+    pub fn ingest_batch_received_parallel(
+        &self,
+        trips: &[Trip],
+        received_s: &[f64],
+        workers: usize,
+    ) -> Vec<IngestReport> {
+        let _batch_span = self.metrics.span_ingest_batch();
+        crate::parallel::ingest_batch(self, trips, Some(received_s), workers)
     }
 
     /// Publishes the instant traffic map as of `time_s`, keeping segments

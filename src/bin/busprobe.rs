@@ -6,7 +6,7 @@
 //! busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
 //!                   [--faults SPEC] [--fault-seed N]   simulate a service window, write uploads
 //!                                                      (optionally perturbed by a fault plan)
-//! busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE]
+//! busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
 //!                                                      ingest uploads, print the traffic map
 //! busprobe demo     [--seed N]                         all three steps in memory
 //! busprobe metrics  --dir DIR [--format text|json|prometheus]
@@ -82,7 +82,8 @@ USAGE:
     busprobe init     --dir DIR [--seed N] [--small]
     busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
                       [--faults SPEC] [--fault-seed N]
-    busprobe ingest   --dir DIR [--snapshot HH:MM] [--regional] [--geojson FILE] [--state FILE]
+    busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
+                      [--state FILE]
     busprobe demo     [--seed N]
     busprobe metrics  --dir DIR [--format text|json|prometheus]
     busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
@@ -91,12 +92,19 @@ USAGE:
 calibrated, extreme, scale:<factor>) plus optional key=value overrides,
 e.g. `--faults calibrated,beep_drop=0.3,skew=120`.
 
-`bench` measures matcher throughput against synthetic databases and
-end-to-end ingest throughput on the calibrated ≥110-stop corpus, and
-writes `BENCH_matching.json` / `BENCH_pipeline.json` to `--out`
-(default: the current directory). With `--check` it instead compares a
-fresh run against those committed baselines and fails on a regression
-beyond `--tolerance` (default 0.20).
+`ingest --jobs N` shards the batch across N stage workers with a
+deterministic sequence-numbered merge: the traffic map (and any GeoJSON
+export) is bit-identical for every N, including 1 (the default, 0,
+uses all cores).
+
+`bench` measures matcher throughput against synthetic databases,
+end-to-end ingest throughput on the calibrated ≥110-stop corpus, and the
+parallel-ingest scaling curve at 1/2/4/8 workers, writing
+`BENCH_matching.json` / `BENCH_pipeline.json` / `BENCH_parallel.json`
+to `--out` (default: the current directory). With `--check` it instead
+compares a fresh run against those committed baselines and fails on a
+regression beyond `--tolerance` (default 0.20); on machines with ≥4
+cores it additionally requires a ≥2.5x ingest speedup at 4 workers.
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -343,6 +351,13 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         }
     };
 
+    // Worker count for the sharded batch engine: 0 (the default) means
+    // all cores. The result is bit-identical for every value.
+    let jobs: usize = flag_value(args, "--jobs")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --jobs".to_string())?;
+
     // With --state, the server resumes from (and persists to) a state
     // file, so repeated ingests accumulate instead of starting over.
     let state_path = flag_value(args, "--state").map(std::path::PathBuf::from);
@@ -355,8 +370,8 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         _ => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
     };
     let reports = match &received {
-        Some(r) => monitor.ingest_batch_received(&trips, r),
-        None => monitor.ingest_batch(&trips),
+        Some(r) => monitor.ingest_batch_received_parallel(&trips, r, jobs),
+        None => monitor.ingest_batch_parallel(&trips, jobs),
     };
     let matched: usize = reports.iter().map(|r| r.matched).sum();
     let observations: usize = reports.iter().map(|r| r.observations).sum();
@@ -706,16 +721,126 @@ fn bench_pipeline(seed: u64, trip_count: usize) -> Result<PipelineBench, String>
     })
 }
 
+/// One parallel-ingest throughput measurement at a fixed worker count.
+#[derive(Debug, Serialize, Deserialize)]
+struct ParallelPoint {
+    workers: usize,
+    trips_per_s: f64,
+    /// Throughput relative to the 1-worker point of the same run.
+    speedup: f64,
+}
+
+/// `BENCH_parallel.json`: sharded-ingest scaling on the calibrated corpus.
+#[derive(Debug, Serialize, Deserialize)]
+struct ParallelBench {
+    seed: u64,
+    stops: usize,
+    trips: usize,
+    /// Cores the measuring machine had; scaling beyond it is physically
+    /// impossible, so the speedup gate only arms when this is >= 4.
+    available_parallelism: usize,
+    scaling: Vec<ParallelPoint>,
+    /// Measured speedup at 4 workers (the gated point).
+    speedup_at_4: f64,
+    /// Whether the >=2.5x-at-4-workers gate was armed on this machine.
+    speedup_enforced: bool,
+    /// Every worker count produced reports and a traffic map bit-identical
+    /// to the serial replay.
+    bit_identical: bool,
+}
+
+/// The worker counts the scaling curve samples.
+const PARALLEL_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum ingest speedup required at 4 workers on machines with >=4
+/// cores.
+const PARALLEL_SPEEDUP_FLOOR: f64 = 2.5;
+
+/// Sharded-ingest scaling on the calibrated ≥110-stop corpus: first
+/// replays the corpus serially as the reference, then times
+/// `ingest_batch_parallel` at 1/2/4/8 workers, asserting at every count
+/// that reports and traffic map are bit-identical to the serial replay
+/// (the differential contract, enforced even in a plain bench run).
+fn bench_parallel(seed: u64, trip_count: usize) -> Result<ParallelBench, String> {
+    let world = World::calibrated(seed);
+    let db = world.build_db(5);
+    let corpus = world.ride_corpus(trip_count, seed);
+
+    // Serial reference: one-by-one ingest in upload order.
+    let serial = TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+    let serial_reports: Vec<IngestReport> = corpus.iter().map(|t| serial.ingest_trip(t)).collect();
+    let end_s = corpus
+        .iter()
+        .flat_map(|t| t.samples.last())
+        .map(|s| s.time_s)
+        .fold(0.0, f64::max)
+        + 60.0;
+    let serial_map = serial.snapshot_with_max_age(end_s, f64::INFINITY);
+
+    let mut scaling = Vec::new();
+    let mut bit_identical = true;
+    for &workers in &PARALLEL_WORKERS {
+        let mut best_s = f64::INFINITY;
+        for rep in 0..BENCH_REPS {
+            let monitor =
+                TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+            let start = std::time::Instant::now();
+            let reports = monitor.ingest_batch_parallel(&corpus, workers);
+            best_s = best_s.min(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                bit_identical &= reports == serial_reports
+                    && monitor.snapshot_with_max_age(end_s, f64::INFINITY) == serial_map;
+            }
+        }
+        scaling.push(ParallelPoint {
+            workers,
+            trips_per_s: corpus.len() as f64 / best_s,
+            speedup: 0.0,
+        });
+    }
+    if !bit_identical {
+        return Err("parallel ingest diverged from the serial replay (reports or map)".into());
+    }
+    let serial_tps = scaling[0].trips_per_s;
+    for point in &mut scaling {
+        point.speedup = point.trips_per_s / serial_tps;
+    }
+    let speedup_at_4 = scaling
+        .iter()
+        .find(|p| p.workers == 4)
+        .map_or(0.0, |p| p.speedup);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let speedup_enforced = cores >= 4;
+    if speedup_enforced && speedup_at_4 < PARALLEL_SPEEDUP_FLOOR {
+        return Err(format!(
+            "parallel ingest speedup at 4 workers is only {speedup_at_4:.2}x \
+             (need >={PARALLEL_SPEEDUP_FLOOR}x on this {cores}-core machine)"
+        ));
+    }
+    Ok(ParallelBench {
+        seed,
+        stops: db.len(),
+        trips: corpus.len(),
+        available_parallelism: cores,
+        scaling,
+        speedup_at_4,
+        speedup_enforced,
+        bit_identical,
+    })
+}
+
 /// Compares a fresh run against the committed baselines; a metric may be
 /// slower than baseline by at most `tolerance` (faster is always fine).
 fn check_baselines(
     out: &Path,
     matching: &MatchingBench,
     pipeline: &PipelineBench,
+    parallel: &ParallelBench,
     tolerance: f64,
 ) -> Result<(), String> {
     let base_matching: MatchingBench = read_json(&out.join("BENCH_matching.json"))?;
     let base_pipeline: PipelineBench = read_json(&out.join("BENCH_pipeline.json"))?;
+    let base_parallel: ParallelBench = read_json(&out.join("BENCH_parallel.json"))?;
     let mut violations = Vec::new();
     for fresh in &matching.scaling {
         let Some(base) = base_matching
@@ -737,6 +862,29 @@ fn check_baselines(
             "pipeline ingest regressed: {:.0} trips/s vs baseline {:.0}",
             pipeline.indexed_trips_per_s, base_pipeline.indexed_trips_per_s
         ));
+    }
+    for fresh in &parallel.scaling {
+        let Some(base) = base_parallel
+            .scaling
+            .iter()
+            .find(|b| b.workers == fresh.workers)
+        else {
+            continue;
+        };
+        if fresh.trips_per_s < base.trips_per_s * (1.0 - tolerance) {
+            violations.push(format!(
+                "parallel ingest at {} workers regressed: {:.0} trips/s vs baseline {:.0}",
+                fresh.workers, fresh.trips_per_s, base.trips_per_s
+            ));
+        }
+    }
+    if !parallel.speedup_enforced {
+        println!(
+            "note: {}-core machine — the >={PARALLEL_SPEEDUP_FLOOR}x-at-4-workers gate is \
+             disarmed (scaling beyond the core count is physically impossible); \
+             bit-identity was still verified at every worker count",
+            parallel.available_parallelism
+        );
     }
     if violations.is_empty() {
         println!();
@@ -792,13 +940,35 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         pipeline.speedup
     );
 
+    println!();
+    println!("== parallel ingest scaling (calibrated corpus, {trip_count} trips) ==");
+    let parallel = bench_parallel(seed, trip_count)?;
+    for p in &parallel.scaling {
+        println!(
+            "{:>2} workers: {:>8.0} trips/s ({:.2}x vs serial)",
+            p.workers, p.trips_per_s, p.speedup
+        );
+    }
+    println!(
+        "{} cores available; speedup gate {} — serial ≡ parallel bit-identical at every count",
+        parallel.available_parallelism,
+        if parallel.speedup_enforced {
+            "armed"
+        } else {
+            "disarmed"
+        }
+    );
+
     if flag_present(args, "--check") {
-        check_baselines(&out, &matching, &pipeline, tolerance)
+        check_baselines(&out, &matching, &pipeline, &parallel, tolerance)
     } else {
         write_json(&out.join("BENCH_matching.json"), &matching)?;
         write_json(&out.join("BENCH_pipeline.json"), &pipeline)?;
+        write_json(&out.join("BENCH_parallel.json"), &parallel)?;
         println!();
-        println!("wrote BENCH_matching.json and BENCH_pipeline.json to {out:?}");
+        println!(
+            "wrote BENCH_matching.json, BENCH_pipeline.json and BENCH_parallel.json to {out:?}"
+        );
         Ok(())
     }
 }

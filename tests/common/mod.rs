@@ -1,0 +1,95 @@
+//! Corpus builders shared by the integration suites (chaos, fuzzing,
+//! differential, determinism, golden snapshots). Each test binary pulls
+//! in the pieces it needs via `mod common;` — the `allow(dead_code)`
+//! covers helpers a given binary doesn't use.
+
+#![allow(dead_code)]
+
+use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
+use busprobe::core::{IngestReport, MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+use busprobe::faults::{FaultInjector, FaultPlan};
+use busprobe::mobile::Trip;
+use busprobe::network::{NetworkGenerator, TransitNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A small deterministic world: region, radio environment and a
+/// war-collected fingerprint database, all derived from one seed.
+pub struct TestWorld {
+    pub network: TransitNetwork,
+    pub scanner: Scanner,
+    pub db: StopFingerprintDb,
+}
+
+impl TestWorld {
+    /// Builds the world for `seed`, war-collecting `rounds` noisy scans
+    /// per stop for the fingerprint election (§IV-A).
+    pub fn new(seed: u64, rounds: usize) -> Self {
+        let network = NetworkGenerator::small(seed).generate();
+        let region = network.grid().spec().region();
+        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
+        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = BTreeMap::new();
+        for site in network.sites() {
+            let fps = (0..rounds.max(1))
+                .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
+                .collect();
+            samples.insert(site.id, fps);
+        }
+        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+        TestWorld {
+            network,
+            scanner,
+            db,
+        }
+    }
+
+    /// A fresh backend over this world with the default configuration.
+    pub fn monitor(&self) -> TrafficMonitor {
+        self.monitor_with(MonitorConfig::default())
+    }
+
+    /// A fresh backend over this world with an explicit configuration.
+    pub fn monitor_with(&self, config: MonitorConfig) -> TrafficMonitor {
+        TrafficMonitor::new(self.network.clone(), self.db.clone(), config)
+    }
+}
+
+/// Applies `plan` to `trips` and splits the uploads into the forms
+/// [`TrafficMonitor::ingest_batch_received`] expects.
+pub fn faulted(trips: &[Trip], plan: FaultPlan, seed: u64) -> (Vec<Trip>, Vec<f64>) {
+    FaultInjector::new(plan, seed)
+        .apply(trips)
+        .uploads
+        .into_iter()
+        .map(|u| (u.trip, u.received_s))
+        .unzip()
+}
+
+/// The invariants every ingest report must satisfy, whatever the input:
+/// the pipeline never panics (panic isolation never trips), the sample
+/// accounting adds up, and every zero-observation trip names the stage
+/// that dropped it.
+pub fn assert_coherent(reports: &[IngestReport], context: &str) {
+    for (i, r) in reports.iter().enumerate() {
+        assert!(
+            !r.internal_error,
+            "{context}: trip {i} tripped the panic isolation: {r:?}"
+        );
+        assert!(
+            r.kept + r.quarantined <= r.samples,
+            "{context}: trip {i} accounting: kept {} + quarantined {} > samples {}",
+            r.kept,
+            r.quarantined,
+            r.samples
+        );
+        if r.observations == 0 {
+            assert!(
+                r.drop_reason().is_some(),
+                "{context}: trip {i} dropped silently: {r:?}"
+            );
+        }
+    }
+}

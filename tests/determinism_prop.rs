@@ -1,0 +1,137 @@
+//! Property-based determinism: randomized corpora, fault mixes and
+//! injection seeds replayed through the parallel engine at worker counts
+//! {1, 2, 4, 7} must always be bit-identical to serial ingest. Every
+//! assertion message carries the generated `(corpus_seed, fault_scale,
+//! fault_seed)` triple and the worker count, so a failure is immediately
+//! reproducible from the test log.
+
+mod common;
+
+use busprobe::core::TrafficMonitor;
+use busprobe::faults::FaultPlan;
+use busprobe::mobile::Trip;
+use busprobe_bench::World;
+use common::{faulted, TestWorld};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Deliberately includes 7: a worker count that is neither a divisor
+/// nor a multiple of typical batch sizes, so steal order and commit
+/// order disagree on almost every run.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// One world + database shared across cases (building the fingerprint
+/// database dominates; monitors are cheap to mint per replay).
+fn fixture() -> &'static (World, TestWorld) {
+    static FIXTURE: OnceLock<(World, TestWorld)> = OnceLock::new();
+    FIXTURE.get_or_init(|| (World::small(71), TestWorld::new(71, 3)))
+}
+
+/// Serial reference + digestible state fingerprint for one corpus.
+fn serial_fingerprint(
+    monitor: &TrafficMonitor,
+    trips: &[Trip],
+    received: &[f64],
+) -> (Vec<String>, String) {
+    let reports: Vec<String> = trips
+        .iter()
+        .zip(received)
+        .map(|(t, &r)| format!("{:?}", monitor.ingest_upload(t, Some(r))))
+        .collect();
+    (reports, state_fingerprint(monitor))
+}
+
+/// The monitor's complete observable state as one string: fusion cells,
+/// database entries and the sorted seen set (unordered by design).
+fn state_fingerprint(monitor: &TrafficMonitor) -> String {
+    let state = monitor.export_state();
+    let mut seen = state.seen.clone();
+    seen.sort_unstable();
+    format!(
+        "fusion={} db={} seen={seen:?}",
+        serde_json::to_string(&state.fusion).unwrap(),
+        serde_json::to_string(&state.database).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any corpus × any fault mix × any injection seed: parallel ingest
+    /// at every worker count reproduces the serial reports and state.
+    #[test]
+    fn faulted_batches_are_deterministic_at_all_worker_counts(
+        corpus_seed in 0u64..10_000,
+        fault_scale_pct in 0u32..300,
+        fault_seed in 0u64..10_000,
+    ) {
+        let (world, test_world) = fixture();
+        let base = world.ride_corpus(36, corpus_seed);
+        let plan = FaultPlan::calibrated_scaled(f64::from(fault_scale_pct) / 100.0);
+        let (trips, received) = faulted(&base, plan, fault_seed);
+
+        let reference = serial_fingerprint(&test_world.monitor(), &trips, &received);
+        for workers in WORKER_COUNTS {
+            let monitor = test_world.monitor();
+            let reports: Vec<String> = monitor
+                .ingest_batch_received_parallel(&trips, &received, workers)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            for (i, (got, want)) in reports.iter().zip(&reference.0).enumerate() {
+                prop_assert!(
+                    got == want,
+                    "report diverged: corpus_seed={corpus_seed} \
+                     fault_scale_pct={fault_scale_pct} fault_seed={fault_seed} \
+                     workers={workers} trip={i}\n got: {got}\nwant: {want}"
+                );
+            }
+            let state = state_fingerprint(&monitor);
+            prop_assert!(
+                state == reference.1,
+                "state diverged: corpus_seed={corpus_seed} \
+                 fault_scale_pct={fault_scale_pct} fault_seed={fault_seed} \
+                 workers={workers}"
+            );
+        }
+    }
+
+    /// Duplicate-heavy batches (every trip uploaded twice, shuffled by
+    /// the injector's retry storm) stress the reducer's speculative
+    /// discard path specifically.
+    #[test]
+    fn duplicate_heavy_batches_are_deterministic(
+        corpus_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let (world, test_world) = fixture();
+        let base = world.ride_corpus(20, corpus_seed);
+        let mut doubled = Vec::with_capacity(base.len() * 2);
+        for t in &base {
+            doubled.push(t.clone());
+            doubled.push(t.clone());
+        }
+        let (trips, received) = faulted(&doubled, FaultPlan::extreme(), fault_seed);
+
+        let reference = serial_fingerprint(&test_world.monitor(), &trips, &received);
+        for workers in WORKER_COUNTS {
+            let monitor = test_world.monitor();
+            let reports = monitor.ingest_batch_received_parallel(&trips, &received, workers);
+            for (i, (got, want)) in reports.iter().zip(&reference.0).enumerate() {
+                let got = format!("{got:?}");
+                prop_assert!(
+                    got == *want,
+                    "dup report diverged: corpus_seed={corpus_seed} \
+                     fault_seed={fault_seed} workers={workers} trip={i}\n \
+                     got: {got}\nwant: {want}"
+                );
+            }
+            let state = state_fingerprint(&monitor);
+            prop_assert!(
+                state == reference.1,
+                "dup state diverged: corpus_seed={corpus_seed} \
+                 fault_seed={fault_seed} workers={workers}"
+            );
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The equivalence proof for parallel ingest: sharding a batch across
+//! stage workers and merging through the sequence-numbered reducer must
+//! be **bit-identical** to the serial path — per-trip reports, drop
+//! attribution, fused travel times, the exported map, the GeoJSON and
+//! the persisted state — at every worker count, on clean and
+//! fault-injected corpora.
+
+mod common;
+
+use busprobe::core::geojson::map_to_geojson;
+use busprobe::core::{DropReason, IngestReport, MonitorConfig, TrafficMap, TrafficMonitor};
+use busprobe::faults::FaultPlan;
+use busprobe::geo::LocalProjection;
+use busprobe::mobile::{CellularSample, Trip};
+use busprobe_bench::World;
+use common::{faulted, TestWorld};
+
+/// The worker counts the acceptance contract names, including 1 (the
+/// threadless fast path) and 8 (more workers than this corpus warrants
+/// on most CI boxes — oversubscription must not reorder commits).
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Snapshot time safely past the last finite sample in the corpus.
+fn end_of(trips: &[Trip]) -> f64 {
+    trips
+        .iter()
+        .map(Trip::end_s)
+        .filter(|e| e.is_finite())
+        .fold(0.0f64, f64::max)
+        + 60.0
+}
+
+/// Everything a replay produces, captured for bit-comparison. The map,
+/// fusion state and database serialize through `BTreeMap`s, so equal
+/// JSON strings mean equal bits; the seen set is an unordered `HashSet`
+/// by design and is compared sorted.
+struct Outcome {
+    reports: Vec<IngestReport>,
+    map: TrafficMap,
+    map_json: String,
+    fusion_json: String,
+    db_json: String,
+    seen: Vec<u64>,
+}
+
+fn capture(monitor: &TrafficMonitor, reports: Vec<IngestReport>, end_s: f64) -> Outcome {
+    let map = monitor.snapshot_with_max_age(end_s, f64::INFINITY);
+    let state = monitor.export_state();
+    let mut seen = state.seen.clone();
+    seen.sort_unstable();
+    Outcome {
+        reports,
+        map_json: serde_json::to_string(&map).unwrap(),
+        map,
+        fusion_json: serde_json::to_string(&state.fusion).unwrap(),
+        db_json: serde_json::to_string(&state.database).unwrap(),
+        seen,
+    }
+}
+
+fn run_serial(monitor: &TrafficMonitor, trips: &[Trip], received: Option<&[f64]>) -> Outcome {
+    // The reference is the primitive per-upload path, not the batch API,
+    // so the comparison cannot be satisfied by both sides sharing a bug
+    // in the batch plumbing.
+    let reports = trips
+        .iter()
+        .enumerate()
+        .map(|(i, t)| monitor.ingest_upload(t, received.and_then(|r| r.get(i).copied())))
+        .collect();
+    capture(monitor, reports, end_of(trips))
+}
+
+fn run_parallel(
+    monitor: &TrafficMonitor,
+    trips: &[Trip],
+    received: Option<&[f64]>,
+    workers: usize,
+) -> Outcome {
+    let reports = match received {
+        Some(r) => monitor.ingest_batch_received_parallel(trips, r, workers),
+        None => monitor.ingest_batch_parallel(trips, workers),
+    };
+    capture(monitor, reports, end_of(trips))
+}
+
+/// The core assertion: a fresh monitor from `make` replayed in parallel
+/// at every worker count produces bit-identical results to a fresh
+/// monitor replayed serially.
+fn assert_equivalent(
+    make: &dyn Fn() -> TrafficMonitor,
+    trips: &[Trip],
+    received: Option<&[f64]>,
+    context: &str,
+) {
+    let reference = run_serial(&make(), trips, received);
+    for workers in WORKER_COUNTS {
+        let got = run_parallel(&make(), trips, received, workers);
+        assert_eq!(
+            got.reports.len(),
+            reference.reports.len(),
+            "{context}/workers={workers}: report count"
+        );
+        for (i, (got_r, want_r)) in got.reports.iter().zip(&reference.reports).enumerate() {
+            assert_eq!(
+                got_r, want_r,
+                "{context}/workers={workers}: trip {i} report diverged"
+            );
+        }
+        let drops = |o: &Outcome| -> Vec<Option<DropReason>> {
+            o.reports.iter().map(IngestReport::drop_reason).collect()
+        };
+        assert_eq!(
+            drops(&got),
+            drops(&reference),
+            "{context}/workers={workers}: drop attribution diverged"
+        );
+        assert_eq!(
+            got.map, reference.map,
+            "{context}/workers={workers}: traffic map diverged"
+        );
+        assert_eq!(
+            got.map_json, reference.map_json,
+            "{context}/workers={workers}: serialized map diverged"
+        );
+        assert_eq!(
+            got.fusion_json, reference.fusion_json,
+            "{context}/workers={workers}: fusion state diverged"
+        );
+        assert_eq!(
+            got.db_json, reference.db_json,
+            "{context}/workers={workers}: database diverged"
+        );
+        assert_eq!(
+            got.seen, reference.seen,
+            "{context}/workers={workers}: dedup seen set diverged"
+        );
+    }
+}
+
+/// The calibrated perf corpus — the paper-region grid with 16 routes
+/// (≥110 stop sites) and 1000 ride uploads — replays bit-identically at
+/// every worker count, down to the exported GeoJSON.
+#[test]
+fn calibrated_corpus_is_bit_identical_at_all_worker_counts() {
+    let world = World::calibrated(7);
+    let db = world.build_db(5);
+    let trips = world.ride_corpus(1000, 7);
+    let make = || TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+
+    let reference = run_serial(&make(), &trips, None);
+    let projection = LocalProjection::new(1.34, 103.70);
+    let ref_geojson = map_to_geojson(&reference.map, &world.network, &projection).to_string();
+    for workers in WORKER_COUNTS {
+        let got = run_parallel(&make(), &trips, None, workers);
+        assert_eq!(
+            got.reports, reference.reports,
+            "calibrated/workers={workers}: reports diverged"
+        );
+        assert_eq!(
+            got.map_json, reference.map_json,
+            "calibrated/workers={workers}: map diverged"
+        );
+        let geojson = map_to_geojson(&got.map, &world.network, &projection).to_string();
+        assert_eq!(
+            geojson, ref_geojson,
+            "calibrated/workers={workers}: GeoJSON diverged"
+        );
+        assert_eq!(got.fusion_json, reference.fusion_json);
+        assert_eq!(got.seen, reference.seen);
+    }
+    // The corpus actually exercised the pipeline.
+    let accepted: usize = reference.reports.iter().map(|r| r.observations).sum();
+    assert!(accepted > 100, "calibrated corpus productive: {accepted}");
+    assert!(
+        !reference.map.is_empty(),
+        "calibrated corpus covers the map"
+    );
+}
+
+/// Fault-injected corpora — clean, calibrated and extreme presets, with
+/// server-side received times — replay bit-identically, including every
+/// drop attribution.
+#[test]
+fn fault_injected_corpora_are_bit_identical() {
+    let world = TestWorld::new(61, 4);
+    let base = World::small(61).ride_corpus(160, 61);
+    let plans: [(&str, FaultPlan); 3] = [
+        ("clean", FaultPlan::clean()),
+        ("calibrated", FaultPlan::calibrated()),
+        ("extreme", FaultPlan::extreme()),
+    ];
+    for (name, plan) in plans {
+        let (trips, received) = faulted(&base, plan, 13);
+        assert_equivalent(
+            &|| world.monitor(),
+            &trips,
+            Some(&received),
+            &format!("faults/{name}"),
+        );
+    }
+}
+
+/// Duplicate storms stress the reducer's discard path: exact duplicates
+/// staged speculatively on one worker while the original commits on
+/// another must still come out flagged exactly as in serial ingest.
+#[test]
+fn duplicate_storms_resolve_identically() {
+    let world = TestWorld::new(62, 4);
+    let base = World::small(62).ride_corpus(40, 62);
+    // Adjacent exact duplicates (worst case for stage-phase races) plus
+    // jittered retries of the same trips appended at the tail.
+    let mut trips = Vec::with_capacity(base.len() * 3);
+    for t in &base {
+        trips.push(t.clone());
+        trips.push(t.clone());
+    }
+    for t in &base {
+        trips.push(Trip {
+            samples: t
+                .samples
+                .iter()
+                .map(|s| CellularSample {
+                    time_s: s.time_s + 1.7,
+                    scan: s.scan.clone(),
+                })
+                .collect(),
+        });
+    }
+    assert_equivalent(&|| world.monitor(), &trips, None, "duplicate-storm");
+
+    // Sanity: the serial reference itself must flag the injected repeats.
+    let reference = run_serial(&world.monitor(), &trips, None);
+    let dups = reference
+        .reports
+        .iter()
+        .filter(|r| r.duplicate || r.near_duplicate)
+        .count();
+    assert!(
+        dups >= base.len(),
+        "duplicate storm recognised: {dups}/{} repeats",
+        base.len() * 2
+    );
+}
+
+/// With online database update enabled, the updater harvest feeds on
+/// committed trips in order — so the harvested candidates, the refresh
+/// outcome and the refreshed database must all be bit-identical too.
+#[test]
+fn online_update_harvest_is_deterministic() {
+    let world = TestWorld::new(63, 4);
+    let trips = World::small(63).ride_corpus(120, 63);
+    let config = MonitorConfig {
+        online_db_update: true,
+        ..MonitorConfig::default()
+    };
+    let make = || world.monitor_with(config);
+    assert_equivalent(&make, &trips, None, "online-update");
+
+    // Refresh after the batch: same harvest → same election → same db.
+    let serial = make();
+    for t in &trips {
+        serial.ingest_trip(t);
+    }
+    let serial_changed = serial.refresh_database();
+    let serial_db = serde_json::to_string(&serial.database()).unwrap();
+    for workers in WORKER_COUNTS {
+        let parallel = make();
+        let _ = parallel.ingest_batch_parallel(&trips, workers);
+        let changed = parallel.refresh_database();
+        assert_eq!(
+            changed, serial_changed,
+            "workers={workers}: refresh changed a different number of stops"
+        );
+        assert_eq!(
+            serde_json::to_string(&parallel.database()).unwrap(),
+            serial_db,
+            "workers={workers}: refreshed database diverged"
+        );
+    }
+}
+
+/// A worker count far beyond the batch size degenerates gracefully: the
+/// engine clamps to one worker per trip and stays bit-identical.
+#[test]
+fn more_workers_than_trips_is_still_identical() {
+    let world = TestWorld::new(64, 3);
+    let trips = World::small(64).ride_corpus(3, 64);
+    let reference = run_serial(&world.monitor(), &trips, None);
+    let got = run_parallel(&world.monitor(), &trips, None, 32);
+    assert_eq!(got.reports, reference.reports);
+    assert_eq!(got.map_json, reference.map_json);
+    assert_eq!(got.fusion_json, reference.fusion_json);
+}

@@ -4,66 +4,41 @@
 //! attributed to a [`DropReason`], and bounded error growth against the
 //! simulator's ground truth.
 
-use busprobe::cellular::{
-    CellObservation, CellScan, CellTowerId, DeploymentSpec, PropagationModel, Scanner,
-    TowerDeployment,
-};
-use busprobe::core::{
-    DropReason, IngestReport, MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMap,
-    TrafficMonitor,
-};
+mod common;
+
+use busprobe::cellular::{CellObservation, CellScan, CellTowerId};
+use busprobe::core::{DropReason, IngestReport, TrafficMap, TrafficMonitor};
 use busprobe::faults::{FaultInjector, FaultPlan};
 use busprobe::mobile::{CellularSample, Trip};
-use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
 use busprobe::sim::{Scenario, SimOutput, SimTime, Simulation};
+use common::{assert_coherent, faulted, TestWorld};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
 
 /// A simulated morning plus everything needed to build fresh monitors
 /// against the same world (fault sweeps need one monitor per level).
 struct Setup {
-    network: TransitNetwork,
-    scanner: Scanner,
-    db: StopFingerprintDb,
+    world: TestWorld,
     scenario: Scenario,
     output: SimOutput,
 }
 
 impl Setup {
     fn new(seed: u64) -> Self {
-        let network = NetworkGenerator::small(seed).generate();
-        let region = network.grid().spec().region();
-        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
-        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut samples = BTreeMap::new();
-        for site in network.sites() {
-            let fps = (0..5)
-                .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
-                .collect();
-            samples.insert(site.id, fps);
-        }
-        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
-        let scenario = Scenario::new(network.clone(), seed)
+        let world = TestWorld::new(seed, 5);
+        let scenario = Scenario::new(world.network.clone(), seed)
             .with_span(SimTime::from_hms(8, 0, 0), SimTime::from_hms(9, 0, 0));
         let output = Simulation::new(scenario.clone()).run();
         Setup {
-            network,
-            scanner,
-            db,
+            world,
             scenario,
             output,
         }
     }
 
     fn monitor(&self) -> TrafficMonitor {
-        TrafficMonitor::new(
-            self.network.clone(),
-            self.db.clone(),
-            MonitorConfig::default(),
-        )
+        self.world.monitor()
     }
 
     fn clean_trips(&self, seed: u64) -> Vec<Trip> {
@@ -72,7 +47,7 @@ impl Setup {
             .rider_trips
             .iter()
             .filter_map(|rider| {
-                let obs = trip_observations(rider, &self.output, &self.scanner, &mut rng);
+                let obs = trip_observations(rider, &self.output, &self.world.scanner, &mut rng);
                 (obs.len() >= 2).then(|| Trip {
                     samples: obs
                         .into_iter()
@@ -93,7 +68,7 @@ impl Setup {
         let mut total = 0.0;
         let mut n = 0usize;
         for (key, est) in &map.segments {
-            let Some(seg) = self.network.segment(*key) else {
+            let Some(seg) = self.world.network.segment(*key) else {
                 continue;
             };
             let truth_v = self
@@ -111,45 +86,8 @@ impl Setup {
     }
 }
 
-/// Applies `plan` to `trips` and splits the uploads into the forms
-/// [`TrafficMonitor::ingest_batch_received`] expects.
-fn faulted(trips: &[Trip], plan: FaultPlan, seed: u64) -> (Vec<Trip>, Vec<f64>) {
-    FaultInjector::new(plan, seed)
-        .apply(trips)
-        .uploads
-        .into_iter()
-        .map(|u| (u.trip, u.received_s))
-        .unzip()
-}
-
 fn snapshot(monitor: &TrafficMonitor) -> TrafficMap {
     monitor.snapshot_with_max_age(SimTime::from_hms(9, 0, 0).seconds(), 3600.0)
-}
-
-/// The invariants every ingest report must satisfy, at every fault rate:
-/// the pipeline never panics (panic isolation never trips), the sample
-/// accounting adds up, and every zero-observation trip names the stage
-/// that dropped it.
-fn assert_coherent(reports: &[IngestReport], context: &str) {
-    for (i, r) in reports.iter().enumerate() {
-        assert!(
-            !r.internal_error,
-            "{context}: trip {i} tripped the panic isolation: {r:?}"
-        );
-        assert!(
-            r.kept + r.quarantined <= r.samples,
-            "{context}: trip {i} accounting: kept {} + quarantined {} > samples {}",
-            r.kept,
-            r.quarantined,
-            r.samples
-        );
-        if r.observations == 0 {
-            assert!(
-                r.drop_reason().is_some(),
-                "{context}: trip {i} dropped silently: {r:?}"
-            );
-        }
-    }
 }
 
 fn assert_physical(map: &TrafficMap, context: &str) {

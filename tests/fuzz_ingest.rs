@@ -2,17 +2,13 @@
 //! [`Trip`] payloads must never panic the monitor, and every rejection
 //! must carry a coherent [`DropReason`].
 
-use busprobe::cellular::{
-    CellObservation, CellScan, CellTowerId, DeploymentSpec, PropagationModel, Scanner,
-    TowerDeployment,
-};
-use busprobe::core::{IngestReport, MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+mod common;
+
+use busprobe::cellular::{CellObservation, CellScan, CellTowerId};
+use busprobe::core::{IngestReport, TrafficMonitor};
 use busprobe::mobile::{CellularSample, Trip};
-use busprobe::network::NetworkGenerator;
+use common::TestWorld;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// One monitor shared across all fuzz cases: building the fingerprint
@@ -20,23 +16,7 @@ use std::sync::OnceLock;
 /// exercises the dedup layer against adversarial repeats.
 fn monitor() -> &'static TrafficMonitor {
     static MONITOR: OnceLock<TrafficMonitor> = OnceLock::new();
-    MONITOR.get_or_init(|| {
-        let seed = 51;
-        let network = NetworkGenerator::small(seed).generate();
-        let region = network.grid().spec().region();
-        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
-        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut samples = BTreeMap::new();
-        for site in network.sites() {
-            let fps = (0..3)
-                .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
-                .collect();
-            samples.insert(site.id, fps);
-        }
-        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
-        TrafficMonitor::new(network, db, MonitorConfig::default())
-    })
+    MONITOR.get_or_init(|| TestWorld::new(51, 3).monitor())
 }
 
 /// A possibly-degenerate sample decoded from plain generated integers

@@ -1,0 +1,169 @@
+//! Golden-corpus snapshots: a committed upload corpus and the exact
+//! JSON the pipeline must produce for it — per-trip reports, traffic
+//! map and GeoJSON. Any change to matching, clustering, mapping,
+//! estimation, fusion or serialization shows up as a reviewable diff.
+//!
+//! Regenerate after an intentional output change with:
+//!
+//! ```text
+//! BUSPROBE_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! then commit the updated files under `tests/golden/`.
+
+mod common;
+
+use busprobe::core::geojson::map_to_geojson;
+use busprobe::core::TrafficMonitor;
+use busprobe::geo::LocalProjection;
+use busprobe::mobile::{CellularSample, Trip};
+use busprobe_bench::World;
+use common::{faulted, TestWorld};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("BUSPROBE_BLESS").is_some()
+}
+
+/// Compares `got` against the committed snapshot, or rewrites the
+/// snapshot when blessing.
+fn assert_golden(name: &str, got: &str) {
+    let path = golden_dir().join(name);
+    if blessing() {
+        std::fs::write(&path, got).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             BUSPROBE_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want.as_str(),
+        "pipeline output diverged from {}; if the change is intentional, \
+         regenerate with BUSPROBE_BLESS=1 cargo test --test golden and \
+         review the diff",
+        path.display()
+    );
+}
+
+/// The committed corpus: clean ride uploads over the seed-17 small
+/// world, plus an exact duplicate, a jittered retry and a calibrated
+/// fault pass — so the snapshots pin the duplicate, near-duplicate and
+/// quarantine report shapes, not just the happy path.
+fn corpus() -> (Vec<Trip>, Vec<f64>) {
+    let world = World::small(17);
+    let mut trips = world.ride_corpus(24, 17);
+    trips.push(trips[0].clone());
+    let retry = Trip {
+        samples: trips[1]
+            .samples
+            .iter()
+            .map(|s| CellularSample {
+                time_s: s.time_s + 1.7,
+                scan: s.scan.clone(),
+            })
+            .collect(),
+    };
+    trips.push(retry);
+    faulted(&trips, busprobe::faults::FaultPlan::calibrated(), 17)
+}
+
+fn monitor() -> TrafficMonitor {
+    TestWorld::new(17, 5).monitor()
+}
+
+#[test]
+fn golden_corpus_snapshot_is_stable() {
+    let corpus_path = golden_dir().join("corpus.json");
+    let (trips, received) = corpus();
+    let corpus_json = serde_json::to_string_pretty(&(&trips, &received)).unwrap();
+    if blessing() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&corpus_path, &corpus_json).unwrap();
+    } else {
+        // The corpus itself is a snapshot: generator drift would silently
+        // invalidate the output snapshots, so it is pinned too.
+        let committed = std::fs::read_to_string(&corpus_path)
+            .unwrap_or_else(|e| panic!("missing golden corpus {} ({e})", corpus_path.display()));
+        assert_eq!(
+            corpus_json,
+            committed.as_str(),
+            "corpus generator drifted from the committed corpus; \
+             BUSPROBE_BLESS=1 regenerates everything"
+        );
+    }
+
+    // Replay the *committed* corpus, so the output snapshots stay
+    // meaningful even if the generator changes without a bless.
+    let committed = std::fs::read_to_string(&corpus_path).unwrap();
+    let (trips, received): (Vec<Trip>, Vec<f64>) = serde_json::from_str(&committed).unwrap();
+
+    let monitor = monitor();
+    let reports = monitor.ingest_batch_received(&trips, &received);
+    assert_golden(
+        "reports.json",
+        &serde_json::to_string_pretty(&reports).unwrap(),
+    );
+
+    let end_s = trips
+        .iter()
+        .map(Trip::end_s)
+        .filter(|e| e.is_finite())
+        .fold(0.0f64, f64::max)
+        + 60.0;
+    let map = monitor.snapshot_with_max_age(end_s, f64::INFINITY);
+    assert_golden("map.json", &serde_json::to_string_pretty(&map).unwrap());
+
+    let projection = LocalProjection::new(1.34, 103.70);
+    let geojson = map_to_geojson(&map, &monitor.network().clone(), &projection);
+    assert_golden(
+        "map.geojson",
+        &serde_json::to_string_pretty(&geojson).unwrap(),
+    );
+
+    // The snapshots cover real behaviour: some accepted observations,
+    // some attributed drops, the dedup pair flagged.
+    let accepted: usize = reports.iter().map(|r| r.observations).sum();
+    assert!(accepted > 0, "golden corpus produces observations");
+    assert!(
+        reports.iter().any(|r| r.duplicate || r.near_duplicate),
+        "golden corpus pins the dedup report shape"
+    );
+    assert!(
+        reports.iter().any(|r| r.drop_reason().is_some()),
+        "golden corpus pins at least one drop attribution"
+    );
+}
+
+/// The golden replay is itself parallel-safe: the committed corpus run
+/// through the parallel engine matches the committed snapshots too.
+#[test]
+fn golden_corpus_matches_under_parallel_ingest() {
+    let corpus_path = golden_dir().join("corpus.json");
+    let Ok(committed) = std::fs::read_to_string(&corpus_path) else {
+        assert!(
+            blessing(),
+            "missing golden corpus {}",
+            corpus_path.display()
+        );
+        return; // first bless run: the serial test writes the corpus
+    };
+    let (trips, received): (Vec<Trip>, Vec<f64>) = serde_json::from_str(&committed).unwrap();
+
+    let monitor = monitor();
+    let reports = monitor.ingest_batch_received_parallel(&trips, &received, 4);
+    if !blessing() {
+        assert_golden(
+            "reports.json",
+            &serde_json::to_string_pretty(&reports).unwrap(),
+        );
+    }
+}

@@ -6,6 +6,11 @@
 //! (std semantics) instead of surfacing in the returned `Result`; the
 //! `Result` wrapper exists so call sites written against crossbeam's API
 //! compile unchanged.
+//!
+//! Also provides the slices of `crossbeam-channel` and `crossbeam-deque`
+//! this workspace uses: [`channel::unbounded`] multi-producer channels
+//! (over `std::sync::mpsc`) and a [`deque::Injector`] global task queue
+//! with the `Steal` protocol.
 
 use std::any::Any;
 
@@ -47,6 +52,170 @@ pub mod thread {
     pub use crate::{scope, Scope};
 }
 
+/// Multi-producer single-consumer channels, mirroring the
+/// `crossbeam-channel` API surface this workspace uses.
+///
+/// `Sender` is cloneable so any number of producer threads can feed one
+/// consumer; the channel disconnects when every sender is dropped, ending
+/// the receiver's iteration — exactly the fan-in shape a sharded batch
+/// reducer needs.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender was dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// An iterator draining the channel until disconnection.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Borrowing iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+/// Work-stealing task queues, mirroring the `crossbeam-deque` API surface
+/// this workspace uses: a global [`deque::Injector`] that any worker
+/// steals from, with the three-way [`deque::Steal`] protocol (`Retry`
+/// under contention instead of blocking).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(task);
+        }
+
+        /// Attempts to steal the task at the front of the queue; reports
+        /// `Retry` instead of blocking when another thief holds the lock.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut queue) => match queue.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    match poisoned.into_inner().pop_front() {
+                        Some(task) => Steal::Success(task),
+                        None => Steal::Empty,
+                    }
+                }
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -63,5 +232,70 @@ mod tests {
         })
         .unwrap();
         assert!(counts.iter().all(|&c| c == 1000));
+    }
+
+    #[test]
+    fn channel_fans_in_from_many_producers() {
+        let (tx, rx) = super::channel::unbounded();
+        super::scope(|s| {
+            for base in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for k in 0..100u64 {
+                        tx.send(base * 100 + k).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut got: Vec<u64> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..400).collect::<Vec<u64>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn channel_recv_fails_after_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn injector_drains_exactly_once_across_thieves() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let injector = super::deque::Injector::new();
+        for k in 0..1000u64 {
+            injector.push(k);
+        }
+        let sum = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    match injector.steal() {
+                        super::deque::Steal::Success(task) => {
+                            sum.fetch_add(task, Ordering::Relaxed);
+                        }
+                        super::deque::Steal::Retry => continue,
+                        super::deque::Steal::Empty => break,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_single_threaded() {
+        let injector = super::deque::Injector::new();
+        injector.push('a');
+        injector.push('b');
+        assert_eq!(injector.steal().success(), Some('a'));
+        assert_eq!(injector.steal().success(), Some('b'));
+        assert_eq!(injector.steal(), super::deque::Steal::Empty);
     }
 }
