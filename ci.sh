@@ -27,6 +27,14 @@ cargo test -q --test determinism_prop
 cargo test -q --test golden
 cargo test -q --test stress_concurrency
 
+echo "== crash-recovery matrix (WAL + snapshot durability) =="
+# Workers {1,4} x snapshot cadence {1,7,none} x crash point {early, mid,
+# torn-last-record}: recover, resume, and the final state must be
+# bit-identical to a run that never crashed. Plus storage-level fault
+# injection: bit-flipped records are skipped with attribution, corrupt
+# snapshots fall back to full WAL replay (see tests/crash_recovery.rs).
+cargo test -q --test crash_recovery
+
 echo "== CLI differential: ingest --jobs 1 vs --jobs 4 =="
 # End-to-end through the binary: the same simulated day ingested with 1
 # and 4 workers must export byte-identical GeoJSON.
@@ -38,12 +46,31 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/busprobe ingest --dir "$tmpdir" --jobs 4 --geojson "$tmpdir/jobs4.geojson" >/dev/null
 cmp "$tmpdir/jobs1.geojson" "$tmpdir/jobs4.geojson"
 
+echo "== CLI crash drill: tear the WAL, recover, resume, compare =="
+# End-to-end durability through the binary: ingest a prefix durably,
+# truncate the newest WAL segment mid-record (a crash mid-append),
+# `recover` must attribute the torn tail without panicking, and a
+# resumed ingest must export GeoJSON byte-identical to an uninterrupted
+# run (duplicate commits are rejected by digest on replay).
+./target/release/busprobe ingest --dir "$tmpdir" --state "$tmpdir/state" \
+  --limit 12 --snapshot-every 5 >/dev/null
+wal_tail=$(ls "$tmpdir"/state/*.wal | sort | tail -n 1)
+truncate -s -9 "$wal_tail"
+./target/release/busprobe recover --dir "$tmpdir" --state "$tmpdir/state" \
+  > "$tmpdir/recover.out"
+grep -q "torn segment tails" "$tmpdir/recover.out"
+./target/release/busprobe ingest --dir "$tmpdir" --state "$tmpdir/state" \
+  --geojson "$tmpdir/resumed.geojson" >/dev/null
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/resumed.geojson"
+
 echo "== perf regression check =="
-# Fresh matcher + end-to-end ingest + parallel-scaling benchmarks
-# compared against the committed BENCH_matching.json /
-# BENCH_pipeline.json / BENCH_parallel.json baselines; fails on a >20%
-# slowdown, and on machines with >=4 cores also enforces the >=2.5x
-# speedup floor at 4 workers (see README for regenerating baselines).
+# Fresh matcher + end-to-end ingest + parallel-scaling + durable-store
+# benchmarks compared against the committed BENCH_matching.json /
+# BENCH_pipeline.json / BENCH_parallel.json / BENCH_store.json
+# baselines; fails on a >20% slowdown, on machines with >=4 cores also
+# enforces the >=2.5x speedup floor at 4 workers, and always enforces
+# the 10% WAL append-overhead ceiling (see README for regenerating
+# baselines).
 ./target/release/busprobe bench --check
 
 echo "== cargo fmt --check =="

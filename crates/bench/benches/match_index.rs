@@ -4,34 +4,13 @@
 //! ≥110-stop corpus. Also times online index maintenance (insert/remove),
 //! which rides the database-refresh path.
 
-use busprobe_bench::World;
+use busprobe_bench::{ns_per_call, World};
 use busprobe_core::{MatchConfig, Matcher};
 use busprobe_network::StopSiteId;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
-
-/// Wall-clock of `f()` repeated until at least ~50 ms elapse, in
-/// nanoseconds per call.
-fn ns_per_call(mut f: impl FnMut()) -> f64 {
-    for _ in 0..16 {
-        f();
-    }
-    let mut iters = 16u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed();
-        if elapsed.as_millis() >= 50 {
-            return elapsed.as_nanos() as f64 / iters as f64;
-        }
-        iters *= 2;
-    }
-}
 
 fn bench_index_overhead(c: &mut Criterion) {
     // The calibrated corpus: ≥110 war-collected stop fingerprints and

@@ -7,14 +7,13 @@
 //! This bench times that exact sequence against the real per-trip ingest
 //! cost and asserts it stays below 5%.
 
-use busprobe_bench::World;
+use busprobe_bench::{ns_per_call, World};
 use busprobe_core::{MonitorConfig, TrafficMonitor};
 use busprobe_mobile::Trip;
 use busprobe_sim::SimTime;
 use busprobe_telemetry::Span;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Instant;
 
 fn bench_instruments(c: &mut Criterion) {
     let registry = busprobe_telemetry::global();
@@ -42,27 +41,6 @@ fn bench_instruments(c: &mut Criterion) {
         b.iter(|| black_box(snapshot.to_prometheus()));
     });
     group.finish();
-}
-
-/// Wall-clock of `f()` repeated until at least ~50 ms elapse, in
-/// nanoseconds per call.
-fn ns_per_call(mut f: impl FnMut()) -> f64 {
-    // Warm up.
-    for _ in 0..16 {
-        f();
-    }
-    let mut iters = 16u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed();
-        if elapsed.as_millis() >= 50 {
-            return elapsed.as_nanos() as f64 / iters as f64;
-        }
-        iters *= 2;
-    }
 }
 
 fn bench_end_to_end_overhead(c: &mut Criterion) {

@@ -11,6 +11,8 @@
 
 pub mod gps_baseline;
 pub mod stats;
+pub mod timing;
 pub mod world;
 
+pub use timing::{best_ns_per_call, ns_per_call, BENCH_REPS};
 pub use world::World;

@@ -132,7 +132,15 @@ impl World {
     /// similar sample is elected per stop).
     #[must_use]
     pub fn build_db(&self, rounds: usize) -> StopFingerprintDb {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1B5_4A32_D192_ED03);
+        self.build_db_seeded(rounds, self.seed ^ 0xD1B5_4A32_D192_ED03)
+    }
+
+    /// [`World::build_db`] with an explicit war-collection RNG seed, for
+    /// harnesses (the integration suites' `TestWorld`) whose committed
+    /// golden corpora are pinned to a specific collection stream.
+    #[must_use]
+    pub fn build_db_seeded(&self, rounds: usize, rng_seed: u64) -> StopFingerprintDb {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
         let mut samples = BTreeMap::new();
         for site in self.network.sites() {
             let fps = (0..rounds.max(1))

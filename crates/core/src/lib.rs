@@ -54,6 +54,7 @@
 pub mod alignment;
 pub mod clustering;
 pub mod database;
+pub mod durability;
 pub mod estimation;
 pub mod fusion;
 pub mod geojson;
@@ -72,6 +73,9 @@ pub mod updater;
 pub use alignment::{align, AlignOp, Alignment};
 pub use clustering::{Cluster, ClusterCandidate, ClusterConfig, Clusterer, MatchedSample};
 pub use database::StopFingerprintDb;
+pub use durability::{
+    CodecError, CommitRecord, HarvestEntry, PersistedState, RecoverySummary, WalRecord,
+};
 pub use estimation::{EstimatorConfig, SpeedObservation, TripEstimator};
 pub use fusion::{BayesianSpeed, SegmentFusion};
 pub use index::MatchIndex;

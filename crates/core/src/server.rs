@@ -20,6 +20,7 @@
 
 use crate::clustering::{Clusterer, MatchedSample};
 use crate::database::StopFingerprintDb;
+use crate::durability::{CommitRecord, HarvestEntry, PersistedState, RecoverySummary, WalRecord};
 use crate::estimation::{SpeedObservation, TripEstimator};
 use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
@@ -31,10 +32,13 @@ use crate::updater::{DbUpdater, UpdaterConfig};
 use crate::{ClusterConfig, EstimatorConfig, MatchConfig};
 use busprobe_mobile::{CellularSample, Trip};
 use busprobe_network::TransitNetwork;
+use busprobe_store::Store;
 use busprobe_telemetry::Level;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Complete backend configuration.
@@ -187,6 +191,15 @@ pub(crate) struct StagedUpload {
     panicked: bool,
 }
 
+/// A durable store attached to the monitor, plus its checkpoint cadence.
+#[derive(Debug)]
+struct AttachedStore {
+    store: Store,
+    /// Write a full-state snapshot every this many WAL records
+    /// (0 = only on explicit [`TrafficMonitor::checkpoint`] calls).
+    snapshot_every: u64,
+}
+
 /// The backend server.
 ///
 /// # Examples
@@ -212,6 +225,13 @@ pub struct TrafficMonitor {
     seen: Mutex<std::collections::HashSet<u64>>,
     /// Cached handles into the global telemetry registry.
     metrics: PipelineMetrics,
+    /// Optional durable store: every commit appends a WAL record here.
+    ///
+    /// Lock-order safety: the commit path drops every state lock (`seen`,
+    /// `fusion`, `updater`) before taking this one, and `checkpoint` takes
+    /// this one before any state lock — no thread ever waits on `store`
+    /// while holding a state lock *and* vice versa in the same direction.
+    store: Mutex<Option<AttachedStore>>,
 }
 
 impl TrafficMonitor {
@@ -228,6 +248,7 @@ impl TrafficMonitor {
             fusion: Mutex::new(SegmentFusion::paper_default()),
             seen: Mutex::new(std::collections::HashSet::new()),
             metrics: PipelineMetrics::new(),
+            store: Mutex::new(None),
         }
     }
 
@@ -400,6 +421,17 @@ impl TrafficMonitor {
         let raw_samples = staged.report.samples;
         self.metrics.trips.inc();
         self.metrics.samples.add(raw_samples as u64);
+        // The durable ledger of what this commit did. Every return path
+        // logs it — rejections included, so the WAL sequence number always
+        // equals the count of committed uploads and a recovered monitor
+        // resolves replays exactly as the original did.
+        let mut record = CommitRecord {
+            digest: staged.digest,
+            near_digests: None,
+            observations: Vec::new(),
+            harvest: Vec::new(),
+            report: IngestReport::default(),
+        };
         if !self.seen.lock().insert(staged.digest) {
             self.metrics.drop_rejected_duplicate.inc();
             busprobe_telemetry::event(
@@ -407,11 +439,12 @@ impl TrafficMonitor {
                 "core::ingest",
                 format!("duplicate upload rejected ({raw_samples} samples)"),
             );
-            return IngestReport {
+            record.report = IngestReport {
                 duplicate: true,
                 samples: raw_samples,
                 ..IngestReport::default()
             };
+            return self.log_commit(record);
         }
         if staged.panicked {
             self.metrics.drop_internal_error.inc();
@@ -420,11 +453,12 @@ impl TrafficMonitor {
                 "core::ingest",
                 format!("pipeline panicked; trip isolated ({raw_samples} samples)"),
             );
-            return IngestReport {
+            record.report = IngestReport {
                 internal_error: true,
                 samples: raw_samples,
                 ..IngestReport::default()
             };
+            return self.log_commit(record);
         }
 
         self.record_sanitize(&staged.san);
@@ -434,6 +468,7 @@ impl TrafficMonitor {
         // its original racing through the stage pool resolve exactly as
         // they would serially.
         if let Some(digests) = &staged.near_digests {
+            record.near_digests = Some(*digests);
             let mut seen = self.seen.lock();
             let dup = digests.iter().any(|d| seen.contains(d));
             seen.extend(digests.iter().copied());
@@ -442,7 +477,8 @@ impl TrafficMonitor {
                 let mut report = Self::base_report(raw_samples, &staged.san);
                 report.near_duplicate = true;
                 self.count_drop(&report);
-                return report;
+                record.report = report;
+                return self.log_commit(record);
             }
         }
 
@@ -450,7 +486,9 @@ impl TrafficMonitor {
         self.note_pipeline_counters(&report);
         self.count_drop(&report);
         if let Some((samples, visits)) = &staged.harvest {
-            self.harvest(samples, visits);
+            let entries = self.harvest_entries(samples, visits);
+            self.apply_harvest(&entries);
+            record.harvest = entries;
         }
         let span = self.metrics.span_fusion();
         let mut fusion = self.fusion.lock();
@@ -465,7 +503,64 @@ impl TrafficMonitor {
         self.metrics
             .obs_per_trip
             .record(staged.observations.len() as f64);
+        record.observations = staged.observations;
+        record.report = report;
+        self.log_commit(record)
+    }
+
+    /// Appends one commit record to the attached store (a no-op without
+    /// one) and auto-checkpoints on the configured cadence. Returns the
+    /// record's report, so commit paths can log-and-return in one step.
+    ///
+    /// An append failure degrades durability, never availability: it is
+    /// counted and logged, and ingestion continues.
+    fn log_commit(&self, record: CommitRecord) -> IngestReport {
+        let report = record.report;
+        let mut guard = self.store.lock();
+        let Some(attached) = guard.as_mut() else {
+            return report;
+        };
+        let payload = WalRecord::Commit(record).encode();
+        let snapshot_due = match attached.store.append(&payload) {
+            Ok(seq) => attached.snapshot_every > 0 && (seq + 1) % attached.snapshot_every == 0,
+            Err(e) => {
+                self.metrics.store_append_errors.inc();
+                busprobe_telemetry::event(
+                    Level::Warn,
+                    "core::store",
+                    format!("WAL append failed; commit not durable: {e}"),
+                );
+                false
+            }
+        };
+        drop(guard);
+        if snapshot_due {
+            if let Err(e) = self.checkpoint() {
+                busprobe_telemetry::event(
+                    Level::Warn,
+                    "core::store",
+                    format!("periodic checkpoint failed: {e}"),
+                );
+            }
+        }
         report
+    }
+
+    /// Appends a refresh marker to the attached store (a no-op without
+    /// one), sequencing the database refresh among the commits.
+    fn log_refresh(&self) {
+        let mut guard = self.store.lock();
+        let Some(attached) = guard.as_mut() else {
+            return;
+        };
+        if let Err(e) = attached.store.append(&WalRecord::Refresh.encode()) {
+            self.metrics.store_append_errors.inc();
+            busprobe_telemetry::event(
+                Level::Warn,
+                "core::store",
+                format!("WAL append failed; refresh not durable: {e}"),
+            );
+        }
     }
 
     /// Seeds a report with the raw sample count and sanitizer accounting.
@@ -536,11 +631,19 @@ impl TrafficMonitor {
         }
     }
 
-    /// Feeds the online updater: for every confidently-identified visit,
-    /// the trip samples taken during that visit are fresh fingerprints of
-    /// that stop.
-    fn harvest(&self, samples: &[CellularSample], visits: &[MappedVisit]) {
-        let mut updater = self.updater.lock();
+    /// The pure half of the updater harvest: which (site, fingerprint,
+    /// confidence) triples this trip contributes — for every
+    /// confidently-identified visit, the samples taken during that visit
+    /// are fresh fingerprints of that stop. Mirrors
+    /// [`DbUpdater::record`]'s filters exactly, so the returned entries
+    /// are precisely the ones the updater will retain: the list can be
+    /// logged and replayed verbatim.
+    fn harvest_entries(
+        &self,
+        samples: &[CellularSample],
+        visits: &[MappedVisit],
+    ) -> Vec<HarvestEntry> {
+        let mut entries = Vec::new();
         for visit in visits {
             if visit.confidence < self.config.updater.min_confidence {
                 continue;
@@ -549,9 +652,29 @@ impl TrafficMonitor {
                 if sample.time_s >= visit.arrival_s - 1.0
                     && sample.time_s <= visit.departure_s + 1.0
                 {
-                    updater.record(visit.site, sample.scan.fingerprint(), visit.confidence);
+                    let fingerprint = sample.scan.fingerprint();
+                    if fingerprint.is_empty() {
+                        continue;
+                    }
+                    entries.push(HarvestEntry {
+                        site: visit.site,
+                        fingerprint,
+                        confidence: visit.confidence,
+                    });
                 }
             }
+        }
+        entries
+    }
+
+    /// Feeds one trip's harvest into the online updater, in entry order.
+    fn apply_harvest(&self, entries: &[HarvestEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut updater = self.updater.lock();
+        for entry in entries {
+            updater.record(entry.site, entry.fingerprint.clone(), entry.confidence);
         }
     }
 
@@ -582,7 +705,217 @@ impl TrafficMonitor {
                 format!("database refresh promoted {changed} fingerprints"),
             );
         }
+        // The refresh consumed pending harvest and possibly rewrote the
+        // database; sequence it in the log so replay re-runs the same
+        // (deterministic) election at the same point.
+        self.log_refresh();
         changed
+    }
+
+    /// Attaches a durable store: every subsequent commit appends one WAL
+    /// record, and (when `snapshot_every > 0`) every `snapshot_every`-th
+    /// record also triggers a full-state snapshot plus log compaction.
+    ///
+    /// Appends happen inside the ordered commit phase, so the log is a
+    /// faithful serialization of the monitor's one mutation stream —
+    /// parallel ingest produces the same log as serial ingest.
+    pub fn attach_store(&self, store: Store, snapshot_every: u64) {
+        *self.store.lock() = Some(AttachedStore {
+            store,
+            snapshot_every,
+        });
+    }
+
+    /// Whether a durable store is attached.
+    #[must_use]
+    pub fn has_store(&self) -> bool {
+        self.store.lock().is_some()
+    }
+
+    /// The WAL sequence number the next commit will receive, if a store
+    /// is attached.
+    #[must_use]
+    pub fn store_seq(&self) -> Option<u64> {
+        self.store.lock().as_ref().map(|a| a.store.next_seq())
+    }
+
+    /// Flushes and fsyncs the attached store's WAL, making every commit
+    /// appended so far durable against a crash. No-op when no store is
+    /// attached. Appends are otherwise buffered and reach the OS at
+    /// rotation, checkpoints and drop.
+    pub fn sync_store(&self) -> io::Result<()> {
+        if let Some(attached) = self.store.lock().as_mut() {
+            attached.store.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a full-state snapshot covering every record appended so
+    /// far, then compacts covered WAL segments. Returns the snapshot's
+    /// coverage sequence number, or `None` when no store is attached.
+    ///
+    /// Call between batches (not concurrently with an in-flight ingest),
+    /// so the snapshot observes a commit boundary.
+    pub fn checkpoint(&self) -> io::Result<Option<u64>> {
+        let mut guard = self.store.lock();
+        let Some(attached) = guard.as_mut() else {
+            return Ok(None);
+        };
+        let state = self.persisted_state(attached.store.next_seq());
+        let payload = serde_json::to_vec(&state)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))?;
+        attached.store.checkpoint(&payload).map(Some)
+    }
+
+    /// The complete durable state, as of `commits` WAL records.
+    fn persisted_state(&self, commits: u64) -> PersistedState {
+        let mut seen: Vec<u64> = self.seen.lock().iter().copied().collect();
+        seen.sort_unstable();
+        PersistedState {
+            commits,
+            config: self.config,
+            fusion: self.fusion.lock().clone(),
+            database: self.database(),
+            seen,
+            updater: self.updater.lock().clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from the store directory `dir`: loads the
+    /// newest valid snapshot (falling back to a cold start from
+    /// `initial_db` when none survives) and replays the WAL tail in
+    /// sequence order through the same mutation code the commits ran.
+    /// Because every record was written at its commit — the monitor's one
+    /// mutation point — the recovered state is bit-identical to a monitor
+    /// that never crashed.
+    ///
+    /// Disk damage is survived, counted and attributed, never fatal: torn
+    /// tails and corrupt records are skipped, costing at most those
+    /// uploads (which simply become re-ingestable). The only hard error
+    /// besides I/O is a snapshot whose framing validates but whose
+    /// content doesn't parse — a version mismatch that silent replay
+    /// would turn into silently wrong state.
+    ///
+    /// The returned monitor has *no* store attached; to resume appending,
+    /// open a [`Store`] on the same directory and call
+    /// [`attach_store`](Self::attach_store).
+    pub fn recover(
+        network: TransitNetwork,
+        initial_db: StopFingerprintDb,
+        config: MonitorConfig,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<(Self, RecoverySummary)> {
+        let recovered = Store::recover(dir.as_ref())?;
+        let (monitor, snapshot_seq, mut commits) = match &recovered.snapshot {
+            Some((seq, payload)) => {
+                let state: PersistedState = serde_json::from_slice(payload).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("snapshot {seq} is framed correctly but not decodable: {e:?}"),
+                    )
+                })?;
+                if state.config != config {
+                    busprobe_telemetry::event(
+                        Level::Warn,
+                        "core::store",
+                        "recovered snapshot was written under a different configuration; \
+                         replay is well-defined but no longer matches the original run",
+                    );
+                }
+                let commits = state.commits.max(*seq);
+                let monitor = TrafficMonitor {
+                    network: Arc::new(network),
+                    matcher: RwLock::new(Matcher::new(state.database, config.matching)),
+                    clusterer: Clusterer::new(config.clustering),
+                    updater: Mutex::new(state.updater),
+                    config,
+                    fusion: Mutex::new(state.fusion),
+                    seen: Mutex::new(state.seen.into_iter().collect()),
+                    metrics: PipelineMetrics::new(),
+                    store: Mutex::new(None),
+                };
+                (monitor, Some(*seq), commits)
+            }
+            None => (TrafficMonitor::new(network, initial_db, config), None, 0),
+        };
+
+        let mut replayed_commits = 0u64;
+        let mut replayed_refreshes = 0u64;
+        let mut undecodable = 0u64;
+        for (seq, payload) in &recovered.records {
+            match WalRecord::decode(payload) {
+                Ok(WalRecord::Commit(record)) => {
+                    monitor.apply_commit(&record);
+                    replayed_commits += 1;
+                    commits = commits.max(seq + 1);
+                }
+                Ok(WalRecord::Refresh) => {
+                    monitor.refresh_database();
+                    replayed_refreshes += 1;
+                    commits = commits.max(seq + 1);
+                }
+                Err(e) => {
+                    // The frame CRC passed but the payload didn't parse:
+                    // count it with the store's skip attribution.
+                    undecodable += 1;
+                    busprobe_telemetry::global()
+                        .counter("busprobe_store_replay_skipped_total")
+                        .inc();
+                    busprobe_telemetry::event(
+                        Level::Warn,
+                        "core::store",
+                        format!("WAL record {seq} undecodable ({e:?}); skipped"),
+                    );
+                }
+            }
+        }
+        let summary = RecoverySummary {
+            snapshot_seq,
+            commits,
+            replayed_commits,
+            replayed_refreshes,
+            skipped_records: recovered.report.skipped_records() + undecodable,
+            corrupt_tails: recovered.report.corrupt_tails(),
+            snapshots_skipped: recovered.snapshots_skipped,
+            duration_s: recovered.duration_s,
+        };
+        busprobe_telemetry::event(
+            Level::Info,
+            "core::store",
+            format!(
+                "recovered {} commits ({} replayed, {} skipped) in {:.3}s",
+                summary.commits,
+                summary.replayed_commits + summary.replayed_refreshes,
+                summary.skipped_records,
+                summary.duration_s
+            ),
+        );
+        Ok((monitor, summary))
+    }
+
+    /// Replays one logged commit, mirroring `commit_inner`'s mutation
+    /// order exactly: seen-set insert → near-digest registration →
+    /// updater harvest → fusion. Reports, telemetry and drop attribution
+    /// are *not* replayed — they were already delivered when the record
+    /// was written.
+    fn apply_commit(&self, record: &CommitRecord) {
+        if !self.seen.lock().insert(record.digest) {
+            return;
+        }
+        if let Some(digests) = &record.near_digests {
+            let mut seen = self.seen.lock();
+            let dup = digests.iter().any(|d| seen.contains(d));
+            seen.extend(digests.iter().copied());
+            drop(seen);
+            if dup {
+                return;
+            }
+        }
+        self.apply_harvest(&record.harvest);
+        let mut fusion = self.fusion.lock();
+        for obs in &record.observations {
+            fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
+        }
     }
 
     /// Enables or disables the matcher's inverted index (on by default).
@@ -630,6 +963,7 @@ impl TrafficMonitor {
             fusion: Mutex::new(state.fusion),
             seen: Mutex::new(state.seen.into_iter().collect()),
             metrics: PipelineMetrics::new(),
+            store: Mutex::new(None),
         }
     }
 

@@ -42,6 +42,9 @@ pub(crate) struct PipelineMetrics {
     pub drop_unmapped: Counter,
     pub drop_too_few_visits: Counter,
     pub drop_internal_error: Counter,
+    // Durable-store appends that failed (ingestion continues; durability
+    // of the affected commits is lost).
+    pub store_append_errors: Counter,
     // Distribution of observations per accepted trip.
     pub obs_per_trip: Arc<Histogram>,
     // Wall-time per pipeline stage.
@@ -84,6 +87,7 @@ impl PipelineMetrics {
             drop_unmapped: registry.counter("busprobe_core_drop_unmapped_total"),
             drop_too_few_visits: registry.counter("busprobe_core_drop_too_few_visits_total"),
             drop_internal_error: registry.counter("busprobe_core_drop_internal_error_total"),
+            store_append_errors: registry.counter("busprobe_core_store_append_errors_total"),
             obs_per_trip: registry.histogram("busprobe_core_observations_per_trip", &OBS_BUCKETS),
             stage_ingest_batch: registry.stage("busprobe_core_stage_ingest_batch"),
             stage_pipeline: registry.stage("busprobe_core_stage_pipeline"),

@@ -14,7 +14,7 @@ use crate::matching::{similarity, MatchConfig};
 use busprobe_cellular::Fingerprint;
 use busprobe_network::StopSiteId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Updater parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,10 +39,15 @@ impl Default for UpdaterConfig {
 }
 
 /// Accumulates high-confidence samples and refreshes the database.
-#[derive(Debug, Clone, Default)]
+///
+/// The pending harvest is an ordered map (and the struct serializes) so
+/// the updater can ride along in durability snapshots byte-for-byte
+/// deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DbUpdater {
     config: UpdaterConfig,
-    pending: HashMap<StopSiteId, Vec<Fingerprint>>,
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pending: BTreeMap<StopSiteId, Vec<Fingerprint>>,
 }
 
 impl DbUpdater {
@@ -51,7 +56,7 @@ impl DbUpdater {
     pub fn new(config: UpdaterConfig) -> Self {
         DbUpdater {
             config,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 

@@ -14,7 +14,10 @@
 //!   reports exactly which faults were injected ([`FaultReport`]),
 //! * [`Upload`] — a faulted trip plus its trustworthy server-side arrival
 //!   time (phones lie about timestamps; the network does not), which the
-//!   backend's sanitizer uses to bound clock skew.
+//!   backend's sanitizer uses to bound clock skew,
+//! * [`WalFaultPlan`] / [`damage_store_dir`] — storage-level damage for
+//!   `busprobe-store` state directories (truncated tails, torn appends,
+//!   bit flips), proving crash recovery degrades gracefully.
 //!
 //! # Examples
 //!
@@ -34,6 +37,8 @@
 mod inject;
 mod plan;
 mod telemetry;
+mod wal;
 
 pub use inject::{FaultInjector, FaultReport, Injection, Upload};
 pub use plan::{FaultPlan, ParsePlanError};
+pub use wal::{damage_store_dir, WalFaultPlan, WalFaultReport};

@@ -1,0 +1,144 @@
+//! Full-state snapshots: one framed payload per file, written
+//! atomically (temp file + fsync + rename) and named
+//! `<coverage-seq, 16 hex digits>.snap`.
+//!
+//! A snapshot at sequence number `S` captures the state after applying
+//! WAL records `0..S`; recovery loads the newest snapshot that passes
+//! its CRC and replays only records with `seq >= S`. A corrupt snapshot
+//! is never fatal — the loader falls back to the next-newest one (and
+//! ultimately to cold-start + full replay), counting what it skipped.
+
+use crate::frame::{self, SNAPSHOT_MAGIC};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Formats the snapshot file name for a coverage sequence number.
+#[must_use]
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("{seq:016x}.snap")
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".snap")?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+/// All snapshot files under `dir`, sorted by coverage sequence number.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut snaps = Vec::new();
+    if !dir.exists() {
+        return Ok(snaps);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_snapshot_name) {
+            snaps.push((seq, entry.path()));
+        }
+    }
+    snaps.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(snaps)
+}
+
+/// Writes `payload` as the snapshot covering `seq`, atomically: the
+/// frame goes to a temp file, is fsynced, then renamed into place, so a
+/// crash mid-write leaves either the old snapshot set or the new one —
+/// never a half-written file under the snapshot name.
+pub fn write(dir: &Path, seq: u64, payload: &[u8]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut buf = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+    frame::encode(SNAPSHOT_MAGIC, seq, payload, &mut buf);
+    let final_path = dir.join(snapshot_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
+    {
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Persist the rename itself; not all platforms support fsync on a
+    // directory handle, so failure here is non-fatal.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// The newest valid snapshot as `(covered_seq, payload)`, if any.
+pub type LoadedSnapshot = Option<(u64, Vec<u8>)>;
+
+/// Loads the newest snapshot that passes validation, returning its
+/// coverage sequence number, its payload and how many newer-but-corrupt
+/// snapshots were skipped on the way.
+pub fn load_latest(dir: &Path) -> io::Result<(LoadedSnapshot, u64)> {
+    let mut skipped = 0u64;
+    for (seq, path) in list_snapshots(dir)?.into_iter().rev() {
+        let buf = fs::read(&path)?;
+        match frame::decode(SNAPSHOT_MAGIC, &buf) {
+            // A valid frame followed by trailing bytes is still corrupt:
+            // the file must be exactly one frame.
+            Ok(f) if f.consumed == buf.len() && f.seq == seq => {
+                return Ok((Some((seq, f.payload.to_vec())), skipped));
+            }
+            _ => skipped += 1,
+        }
+    }
+    Ok((None, skipped))
+}
+
+/// Coverage sequence number of the newest *valid* snapshot, if any.
+pub fn latest_seq(dir: &Path) -> io::Result<Option<u64>> {
+    Ok(load_latest(dir)?.0.map(|(seq, _)| seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("busprobe-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips_and_prefers_newest() {
+        let dir = tmp_dir("roundtrip");
+        write(&dir, 3, b"old state").unwrap();
+        write(&dir, 9, b"new state").unwrap();
+        let (loaded, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(loaded, Some((9, b"new state".to_vec())));
+        assert_eq!(skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        write(&dir, 3, b"good").unwrap();
+        write(&dir, 9, b"doomed").unwrap();
+        let newest = dir.join(snapshot_file_name(9));
+        let mut buf = fs::read(&newest).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        fs::write(&newest, &buf).unwrap();
+
+        let (loaded, skipped) = load_latest(&dir).unwrap();
+        assert_eq!(loaded, Some((3, b"good".to_vec())));
+        assert_eq!(skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_loads_nothing() {
+        let dir = tmp_dir("empty");
+        assert_eq!(load_latest(&dir).unwrap(), (None, 0));
+        assert_eq!(latest_seq(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

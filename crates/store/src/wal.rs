@@ -1,0 +1,507 @@
+//! The write-ahead log: size-rotated segment files of CRC32-framed
+//! records, an appender that survives process restarts, and a replay
+//! reader that self-synchronizes past damage instead of panicking.
+//!
+//! Segment files are named `<first-seq, 16 hex digits>.wal`, so a
+//! lexicographic directory listing is also the sequence order and
+//! compaction can drop a segment by comparing its *successor's* first
+//! sequence number against the snapshot coverage point.
+
+use crate::frame::{self, HEADER_LEN, RECORD_MAGIC};
+use crate::StoreMetrics;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One anomaly encountered while replaying a damaged log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Bytes mid-segment failed the frame checks but a later valid frame
+    /// was found by scanning for the next magic; the damaged span was
+    /// skipped and replay continued.
+    SkippedRecord {
+        /// First sequence number of the segment containing the damage.
+        segment: u64,
+        /// Byte offset of the damaged span within the segment.
+        offset: u64,
+        /// Bytes skipped to reach the next valid frame.
+        bytes_skipped: u64,
+    },
+    /// The end of a segment was torn or truncated (no valid frame
+    /// follows the damage); the tail was dropped.
+    CorruptTail {
+        /// First sequence number of the segment containing the damage.
+        segment: u64,
+        /// Byte offset where the valid prefix ends.
+        offset: u64,
+        /// Bytes dropped from the tail.
+        bytes_dropped: u64,
+    },
+}
+
+/// What a full replay of the log saw: volume, sequence range and every
+/// anomaly, attributed to its segment and offset.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Valid records decoded.
+    pub records: u64,
+    /// Payload + header bytes of valid records.
+    pub bytes: u64,
+    /// Segments visited.
+    pub segments: u64,
+    /// Lowest sequence number seen, if any record decoded.
+    pub first_seq: Option<u64>,
+    /// Highest sequence number seen, if any record decoded.
+    pub last_seq: Option<u64>,
+    /// Every damaged span, in replay order.
+    pub anomalies: Vec<ReplayOutcome>,
+}
+
+impl ReplayReport {
+    /// Damaged spans that were skipped mid-segment.
+    #[must_use]
+    pub fn skipped_records(&self) -> u64 {
+        self.anomalies
+            .iter()
+            .filter(|a| matches!(a, ReplayOutcome::SkippedRecord { .. }))
+            .count() as u64
+    }
+
+    /// Torn or truncated segment tails.
+    #[must_use]
+    pub fn corrupt_tails(&self) -> u64 {
+        self.anomalies
+            .iter()
+            .filter(|a| matches!(a, ReplayOutcome::CorruptTail { .. }))
+            .count() as u64
+    }
+}
+
+/// Formats the segment file name for a first sequence number.
+#[must_use]
+pub fn segment_file_name(first_seq: u64) -> String {
+    format!("{first_seq:016x}.wal")
+}
+
+/// Parses `<16 hex>.wal` back into a first sequence number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".wal")?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+/// All segment files under `dir`, sorted by first sequence number.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_segment_name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(segments)
+}
+
+/// Scans one segment buffer, calling `sink` for every valid frame and
+/// recording anomalies against `segment` (its first sequence number).
+///
+/// After any frame error the scanner searches forward for the next
+/// occurrence of the record magic that heads a fully valid frame; if one
+/// exists the damage is a [`ReplayOutcome::SkippedRecord`], otherwise
+/// the rest of the buffer is a [`ReplayOutcome::CorruptTail`]. Returns
+/// the offset one past the last valid frame (the repair-truncation
+/// point for a writer reopening this segment).
+fn scan_segment(
+    segment: u64,
+    buf: &[u8],
+    report: &mut ReplayReport,
+    sink: &mut dyn FnMut(u64, &[u8]),
+) -> usize {
+    let mut offset = 0usize;
+    let mut valid_end = 0usize;
+    while offset < buf.len() {
+        match frame::decode(RECORD_MAGIC, &buf[offset..]) {
+            Ok(f) => {
+                report.records += 1;
+                report.bytes += f.consumed as u64;
+                report.first_seq = Some(report.first_seq.map_or(f.seq, |s| s.min(f.seq)));
+                report.last_seq = Some(report.last_seq.map_or(f.seq, |s| s.max(f.seq)));
+                sink(f.seq, f.payload);
+                offset += f.consumed;
+                valid_end = offset;
+            }
+            Err(_) => match next_valid_frame(&buf[offset + 1..]) {
+                Some(delta) => {
+                    let skip = delta + 1;
+                    report.anomalies.push(ReplayOutcome::SkippedRecord {
+                        segment,
+                        offset: offset as u64,
+                        bytes_skipped: skip as u64,
+                    });
+                    offset += skip;
+                }
+                None => {
+                    report.anomalies.push(ReplayOutcome::CorruptTail {
+                        segment,
+                        offset: offset as u64,
+                        bytes_dropped: (buf.len() - offset) as u64,
+                    });
+                    break;
+                }
+            },
+        }
+    }
+    valid_end
+}
+
+/// Distance to the next offset in `buf` that decodes as a valid frame.
+fn next_valid_frame(buf: &[u8]) -> Option<usize> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let mut from = 0usize;
+    while let Some(pos) = find_magic(&buf[from..]) {
+        let at = from + pos;
+        if frame::decode(RECORD_MAGIC, &buf[at..]).is_ok() {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// First offset of the record magic in `buf`, if any.
+fn find_magic(buf: &[u8]) -> Option<usize> {
+    buf.windows(RECORD_MAGIC.len())
+        .position(|w| w == RECORD_MAGIC)
+}
+
+/// Replays every segment under `dir` in order, feeding valid records to
+/// `sink` and accounting anomalies. `dir` may not exist yet (an empty
+/// report is returned).
+pub fn replay_into(dir: &Path, sink: &mut dyn FnMut(u64, &[u8])) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    for (first_seq, path) in list_segments(dir)? {
+        let buf = fs::read(&path)?;
+        report.segments += 1;
+        scan_segment(first_seq, &buf, &mut report, sink);
+    }
+    Ok(report)
+}
+
+/// How the writer flushes. Appends are buffered in-process and reach
+/// the OS at rotation, [`WalWriter::sync`] (checkpoints sync first) and
+/// drop — so a clean exit or unwinding panic loses nothing, while a
+/// SIGKILL mid-batch may lose the buffered tail, which recovery reports
+/// as a missing suffix and a resumed ingest re-commits. Setting
+/// `sync_every_append` flushes *and* fsyncs every record to survive
+/// power loss, at the cost of a syscall per commit.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one reaches this size.
+    pub max_segment_bytes: u64,
+    /// Flush + fsync after every append instead of only at
+    /// rotation/sync/checkpoint.
+    pub sync_every_append: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            max_segment_bytes: 4 << 20,
+            sync_every_append: false,
+        }
+    }
+}
+
+/// The appender: owns the active segment, assigns sequence numbers and
+/// rotates segments at the size threshold.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    config: WalConfig,
+    file: BufWriter<File>,
+    segment_first: u64,
+    segment_bytes: u64,
+    next_seq: u64,
+    scratch: Vec<u8>,
+    metrics: StoreMetrics,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the log under `dir` and positions the writer
+    /// after the last valid record.
+    ///
+    /// A torn tail on the newest segment is truncated away (replay
+    /// already reported it); damage *between* valid records is left in
+    /// place for replay to skip, so appending after recovery never
+    /// overwrites evidence or valid data. `min_next_seq` floors the next
+    /// sequence number — pass the newest snapshot's coverage point so
+    /// sequence numbers stay monotone even when every covered segment
+    /// has been compacted away.
+    pub fn open(dir: &Path, config: WalConfig, min_next_seq: u64) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let metrics = StoreMetrics::new();
+        let segments = list_segments(dir)?;
+        let mut next_seq = min_next_seq;
+        let mut active: Option<(u64, PathBuf)> = None;
+        if let Some((first_seq, path)) = segments.last() {
+            let buf = fs::read(path)?;
+            let mut report = ReplayReport::default();
+            let valid_end = scan_segment(*first_seq, &buf, &mut report, &mut |_, _| {});
+            if let Some(last) = report.last_seq {
+                next_seq = next_seq.max(last + 1);
+            }
+            if valid_end < buf.len() {
+                // Only trailing garbage is dropped; scan_segment keeps
+                // everything up to the last frame that decodes.
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(valid_end as u64)?;
+                file.sync_all()?;
+            }
+            active = Some((*first_seq, path.clone()));
+        }
+        // Also respect older segments' sequence numbers if the newest
+        // segment was entirely unreadable.
+        for (first_seq, _) in &segments {
+            next_seq = next_seq.max(*first_seq);
+        }
+        let (segment_first, file, segment_bytes) = match active {
+            Some((first_seq, path)) => {
+                let file = OpenOptions::new().append(true).open(&path)?;
+                let len = file.metadata()?.len();
+                (first_seq, file, len)
+            }
+            None => {
+                let path = dir.join(segment_file_name(next_seq));
+                (next_seq, File::create(&path)?, 0)
+            }
+        };
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            config,
+            file: BufWriter::new(file),
+            segment_first,
+            segment_bytes,
+            next_seq,
+            scratch: Vec::new(),
+            metrics,
+        })
+    }
+
+    /// The sequence number the next append will receive.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// First sequence number of the active segment.
+    #[must_use]
+    pub fn active_segment(&self) -> u64 {
+        self.segment_first
+    }
+
+    /// Appends `payload` as the next record and returns its sequence
+    /// number. The frame is buffered; see [`WalConfig`] for when it
+    /// reaches the OS and disk.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.scratch.clear();
+        frame::encode(RECORD_MAGIC, seq, payload, &mut self.scratch);
+        if self.segment_bytes > 0
+            && self.segment_bytes + self.scratch.len() as u64 > self.config.max_segment_bytes
+        {
+            self.rotate(seq)?;
+        }
+        self.file.write_all(&self.scratch)?;
+        if self.config.sync_every_append {
+            self.file.flush()?;
+            self.file.get_ref().sync_data()?;
+            self.metrics.wal_fsyncs.inc();
+        }
+        self.segment_bytes += self.scratch.len() as u64;
+        self.next_seq = seq + 1;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(self.scratch.len() as u64);
+        Ok(seq)
+    }
+
+    /// Flushes and fsyncs the active segment.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.metrics.wal_fsyncs.inc();
+        Ok(())
+    }
+
+    /// Closes the active segment durably and starts a fresh one whose
+    /// name is the sequence number of the record about to be written.
+    fn rotate(&mut self, first_seq: u64) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.metrics.wal_fsyncs.inc();
+        let path = self.dir.join(segment_file_name(first_seq));
+        self.file = BufWriter::new(File::create(&path)?);
+        self.segment_first = first_seq;
+        self.segment_bytes = 0;
+        self.metrics.segments_rotated.inc();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("busprobe-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn collect(dir: &Path) -> (Vec<(u64, Vec<u8>)>, ReplayReport) {
+        let mut records = Vec::new();
+        let report = replay_into(dir, &mut |seq, payload| {
+            records.push((seq, payload.to_vec()));
+        })
+        .unwrap();
+        (records, report)
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+        for i in 0u64..20 {
+            let seq = wal.append(format!("payload-{i}").as_bytes()).unwrap();
+            assert_eq!(seq, i);
+        }
+        wal.sync().unwrap();
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 20);
+        assert_eq!(records[7].0, 7);
+        assert_eq!(records[7].1, b"payload-7");
+        assert!(report.anomalies.is_empty());
+        assert_eq!(report.last_seq, Some(19));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_the_sequence() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            wal.append(b"a").unwrap();
+            wal.append(b"b").unwrap();
+        }
+        let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        wal.append(b"c").unwrap();
+        wal.sync().unwrap();
+        let (records, _) = collect(&dir);
+        assert_eq!(
+            records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = tmp_dir("rotate");
+        let config = WalConfig {
+            max_segment_bytes: 64,
+            ..WalConfig::default()
+        };
+        let mut wal = WalWriter::open(&dir, config, 0).unwrap();
+        for _ in 0..10 {
+            wal.append(&[0xAB; 30]).unwrap();
+        }
+        wal.sync().unwrap();
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 1, "expected rotation: {segments:?}");
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 10);
+        assert_eq!(report.segments, segments.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_truncated_on_reopen() {
+        let dir = tmp_dir("torn");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            for i in 0u64..5 {
+                wal.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 4, "torn record dropped");
+        assert_eq!(report.corrupt_tails(), 1);
+        assert_eq!(report.skipped_records(), 0);
+
+        // Reopening repairs the tail and reuses the torn sequence number.
+        let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+        assert_eq!(wal.next_seq(), 4);
+        wal.append(b"replacement").unwrap();
+        wal.sync().unwrap();
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 5);
+        assert!(report.anomalies.is_empty(), "tail repaired: {report:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_skipped_with_attribution() {
+        let dir = tmp_dir("flip");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            for i in 0u64..6 {
+                wal.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut buf = fs::read(&path).unwrap();
+        // Flip one payload byte of the second record (frames are
+        // 20 + 8 = 28 bytes here).
+        buf[28 + 22] ^= 0x40;
+        fs::write(&path, &buf).unwrap();
+
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 5, "one record lost to the flip");
+        assert_eq!(report.skipped_records(), 1);
+        assert_eq!(report.corrupt_tails(), 0);
+        assert_eq!(
+            records.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 2, 3, 4, 5],
+            "replay resynchronized on the record after the flip"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn min_next_seq_floors_an_empty_log() {
+        let dir = tmp_dir("floor");
+        let mut wal = WalWriter::open(&dir, WalConfig::default(), 41).unwrap();
+        assert_eq!(wal.next_seq(), 41);
+        assert_eq!(wal.append(b"x").unwrap(), 41);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -7,7 +7,10 @@
 //!                   [--faults SPEC] [--fault-seed N]   simulate a service window, write uploads
 //!                                                      (optionally perturbed by a fault plan)
 //! busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
+//!                   [--state DIR] [--snapshot-every N] [--limit N]
 //!                                                      ingest uploads, print the traffic map
+//!                                                      (durably, when --state is given)
+//! busprobe recover  --dir DIR --state DIR              rebuild state from a WAL + snapshot dir
 //! busprobe demo     [--seed N]                         all three steps in memory
 //! busprobe metrics  --dir DIR [--format text|json|prometheus]
 //!                                                      ingest uploads, dump pipeline telemetry
@@ -28,7 +31,7 @@ use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeploym
 use busprobe::core::geojson::{map_to_geojson, regional_to_geojson};
 use busprobe::core::{
     infer_regional, DropReason, InferenceConfig, IngestReport, MatchConfig, Matcher, MonitorConfig,
-    MonitorState, StopFingerprintDb, TrafficMonitor,
+    RecoverySummary, StopFingerprintDb, TrafficMonitor, WalRecord,
 };
 use busprobe::faults::{FaultInjector, FaultPlan};
 use busprobe::geo::LocalProjection;
@@ -36,7 +39,8 @@ use busprobe::mobile::{CellularSample, Trip};
 use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
 use busprobe::sim::{Scenario, SimTime, Simulation};
-use busprobe_bench::World;
+use busprobe::store::Store;
+use busprobe_bench::{best_ns_per_call, World, BENCH_REPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
         Some("init") => cmd_init(&args[1..]),
         Some("simulate" | "sim") => cmd_simulate(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -83,9 +88,10 @@ USAGE:
     busprobe simulate --dir DIR [--start HH:MM] [--end HH:MM] [--participation F] [--seed N]
                       [--faults SPEC] [--fault-seed N]
     busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
-                      [--state FILE]
+                      [--state DIR] [--snapshot-every N] [--limit N]
+    busprobe recover  --dir DIR --state DIR [--snapshot HH:MM] [--geojson FILE]
     busprobe demo     [--seed N]
-    busprobe metrics  --dir DIR [--format text|json|prometheus]
+    busprobe metrics  --dir DIR [--format text|json|prometheus] [--state DIR]
     busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
 
 `sim` is an alias for `simulate`. A fault SPEC is a preset (clean,
@@ -97,14 +103,27 @@ deterministic sequence-numbered merge: the traffic map (and any GeoJSON
 export) is bit-identical for every N, including 1 (the default, 0,
 uses all cores).
 
+`ingest --state DIR` makes the server durable: every commit appends one
+CRC-framed record to a write-ahead log in DIR, `--snapshot-every N`
+checkpoints a full-state snapshot every N records (0, the default, only
+checkpoints when the run finishes), and an existing DIR is recovered
+from — snapshot plus WAL replay — before ingesting, so repeated (or
+crashed and resumed) ingests accumulate bit-identically to one
+uninterrupted run. `--limit N` ingests only the first N uploads (crash
+drills). `recover` rebuilds and prints the state read-only, attributing
+any skipped/torn records, without ingesting anything.
+
 `bench` measures matcher throughput against synthetic databases,
-end-to-end ingest throughput on the calibrated ≥110-stop corpus, and the
-parallel-ingest scaling curve at 1/2/4/8 workers, writing
-`BENCH_matching.json` / `BENCH_pipeline.json` / `BENCH_parallel.json`
+end-to-end ingest throughput on the calibrated ≥110-stop corpus, the
+parallel-ingest scaling curve at 1/2/4/8 workers, and the durability
+tax of WAL-logged ingest, writing `BENCH_matching.json` /
+`BENCH_pipeline.json` / `BENCH_parallel.json` / `BENCH_store.json`
 to `--out` (default: the current directory). With `--check` it instead
 compares a fresh run against those committed baselines and fails on a
 regression beyond `--tolerance` (default 0.20); on machines with ≥4
-cores it additionally requires a ≥2.5x ingest speedup at 4 workers.
+cores it additionally requires a ≥2.5x ingest speedup at 4 workers, and
+WAL append overhead must always stay under 10% of the per-trip commit
+cost.
 ";
 
 /// Pulls `--flag value` out of an argument list.
@@ -325,6 +344,72 @@ fn load_received(dir: &Path, trips: &[Trip]) -> Result<Option<Vec<f64>>, String>
     Ok(Some(received))
 }
 
+/// Says on stderr which corpus files drive this run. A directory holding
+/// both `trips.json` and `received.json` silently changes ingest
+/// semantics (arrival times anchor clock normalization), so the
+/// selection — and why — is stated instead of inferred.
+fn announce_corpus(dir: &Path, trips: usize, received: &Option<Vec<f64>>) {
+    match received {
+        Some(r) => eprintln!(
+            "corpus: {:?} ({trips} uploads) with {:?} ({} server-side arrival times \
+             from a faulted simulation; phone clock skew will be bounded)",
+            dir.join("trips.json"),
+            dir.join("received.json"),
+            r.len()
+        ),
+        None => eprintln!(
+            "corpus: {:?} ({trips} uploads); no received.json, so clock \
+             normalization is skipped",
+            dir.join("trips.json")
+        ),
+    }
+}
+
+/// One line summarizing a completed recovery.
+fn recovery_line(state: &Path, summary: &RecoverySummary) -> String {
+    let snapshot = match summary.snapshot_seq {
+        Some(seq) => format!("snapshot covering {seq} records"),
+        None => "no snapshot".to_string(),
+    };
+    let mut line = format!(
+        "resumed server state from {state:?}: {snapshot} + {} replayed commits",
+        summary.replayed_commits
+    );
+    if summary.replayed_refreshes > 0 {
+        line.push_str(&format!(" + {} db refreshes", summary.replayed_refreshes));
+    }
+    if summary.skipped_records > 0 || summary.corrupt_tails > 0 || summary.snapshots_skipped > 0 {
+        line.push_str(&format!(
+            " ({} corrupt records skipped, {} torn segment tails, {} corrupt snapshots passed over)",
+            summary.skipped_records, summary.corrupt_tails, summary.snapshots_skipped
+        ));
+    }
+    line.push_str(&format!(" in {:.3}s", summary.duration_s));
+    line
+}
+
+/// Recovers a monitor from `state` when it holds store artifacts, else
+/// starts cold; attaches a store for durable appends either way.
+fn durable_monitor(
+    network: &TransitNetwork,
+    db: StopFingerprintDb,
+    state: &Path,
+    snapshot_every: u64,
+) -> Result<TrafficMonitor, String> {
+    let monitor = if Store::exists(state).map_err(|e| format!("inspect {state:?}: {e}"))? {
+        let (monitor, summary) =
+            TrafficMonitor::recover(network.clone(), db, MonitorConfig::default(), state)
+                .map_err(|e| format!("recover from {state:?}: {e}"))?;
+        println!("{}", recovery_line(state, &summary));
+        monitor
+    } else {
+        TrafficMonitor::new(network.clone(), db, MonitorConfig::default())
+    };
+    let store = Store::open(state).map_err(|e| format!("open store {state:?}: {e}"))?;
+    monitor.attach_store(store, snapshot_every);
+    Ok(monitor)
+}
+
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let dir = dir_of(args)?;
     let (_, network, _) = load_world(&dir)?;
@@ -358,27 +443,41 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "invalid --jobs".to_string())?;
 
-    // With --state, the server resumes from (and persists to) a state
-    // file, so repeated ingests accumulate instead of starting over.
-    let state_path = flag_value(args, "--state").map(std::path::PathBuf::from);
-    let monitor = match &state_path {
-        Some(path) if path.exists() => {
-            let state: MonitorState = read_json(path)?;
-            println!("resumed server state from {path:?}");
-            TrafficMonitor::restore(network.clone(), MonitorConfig::default(), state)
-        }
-        _ => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
+    // With --state, the server persists every commit to a durable store
+    // directory (WAL + periodic snapshots) and resumes from it, so
+    // repeated — or crashed and recovered — ingests accumulate instead
+    // of starting over.
+    let state_dir = flag_value(args, "--state").map(PathBuf::from);
+    let snapshot_every: u64 = flag_value(args, "--snapshot-every")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --snapshot-every".to_string())?;
+    let limit: Option<usize> = flag_value(args, "--limit")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "invalid --limit".to_string())?;
+    announce_corpus(&dir, trips.len(), &received);
+    let monitor = match &state_dir {
+        Some(state) => durable_monitor(&network, db, state, snapshot_every)?,
+        None => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
+    };
+    let ingest_trips = match limit {
+        Some(n) if n < trips.len() => &trips[..n],
+        _ => &trips[..],
     };
     let reports = match &received {
-        Some(r) => monitor.ingest_batch_received_parallel(&trips, r, jobs),
-        None => monitor.ingest_batch_parallel(&trips, jobs),
+        Some(r) => {
+            monitor.ingest_batch_received_parallel(ingest_trips, &r[..ingest_trips.len()], jobs)
+        }
+        None => monitor.ingest_batch_parallel(ingest_trips, jobs),
     };
     let matched: usize = reports.iter().map(|r| r.matched).sum();
     let observations: usize = reports.iter().map(|r| r.observations).sum();
     let quarantined: usize = reports.iter().map(|r| r.quarantined).sum();
     println!(
-        "ingested {} uploads: {matched} samples matched, {observations} speed observations, \
+        "ingested {} of {} uploads: {matched} samples matched, {observations} speed observations, \
          {quarantined} samples quarantined",
+        ingest_trips.len(),
         trips.len()
     );
 
@@ -406,9 +505,65 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         write_json(std::path::Path::new(path), &gj)?;
         println!("wrote GeoJSON to {path}");
     }
-    if let Some(path) = &state_path {
-        write_json(path, &monitor.export_state())?;
-        println!("saved server state to {path:?}");
+    if let Some(state) = &state_dir {
+        let seq = monitor
+            .checkpoint()
+            .map_err(|e| format!("checkpoint to {state:?}: {e}"))?
+            .unwrap_or(0);
+        println!("saved server state to {state:?} (snapshot covers {seq} records)");
+    }
+    Ok(())
+}
+
+/// `busprobe recover`: rebuild the monitor from a durable state directory
+/// — newest valid snapshot plus WAL-tail replay — and print what
+/// survived, without ingesting anything. The read-only half of the
+/// crash-recovery loop; `ingest --state` does the same recovery before
+/// appending new commits.
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let dir = dir_of(args)?;
+    let state = flag_value(args, "--state")
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing --state".to_string())?;
+    let (_, network, _) = load_world(&dir)?;
+    let db: StopFingerprintDb = read_json(&dir.join("db.json"))?;
+    if !Store::exists(&state).map_err(|e| format!("inspect {state:?}: {e}"))? {
+        return Err(format!(
+            "{state:?} holds no WAL segments or snapshots; run `busprobe ingest --state` first"
+        ));
+    }
+    let (monitor, summary) =
+        TrafficMonitor::recover(network.clone(), db, MonitorConfig::default(), &state)
+            .map_err(|e| format!("recover from {state:?}: {e}"))?;
+    println!("{}", recovery_line(&state, &summary));
+
+    // Map horizon: --snapshot, or just after the stored corpus when one
+    // is present (matching `ingest`'s default so maps are comparable),
+    // else the recovered records themselves don't carry an end time — use
+    // an unbounded horizon at t = 0.
+    let trips_path = dir.join("trips.json");
+    let snapshot_t = match flag_value(args, "--snapshot") {
+        Some(v) => parse_hhmm(v)?,
+        None if trips_path.exists() => {
+            let trips: Vec<Trip> = read_json(&trips_path)?;
+            let last = trips
+                .iter()
+                .flat_map(|t| t.samples.last())
+                .map(|s| s.time_s)
+                .filter(|t| t.is_finite())
+                .fold(0.0, f64::max);
+            SimTime::from_seconds(last + 60.0)
+        }
+        None => SimTime::from_seconds(0.0),
+    };
+    let map = monitor.snapshot_with_max_age(snapshot_t.seconds(), f64::INFINITY);
+    println!();
+    print!("{}", map.render_text(&network));
+    if let Some(path) = flag_value(args, "--geojson") {
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = map_to_geojson(&map, &network, &projection);
+        write_json(Path::new(path), &gj)?;
+        println!("wrote GeoJSON to {path}");
     }
     Ok(())
 }
@@ -426,12 +581,25 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     // Telemetry is in-process: re-run the ingest pipeline over the stored
     // uploads so the snapshot describes exactly this data set.
     let received = load_received(&dir, &trips)?;
-    let monitor = TrafficMonitor::new(network, db, MonitorConfig::default());
+    announce_corpus(&dir, trips.len(), &received);
+    // With --state, the run is durable (recover + append + checkpoint,
+    // same as `ingest --state`), so the store's WAL/snapshot/replay
+    // instruments populate and appear in every output format.
+    let state_dir = flag_value(args, "--state").map(PathBuf::from);
+    let monitor = match &state_dir {
+        Some(state) => durable_monitor(&network, db, state, 0)?,
+        None => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
+    };
     let reports = match &received {
         Some(r) => monitor.ingest_batch_received(&trips, r),
         None => monitor.ingest_batch(&trips),
     };
     monitor.refresh_database();
+    if state_dir.is_some() {
+        monitor
+            .checkpoint()
+            .map_err(|e| format!("checkpoint: {e}"))?;
+    }
     let snapshot = monitor.telemetry();
 
     match format {
@@ -560,38 +728,6 @@ struct PipelineBench {
     speedup: f64,
     bit_identical: bool,
     stages: Vec<StageQuantiles>,
-}
-
-/// Wall-clock of `f()` repeated until at least ~50 ms elapse, in
-/// nanoseconds per call (warmed up first).
-fn ns_per_call(mut f: impl FnMut()) -> f64 {
-    for _ in 0..16 {
-        f();
-    }
-    let mut iters = 16u64;
-    loop {
-        let start = std::time::Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed();
-        if elapsed.as_millis() >= 50 {
-            return elapsed.as_nanos() as f64 / iters as f64;
-        }
-        iters *= 2;
-    }
-}
-
-/// The minimum of [`BENCH_REPS`] `ns_per_call` measurements: the fastest
-/// window is what the machine can actually do, and it is far more stable
-/// run-to-run than any single window — which the 20% regression tolerance
-/// depends on.
-const BENCH_REPS: usize = 3;
-
-fn best_ns_per_call(mut f: impl FnMut()) -> f64 {
-    (0..BENCH_REPS)
-        .map(|_| ns_per_call(&mut f))
-        .fold(f64::INFINITY, f64::min)
 }
 
 /// Matcher throughput against synthetic 110 / 500 / 2000-stop databases,
@@ -829,6 +965,197 @@ fn bench_parallel(seed: u64, trip_count: usize) -> Result<ParallelBench, String>
     })
 }
 
+/// `BENCH_store.json`: the durability tax — WAL appends on the commit
+/// path versus bare ingest — plus recovery replay throughput.
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreBench {
+    seed: u64,
+    stops: usize,
+    trips: usize,
+    /// Serial batch ingest with no store attached.
+    bare_trips_per_s: f64,
+    /// The same ingest with one WAL record appended per commit.
+    durable_trips_per_s: f64,
+    /// WAL cost (encode + framed buffered append of the run's records,
+    /// timed in isolation) as a fraction of the bare run time.
+    append_overhead_fraction: f64,
+    /// Absolute ceiling on the overhead fraction, enforced every run.
+    max_overhead_fraction: f64,
+    /// WAL bytes on disk after the corpus (before the checkpoint).
+    wal_bytes_total: u64,
+    wal_bytes_per_trip: f64,
+    /// Full-state snapshot payload size after the end-of-run checkpoint.
+    snapshot_bytes: u64,
+    /// WAL records replayed by recovery.
+    replayed_records: u64,
+    recovery_records_per_s: f64,
+    /// Recovered fusion/database/seen state matched the live run.
+    recovered_bit_identical: bool,
+}
+
+/// WAL appends may cost at most this fraction of the per-trip commit
+/// cost — an absolute gate, not baseline-relative, so the durability
+/// tax can never creep up through serial baseline re-blessing.
+const STORE_OVERHEAD_CEILING: f64 = 0.10;
+
+/// Total size of files with extension `ext` in `dir`.
+fn dir_bytes(dir: &Path, ext: &str) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == ext))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Reps for the store overhead measurement — higher than [`BENCH_REPS`]
+/// because the gated quantity is a *difference* of two run times, which
+/// amplifies scheduler noise.
+const STORE_BENCH_REPS: usize = 5;
+
+/// Durable-ingest overhead on the calibrated corpus: bare vs WAL-logged
+/// serial batch ingest, recovery replay throughput over the full log,
+/// and the recovered-state bit-identity check.
+///
+/// Bare and durable reps are interleaved (fastest of
+/// [`STORE_BENCH_REPS`] each, after an untimed warmup) so machine-load
+/// drift hits both sides of the overhead fraction equally.
+fn bench_store(seed: u64, trip_count: usize) -> Result<StoreBench, String> {
+    let world = World::calibrated(seed);
+    let db = world.build_db(5);
+    let corpus = world.ride_corpus(trip_count, seed);
+    let fresh = || TrafficMonitor::new(world.network.clone(), db.clone(), MonitorConfig::default());
+
+    let scratch = std::env::temp_dir().join(format!(
+        "busprobe-bench-store-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = fresh().ingest_batch(&corpus); // warmup, untimed
+    let mut bare_s = f64::INFINITY;
+    let mut durable_s = f64::INFINITY;
+    let mut live = None;
+    for rep in 0..STORE_BENCH_REPS {
+        let monitor = fresh();
+        let start = std::time::Instant::now();
+        let _ = monitor.ingest_batch(&corpus);
+        bare_s = bare_s.min(start.elapsed().as_secs_f64());
+
+        let dir = scratch.join(format!("rep{rep}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let monitor = fresh();
+        let store = Store::open(&dir).map_err(|e| format!("open bench store: {e}"))?;
+        monitor.attach_store(store, 0);
+        let start = std::time::Instant::now();
+        let _ = monitor.ingest_batch(&corpus);
+        monitor
+            .sync_store()
+            .map_err(|e| format!("sync bench store: {e}"))?;
+        durable_s = durable_s.min(start.elapsed().as_secs_f64());
+        live = Some((monitor, dir));
+    }
+    let (live_monitor, dir) = live.expect("STORE_BENCH_REPS >= 1");
+    let wal_bytes_total = dir_bytes(&dir, "wal");
+
+    // The gated overhead is measured directly — encode + framed buffered
+    // append of the run's own records into a scratch store — because the
+    // difference of two full ingest timings drowns a tax this small in
+    // scheduler noise.
+    let raw = Store::recover(&dir).map_err(|e| format!("read back bench log: {e}"))?;
+    let records: Vec<WalRecord> = raw
+        .records
+        .iter()
+        .map(|(_, payload)| WalRecord::decode(payload))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bench log record undecodable: {e:?}"))?;
+    let mut append_s = f64::INFINITY;
+    for rep in 0..STORE_BENCH_REPS {
+        let replay_dir = scratch.join(format!("append{rep}"));
+        let _ = std::fs::remove_dir_all(&replay_dir);
+        let mut store = Store::open(&replay_dir).map_err(|e| format!("open append store: {e}"))?;
+        let start = std::time::Instant::now();
+        for record in &records {
+            store
+                .append(&record.encode())
+                .map_err(|e| format!("append: {e}"))?;
+        }
+        store
+            .sync()
+            .map_err(|e| format!("sync append store: {e}"))?;
+        append_s = append_s.min(start.elapsed().as_secs_f64());
+    }
+
+    // Recovery replay throughput over the whole log (no snapshot yet).
+    let mut recover_s = f64::INFINITY;
+    let mut recovered = None;
+    for _ in 0..BENCH_REPS {
+        let start = std::time::Instant::now();
+        let (monitor, summary) = TrafficMonitor::recover(
+            world.network.clone(),
+            db.clone(),
+            MonitorConfig::default(),
+            &dir,
+        )
+        .map_err(|e| format!("recovery: {e}"))?;
+        recover_s = recover_s.min(start.elapsed().as_secs_f64());
+        recovered = Some((monitor, summary));
+    }
+    let (recovered_monitor, summary) = recovered.expect("BENCH_REPS >= 1");
+    if summary.skipped_records + summary.corrupt_tails > 0 {
+        return Err(format!("clean bench log replayed with damage: {summary:?}"));
+    }
+
+    let capture = |m: &TrafficMonitor| {
+        let state = m.export_state();
+        let mut seen = state.seen.clone();
+        seen.sort_unstable();
+        (
+            serde_json::to_string(&state.fusion).expect("fusion serializes"),
+            serde_json::to_string(&state.database).expect("database serializes"),
+            seen,
+        )
+    };
+    let recovered_bit_identical = capture(&live_monitor) == capture(&recovered_monitor);
+    if !recovered_bit_identical {
+        return Err("recovered state diverged from the live run".into());
+    }
+
+    live_monitor
+        .checkpoint()
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    let snapshot_bytes = dir_bytes(&dir, "snap");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let append_overhead_fraction = append_s / bare_s;
+    if append_overhead_fraction > STORE_OVERHEAD_CEILING {
+        return Err(format!(
+            "WAL append overhead is {:.1}% of the per-trip commit cost \
+             (ceiling {:.0}%)",
+            append_overhead_fraction * 100.0,
+            STORE_OVERHEAD_CEILING * 100.0
+        ));
+    }
+    Ok(StoreBench {
+        seed,
+        stops: db.len(),
+        trips: corpus.len(),
+        bare_trips_per_s: corpus.len() as f64 / bare_s,
+        durable_trips_per_s: corpus.len() as f64 / durable_s,
+        append_overhead_fraction,
+        max_overhead_fraction: STORE_OVERHEAD_CEILING,
+        wal_bytes_total,
+        wal_bytes_per_trip: wal_bytes_total as f64 / corpus.len() as f64,
+        snapshot_bytes,
+        replayed_records: summary.replayed_commits + summary.replayed_refreshes,
+        recovery_records_per_s: (summary.replayed_commits + summary.replayed_refreshes) as f64
+            / recover_s,
+        recovered_bit_identical,
+    })
+}
+
 /// Compares a fresh run against the committed baselines; a metric may be
 /// slower than baseline by at most `tolerance` (faster is always fine).
 fn check_baselines(
@@ -836,11 +1163,13 @@ fn check_baselines(
     matching: &MatchingBench,
     pipeline: &PipelineBench,
     parallel: &ParallelBench,
+    store: &StoreBench,
     tolerance: f64,
 ) -> Result<(), String> {
     let base_matching: MatchingBench = read_json(&out.join("BENCH_matching.json"))?;
     let base_pipeline: PipelineBench = read_json(&out.join("BENCH_pipeline.json"))?;
     let base_parallel: ParallelBench = read_json(&out.join("BENCH_parallel.json"))?;
+    let base_store: StoreBench = read_json(&out.join("BENCH_store.json"))?;
     let mut violations = Vec::new();
     for fresh in &matching.scaling {
         let Some(base) = base_matching
@@ -877,6 +1206,22 @@ fn check_baselines(
                 fresh.workers, fresh.trips_per_s, base.trips_per_s
             ));
         }
+    }
+    // The absolute <=10% ceiling is enforced inside bench_store; the
+    // baseline comparison additionally catches slow creep in the
+    // durable path that stays under the ceiling.
+    if store.durable_trips_per_s < base_store.durable_trips_per_s * (1.0 - tolerance) {
+        violations.push(format!(
+            "durable ingest regressed: {:.0} trips/s vs baseline {:.0}",
+            store.durable_trips_per_s, base_store.durable_trips_per_s
+        ));
+    }
+    if store.append_overhead_fraction > base_store.max_overhead_fraction {
+        violations.push(format!(
+            "WAL append overhead {:.1}% exceeds the committed {:.0}% ceiling",
+            store.append_overhead_fraction * 100.0,
+            base_store.max_overhead_fraction * 100.0
+        ));
     }
     if !parallel.speedup_enforced {
         println!(
@@ -959,15 +1304,34 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
     );
 
+    println!();
+    println!("== durable ingest (WAL append on the commit path) ==");
+    let store = bench_store(seed, trip_count)?;
+    println!(
+        "bare {:.0} trips/s, durable {:.0} trips/s — append overhead {:.1}% \
+         (ceiling {:.0}%)",
+        store.bare_trips_per_s,
+        store.durable_trips_per_s,
+        store.append_overhead_fraction * 100.0,
+        store.max_overhead_fraction * 100.0
+    );
+    println!(
+        "{:.0} WAL bytes/trip, snapshot {} bytes, recovery replays {:.0} records/s \
+         — recovered state bit-identical",
+        store.wal_bytes_per_trip, store.snapshot_bytes, store.recovery_records_per_s
+    );
+
     if flag_present(args, "--check") {
-        check_baselines(&out, &matching, &pipeline, &parallel, tolerance)
+        check_baselines(&out, &matching, &pipeline, &parallel, &store, tolerance)
     } else {
         write_json(&out.join("BENCH_matching.json"), &matching)?;
         write_json(&out.join("BENCH_pipeline.json"), &pipeline)?;
         write_json(&out.join("BENCH_parallel.json"), &parallel)?;
+        write_json(&out.join("BENCH_store.json"), &store)?;
         println!();
         println!(
-            "wrote BENCH_matching.json, BENCH_pipeline.json and BENCH_parallel.json to {out:?}"
+            "wrote BENCH_matching.json, BENCH_pipeline.json, BENCH_parallel.json \
+             and BENCH_store.json to {out:?}"
         );
         Ok(())
     }

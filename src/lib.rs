@@ -25,6 +25,7 @@
 //! | [`mobile`] | phone pipeline: Goertzel, beep detection, trip recorder, energy |
 //! | [`faults`] | deterministic fault injection: beep loss, clock skew, duplicates, corruption |
 //! | [`telemetry`] | counters, stage timers, event log, JSON/Prometheus exporters |
+//! | [`store`] | durable WAL + snapshot persistence with crash recovery |
 //! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
 //!
 //! ## Quickstart
@@ -61,4 +62,5 @@ pub use busprobe_mobile as mobile;
 pub use busprobe_network as network;
 pub use busprobe_sensors as sensors;
 pub use busprobe_sim as sim;
+pub use busprobe_store as store;
 pub use busprobe_telemetry as telemetry;

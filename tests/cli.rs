@@ -120,7 +120,7 @@ fn bad_time_flag_is_rejected() {
 }
 
 #[test]
-fn state_file_accumulates_and_rejects_replays() {
+fn state_dir_accumulates_and_rejects_replays() {
     let dir = temp_dir("state");
     let dir_s = dir.to_string_lossy().to_string();
     assert!(
@@ -133,7 +133,7 @@ fn state_file_accumulates_and_rejects_replays() {
             .status
             .success()
     );
-    let state = dir.join("state.json");
+    let state = dir.join("state");
     let state_s = state.to_string_lossy().to_string();
 
     let first = busprobe(&["ingest", "--dir", &dir_s, "--state", &state_s]);
@@ -142,17 +142,215 @@ fn state_file_accumulates_and_rejects_replays() {
         "{}",
         String::from_utf8_lossy(&first.stderr)
     );
-    assert!(state.exists());
     let text1 = String::from_utf8_lossy(&first.stdout).to_string();
     assert!(!text1.contains("resumed"));
+    assert!(text1.contains("saved server state"), "{text1}");
+    // The store directory holds at least one WAL segment and snapshot.
+    let names: Vec<String> = std::fs::read_dir(&state)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().any(|n| n.ends_with(".wal")), "{names:?}");
+    assert!(names.iter().any(|n| n.ends_with(".snap")), "{names:?}");
 
-    // Re-ingesting the same trips against the saved state: everything is a
-    // duplicate, so zero new samples match.
+    // Re-ingesting the same trips against the recovered state: everything
+    // is a duplicate, so zero new samples match.
     let second = busprobe(&["ingest", "--dir", &dir_s, "--state", &state_s]);
     assert!(second.status.success());
     let text2 = String::from_utf8_lossy(&second.stdout).to_string();
     assert!(text2.contains("resumed server state"));
     assert!(text2.contains("0 samples matched"), "{text2}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_recovery_resume_matches_uninterrupted_ingest() {
+    let dir = temp_dir("crash");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "11", "--small"])
+            .status
+            .success()
+    );
+    assert!(busprobe(&[
+        "simulate",
+        "--dir",
+        &dir_s,
+        "--start",
+        "08:00",
+        "--end",
+        "08:40",
+        "--faults",
+        "calibrated",
+    ])
+    .status
+    .success());
+
+    // Reference: one uninterrupted ingest.
+    let ref_geojson = dir.join("ref.geojson");
+    assert!(busprobe(&[
+        "ingest",
+        "--dir",
+        &dir_s,
+        "--geojson",
+        &ref_geojson.to_string_lossy(),
+    ])
+    .status
+    .success());
+
+    // Crashed run: durably ingest a prefix, then tear the WAL tail
+    // (mid-record truncation models a crash mid-append).
+    let state = dir.join("state");
+    let state_s = state.to_string_lossy().to_string();
+    assert!(busprobe(&[
+        "ingest",
+        "--dir",
+        &dir_s,
+        "--state",
+        &state_s,
+        "--limit",
+        "12",
+        "--snapshot-every",
+        "5",
+    ])
+    .status
+    .success());
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&state)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    segments.sort();
+    let tail = segments.last().expect("a WAL segment exists");
+    let bytes = std::fs::read(tail).unwrap();
+    std::fs::write(tail, &bytes[..bytes.len().saturating_sub(9)]).unwrap();
+
+    // Recover (read-only) attributes the torn tail and still prints a map.
+    let recover = busprobe(&["recover", "--dir", &dir_s, "--state", &state_s]);
+    assert!(
+        recover.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let text = String::from_utf8_lossy(&recover.stdout).to_string();
+    assert!(text.contains("torn segment tails"), "{text}");
+    assert!(text.contains("traffic map"), "{text}");
+
+    // Resume with the full corpus: duplicates are rejected, the torn
+    // upload is re-ingested, and the final map is byte-identical to the
+    // uninterrupted run.
+    let crash_geojson = dir.join("crash.geojson");
+    assert!(busprobe(&[
+        "ingest",
+        "--dir",
+        &dir_s,
+        "--state",
+        &state_s,
+        "--geojson",
+        &crash_geojson.to_string_lossy(),
+    ])
+    .status
+    .success());
+    assert_eq!(
+        std::fs::read(&ref_geojson).unwrap(),
+        std::fs::read(&crash_geojson).unwrap(),
+        "crashed-and-resumed GeoJSON differs from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_selection_is_announced_on_stderr() {
+    let dir = temp_dir("corpus");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "12", "--small"])
+            .status
+            .success()
+    );
+    // Clean simulation: no received.json, and both ingest and metrics say
+    // so instead of silently changing semantics.
+    assert!(
+        busprobe(&["simulate", "--dir", &dir_s, "--start", "08:00", "--end", "08:30"])
+            .status
+            .success()
+    );
+    let ingest = busprobe(&["ingest", "--dir", &dir_s]);
+    assert!(ingest.status.success());
+    let err = String::from_utf8_lossy(&ingest.stderr).to_string();
+    assert!(err.contains("corpus:"), "{err}");
+    assert!(err.contains("trips.json"), "{err}");
+    assert!(err.contains("no received.json"), "{err}");
+
+    // Faulted simulation: received.json appears, and the announcement
+    // names it and why it matters.
+    assert!(busprobe(&[
+        "simulate",
+        "--dir",
+        &dir_s,
+        "--start",
+        "08:00",
+        "--end",
+        "08:30",
+        "--faults",
+        "calibrated",
+    ])
+    .status
+    .success());
+    for cmd in ["ingest", "metrics"] {
+        let out = busprobe(&[cmd, "--dir", &dir_s]);
+        assert!(out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(err.contains("received.json"), "{cmd}: {err}");
+        assert!(err.contains("arrival times"), "{cmd}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_surface_store_instruments_in_every_format() {
+    let dir = temp_dir("storemetrics");
+    let dir_s = dir.to_string_lossy().to_string();
+    assert!(
+        busprobe(&["init", "--dir", &dir_s, "--seed", "13", "--small"])
+            .status
+            .success()
+    );
+    assert!(
+        busprobe(&["simulate", "--dir", &dir_s, "--start", "08:00", "--end", "08:30"])
+            .status
+            .success()
+    );
+    let state = dir.join("state");
+    let state_s = state.to_string_lossy().to_string();
+    // Seed the store so the metrics run recovers (populating the replay
+    // instruments) before appending.
+    assert!(busprobe(&["ingest", "--dir", &dir_s, "--state", &state_s])
+        .status
+        .success());
+
+    let names = [
+        "busprobe_store_wal_appends_total",
+        "busprobe_store_wal_bytes_total",
+        "busprobe_store_snapshot_bytes",
+        "busprobe_store_replay_records_total",
+        "busprobe_store_replay_skipped_total",
+        "busprobe_store_replay_seconds",
+    ];
+    for format in ["text", "json", "prometheus"] {
+        let out = busprobe(&[
+            "metrics", "--dir", &dir_s, "--state", &state_s, "--format", format,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        for name in names {
+            assert!(text.contains(name), "{format} output lacks {name}");
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

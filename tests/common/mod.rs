@@ -5,17 +5,17 @@
 
 #![allow(dead_code)]
 
-use busprobe::cellular::{DeploymentSpec, PropagationModel, Scanner, TowerDeployment};
-use busprobe::core::{IngestReport, MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
+use busprobe::cellular::Scanner;
+use busprobe::core::{IngestReport, MonitorConfig, StopFingerprintDb, TrafficMonitor};
 use busprobe::faults::{FaultInjector, FaultPlan};
 use busprobe::mobile::Trip;
-use busprobe::network::{NetworkGenerator, TransitNetwork};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
+use busprobe::network::TransitNetwork;
+use busprobe_bench::World;
 
 /// A small deterministic world: region, radio environment and a
 /// war-collected fingerprint database, all derived from one seed.
+/// Thin wrapper over [`World::small`] — the committed golden corpora
+/// are pinned to the un-xored collection seed, hence `build_db_seeded`.
 pub struct TestWorld {
     pub network: TransitNetwork,
     pub scanner: Scanner,
@@ -26,22 +26,11 @@ impl TestWorld {
     /// Builds the world for `seed`, war-collecting `rounds` noisy scans
     /// per stop for the fingerprint election (§IV-A).
     pub fn new(seed: u64, rounds: usize) -> Self {
-        let network = NetworkGenerator::small(seed).generate();
-        let region = network.grid().spec().region();
-        let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
-        let scanner = Scanner::new(deployment, PropagationModel::default(), seed);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut samples = BTreeMap::new();
-        for site in network.sites() {
-            let fps = (0..rounds.max(1))
-                .map(|_| scanner.scan(site.position, &mut rng).fingerprint())
-                .collect();
-            samples.insert(site.id, fps);
-        }
-        let db = StopFingerprintDb::build_from_samples(&samples, &MatchConfig::default());
+        let world = World::small(seed);
+        let db = world.build_db_seeded(rounds, seed);
         TestWorld {
-            network,
-            scanner,
+            network: world.network,
+            scanner: world.scanner,
             db,
         }
     }
