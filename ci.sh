@@ -46,6 +46,30 @@ trap 'rm -rf "$tmpdir"' EXIT
 ./target/release/busprobe ingest --dir "$tmpdir" --jobs 4 --geojson "$tmpdir/jobs4.geojson" >/dev/null
 cmp "$tmpdir/jobs1.geojson" "$tmpdir/jobs4.geojson"
 
+echo "== CLI trace drill: explain a drop, cross-jobs JSONL identity =="
+# End-to-end tracing through the binary on the fault-injected corpus:
+# the JSONL decision traces must be byte-identical at 1 and 4 workers,
+# the Chrome export must be produced, and `explain` must narrate a
+# dropped upload's decision chain ending in its attributed reason.
+./target/release/busprobe trace --dir "$tmpdir" --jobs 1 \
+  --jsonl "$tmpdir/traces1.jsonl" --out "$tmpdir/traces.json" >/dev/null
+./target/release/busprobe trace --dir "$tmpdir" --jobs 4 \
+  --jsonl "$tmpdir/traces4.jsonl" >/dev/null
+cmp "$tmpdir/traces1.jsonl" "$tmpdir/traces4.jsonl"
+test -s "$tmpdir/traces.json"
+./target/release/busprobe explain --dir "$tmpdir" > "$tmpdir/outcomes.out"
+dropped_seq=$(grep -m1 'dropped' "$tmpdir/outcomes.out" | awk '{print $1}')
+./target/release/busprobe explain --dir "$tmpdir" "$dropped_seq" \
+  > "$tmpdir/explain.out"
+grep -q "outcome: dropped" "$tmpdir/explain.out"
+
+echo "== trace overhead gate (disabled hooks <1% of per-trip ingest) =="
+# The tracing hooks stay on the ingest hot path even with no sink
+# attached; the bench times that exact sequence against real per-trip
+# ingest and asserts the ratio (crates/bench/benches/trace.rs).
+cargo bench -p busprobe-bench --bench trace 2>/dev/null \
+  | grep "trace_disabled_overhead"
+
 echo "== CLI crash drill: tear the WAL, recover, resume, compare =="
 # End-to-end durability through the binary: ingest a prefix durably,
 # truncate the newest WAL segment mid-record (a crash mid-append),

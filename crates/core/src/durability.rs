@@ -355,6 +355,8 @@ pub struct PersistedState {
 /// found and replayed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoverySummary {
+    /// WAL segment files scanned on disk.
+    pub wal_segments: u64,
     /// Coverage point of the snapshot the state was loaded from, if any.
     pub snapshot_seq: Option<u64>,
     /// WAL sequence high-water represented in the recovered state

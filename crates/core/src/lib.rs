@@ -82,7 +82,7 @@ pub use index::MatchIndex;
 pub use inference::{infer_regional, EstimateSource, InferenceConfig, RegionalMap};
 pub use map::{GoogleMapsIndicator, SegmentEstimate, SpeedLevel, TrafficMap};
 pub use mapping::{MappedVisit, TripMapper};
-pub use matching::{MatchConfig, MatchMemo, MatchResult, Matcher};
+pub use matching::{MatchConfig, MatchExplanation, MatchMemo, MatchResult, Matcher};
 pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport};
 pub use server::{DropReason, IngestReport, MonitorConfig, MonitorState, TrafficMonitor};
 pub use updater::{DbUpdater, UpdaterConfig};

@@ -152,6 +152,24 @@ pub struct MatchResult {
     pub common_cells: usize,
 }
 
+/// The full match deliberation for one scan, produced by
+/// [`Matcher::explain`] for the decision-provenance trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchExplanation {
+    /// Best candidate above the γ acceptance threshold, if any — what
+    /// [`Matcher::best_match`] returns for this scan.
+    pub winner: Option<MatchResult>,
+    /// Second-best candidate above γ: the margin of the decision.
+    pub runner_up: Option<MatchResult>,
+    /// The highest-ranked candidate that *failed* γ (why an unmatched
+    /// scan was discarded).
+    pub best_rejected: Option<MatchResult>,
+    /// Stops the inverted index would actually score for this scan.
+    pub considered: usize,
+    /// Stops the index eliminates without scoring (`db − considered`).
+    pub pruned: usize,
+}
+
 /// The canonical candidate priority: higher score first, then more common
 /// cells ("the one with a larger number of common cell IDs is selected"),
 /// then smaller site id for determinism. `Less` ranks higher. Every
@@ -447,6 +465,52 @@ impl Matcher {
         )
     }
 
+    /// The full deliberation for one scan — what the tracing layer
+    /// records. A γ-free exhaustive scan: the winner and the runner-up
+    /// it beat (the decision margin), the best candidate γ *rejected*
+    /// (why an unmatched scan lost), and how much of the database the
+    /// inverted index would have pruned without scoring.
+    ///
+    /// Diagnostic-path only (never called by ingest when tracing is
+    /// off); touches no telemetry counters, so a traced run's metrics
+    /// equal an untraced run's.
+    #[must_use]
+    pub fn explain(&self, sample: &Fingerprint) -> MatchExplanation {
+        let mut above: Vec<MatchResult> = Vec::new();
+        let mut best_rejected: Option<MatchResult> = None;
+        for (site, stored) in self.db.iter() {
+            let candidate = MatchResult {
+                site,
+                score: similarity(sample, stored, &self.config),
+                common_cells: sample.common_cells(stored),
+            };
+            if candidate.score >= self.config.accept_threshold {
+                above.push(candidate);
+            } else {
+                let better = match &best_rejected {
+                    None => true,
+                    Some(b) => rank(&candidate, b) == Ordering::Less,
+                };
+                if better {
+                    best_rejected = Some(candidate);
+                }
+            }
+        }
+        above.sort_by(rank);
+        let considered = if self.indexed() {
+            self.probe_candidates(sample)
+        } else {
+            self.db.len()
+        };
+        MatchExplanation {
+            winner: above.first().copied(),
+            runner_up: above.get(1).copied(),
+            best_rejected,
+            considered,
+            pruned: self.db.len().saturating_sub(considered),
+        }
+    }
+
     /// Folds one indexed query's counters into telemetry.
     fn record_query(&self, scored: usize) {
         self.metrics.candidates_scored.add(scored as u64);
@@ -660,6 +724,30 @@ mod tests {
             matcher.best_match_memo(&fp(&[1, 2, 3]), &mut memo),
             matcher.best_match(&fp(&[1, 2, 3]))
         );
+    }
+
+    #[test]
+    fn explain_agrees_with_best_match_and_reports_the_margin() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3, 4]));
+        db.insert(StopSiteId(1), fp(&[1, 2, 3, 9]));
+        db.insert(StopSiteId(2), fp(&[50, 51, 52]));
+        let matcher = Matcher::new(db, config());
+        let sample = fp(&[1, 2, 3, 4]);
+        let explanation = matcher.explain(&sample);
+        assert_eq!(explanation.winner, matcher.best_match(&sample));
+        let runner_up = explanation.runner_up.expect("two candidates pass γ");
+        assert_eq!(runner_up.site, StopSiteId(1));
+        assert_eq!(
+            explanation.considered + explanation.pruned,
+            3,
+            "accounting covers the whole database"
+        );
+        // A hopeless scan explains what it rejected.
+        let miss = matcher.explain(&fp(&[50]));
+        assert!(miss.winner.is_none());
+        let rejected = miss.best_rejected.expect("the near miss is reported");
+        assert_eq!(rejected.site, StopSiteId(2));
     }
 
     fn arb_fp(max_len: usize) -> impl Strategy<Value = Fingerprint> {

@@ -95,14 +95,14 @@ pub(crate) fn ingest_batch(
     let mut reports = vec![IngestReport::default(); trips.len()];
 
     crossbeam::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let injector = &injector;
             scope.spawn(move |_| loop {
                 match injector.steal() {
                     Steal::Success(seq) => {
                         let recv = received_s.and_then(|r| r.get(seq).copied());
-                        let staged = monitor.stage_upload(&trips[seq], recv);
+                        let staged = monitor.stage_upload(&trips[seq], recv, Some(worker));
                         if tx.send((seq, staged)).is_err() {
                             break;
                         }

@@ -34,12 +34,21 @@ use busprobe_mobile::{CellularSample, Trip};
 use busprobe_network::TransitNetwork;
 use busprobe_store::Store;
 use busprobe_telemetry::Level;
+use busprobe_trace::{
+    CandidateScore, StageSpan, TraceEvent, TraceOutcome, TraceRecord, Tracer, TripTrace,
+};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+
+/// How many scans get a full per-scan [`TraceEvent::MatchDecision`]
+/// (and observations a [`TraceEvent::FusionDelta`]) in a trace; the
+/// rest are summarized. Bounds trace size on hostile uploads.
+const TRACE_DETAIL: usize = 4;
 
 /// Complete backend configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -92,6 +101,49 @@ pub enum DropReason {
     /// The pipeline panicked on this upload; the trip was isolated and
     /// dropped (a bug, but never a silent one and never an outage).
     InternalError,
+}
+
+impl DropReason {
+    /// Every variant, in pipeline order. The exhaustiveness tests walk
+    /// this list so a new variant can't silently lose its telemetry
+    /// counter or trace attribution.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::RejectedDuplicate,
+        DropReason::RejectedNearDuplicate,
+        DropReason::Malformed,
+        DropReason::UnmatchedScans,
+        DropReason::Unmapped,
+        DropReason::TooFewVisits,
+        DropReason::InternalError,
+    ];
+
+    /// The global telemetry counter attributing this drop.
+    #[must_use]
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            DropReason::RejectedDuplicate => "busprobe_core_drop_rejected_duplicate_total",
+            DropReason::RejectedNearDuplicate => "busprobe_core_drop_near_duplicate_total",
+            DropReason::Malformed => "busprobe_core_drop_malformed_total",
+            DropReason::UnmatchedScans => "busprobe_core_drop_unmatched_scans_total",
+            DropReason::Unmapped => "busprobe_core_drop_unmapped_total",
+            DropReason::TooFewVisits => "busprobe_core_drop_too_few_visits_total",
+            DropReason::InternalError => "busprobe_core_drop_internal_error_total",
+        }
+    }
+
+    /// The stable label carried by a trace's `Dropped` outcome.
+    #[must_use]
+    pub fn trace_label(self) -> &'static str {
+        match self {
+            DropReason::RejectedDuplicate => "duplicate",
+            DropReason::RejectedNearDuplicate => "near-duplicate",
+            DropReason::Malformed => "malformed",
+            DropReason::UnmatchedScans => "unmatched-scans",
+            DropReason::Unmapped => "unmapped",
+            DropReason::TooFewVisits => "too-few-visits",
+            DropReason::InternalError => "internal-error",
+        }
+    }
 }
 
 /// Diagnostics for one ingested trip.
@@ -189,6 +241,37 @@ pub(crate) struct StagedUpload {
     harvest: Option<(Vec<CellularSample>, Vec<MappedVisit>)>,
     /// The pipeline panicked while staging; commit isolates the trip.
     panicked: bool,
+    /// Decision events and stage spans captured while staging, when a
+    /// tracer is attached. Normalized at commit (where the authoritative
+    /// duplicate verdicts land) so the finished trace is deterministic.
+    trace: Option<TraceDraft>,
+}
+
+/// Trace state accumulated during the speculative stage phase.
+///
+/// The events recorded here are pure functions of the upload and the
+/// matcher state, so they are identical at any worker count; the spans
+/// and worker id are wall-clock context for the Chrome export only.
+#[derive(Debug, Default)]
+pub(crate) struct TraceDraft {
+    /// Stage-phase decision events (matching, clustering, mapping).
+    events: Vec<TraceEvent>,
+    /// Wall-clock stage spans on the shared process clock.
+    spans: Vec<StageSpan>,
+    /// Stage-pool worker that staged the upload.
+    worker: Option<usize>,
+}
+
+impl TraceDraft {
+    /// Records a completed stage span starting at `start_ns`.
+    fn record_span(&mut self, stage: &'static str, start_ns: u64) {
+        let dur_ns = busprobe_telemetry::clock_ns().saturating_sub(start_ns);
+        self.spans.push(StageSpan {
+            stage,
+            start_ns,
+            dur_ns,
+        });
+    }
 }
 
 /// A durable store attached to the monitor, plus its checkpoint cadence.
@@ -232,6 +315,13 @@ pub struct TrafficMonitor {
     /// this one before any state lock — no thread ever waits on `store`
     /// while holding a state lock *and* vice versa in the same direction.
     store: Mutex<Option<AttachedStore>>,
+    /// Optional per-upload decision-provenance sink. `None` (the
+    /// default) costs one uncontended read-lock acquisition per upload
+    /// — the <1% overhead budget gated by `benches/trace.rs`.
+    tracer: RwLock<Option<Arc<Tracer>>>,
+    /// Uploads committed so far — the trace sequence number, which is
+    /// the commit order and therefore identical at any worker count.
+    committed: AtomicU64,
 }
 
 impl TrafficMonitor {
@@ -249,6 +339,8 @@ impl TrafficMonitor {
             seen: Mutex::new(std::collections::HashSet::new()),
             metrics: PipelineMetrics::new(),
             store: Mutex::new(None),
+            tracer: RwLock::new(None),
+            committed: AtomicU64::new(0),
         }
     }
 
@@ -296,7 +388,7 @@ impl TrafficMonitor {
     /// trip is isolated, and the report carries
     /// [`DropReason::InternalError`].
     pub fn ingest_upload(&self, trip: &Trip, received_s: Option<f64>) -> IngestReport {
-        let staged = self.stage_upload(trip, received_s);
+        let staged = self.stage_upload(trip, received_s, None);
         self.commit_staged(staged)
     }
 
@@ -307,10 +399,18 @@ impl TrafficMonitor {
     ///
     /// Never panics: a pipeline panic is captured in the staged result and
     /// surfaces as [`DropReason::InternalError`] at commit.
-    pub(crate) fn stage_upload(&self, trip: &Trip, received_s: Option<f64>) -> StagedUpload {
+    ///
+    /// `worker` is the stage-pool worker index (None on the serial
+    /// path), carried into the trace for the Chrome export's swimlanes.
+    pub(crate) fn stage_upload(
+        &self,
+        trip: &Trip,
+        received_s: Option<f64>,
+        worker: Option<usize>,
+    ) -> StagedUpload {
         let digest = Self::digest(trip);
         match catch_unwind(AssertUnwindSafe(|| {
-            self.stage_inner(trip, digest, received_s)
+            self.stage_inner(trip, digest, received_s, worker)
         })) {
             Ok(staged) => staged,
             Err(_) => StagedUpload {
@@ -324,11 +424,24 @@ impl TrafficMonitor {
                 observations: Vec::new(),
                 harvest: None,
                 panicked: true,
+                trace: None,
             },
         }
     }
 
-    fn stage_inner(&self, trip: &Trip, digest: u64, received_s: Option<f64>) -> StagedUpload {
+    fn stage_inner(
+        &self,
+        trip: &Trip,
+        digest: u64,
+        received_s: Option<f64>,
+        worker: Option<usize>,
+    ) -> StagedUpload {
+        // The whole per-upload cost of a detached tracer is this one
+        // uncontended read-lock check (gated <1% by benches/trace.rs).
+        let mut draft = self.tracer.read().is_some().then(|| TraceDraft {
+            worker,
+            ..TraceDraft::default()
+        });
         let skipped = |report| StagedUpload {
             digest,
             report,
@@ -337,6 +450,7 @@ impl TrafficMonitor {
             observations: Vec::new(),
             harvest: None,
             panicked: false,
+            trace: None,
         };
         // Fast path: a digest present in the seen set stays there forever,
         // so commit is guaranteed to reject this upload as a duplicate —
@@ -350,9 +464,13 @@ impl TrafficMonitor {
         }
 
         // Sanitize: validate, normalize the clock, reorder, deduplicate.
+        let trace_start = draft.as_ref().map(|_| busprobe_telemetry::clock_ns());
         let span = self.metrics.span_sanitize();
         let (samples, san) = sanitize::sanitize(&trip.samples, received_s, &self.config.sanitize);
         span.finish();
+        if let (Some(d), Some(t0)) = (draft.as_mut(), trace_start) {
+            d.record_span("sanitize", t0);
+        }
         let mut report = Self::base_report(trip.samples.len(), &san);
 
         // Near-duplicate digests of the sanitized content: a jittered or
@@ -372,11 +490,12 @@ impl TrafficMonitor {
                     observations: Vec::new(),
                     harvest: None,
                     panicked: false,
+                    trace: draft,
                 };
             }
         }
 
-        let (visits, observations) = self.run_stages(&samples, &mut report);
+        let (visits, observations) = self.run_stages(&samples, &mut report, draft.as_mut());
         let harvest = self.config.online_db_update.then_some((samples, visits));
         StagedUpload {
             digest,
@@ -386,6 +505,7 @@ impl TrafficMonitor {
             observations,
             harvest,
             panicked: false,
+            trace: draft,
         }
     }
 
@@ -399,6 +519,7 @@ impl TrafficMonitor {
     /// how many threads ran the stage phase.
     pub(crate) fn commit_staged(&self, staged: StagedUpload) -> IngestReport {
         let samples = staged.report.samples;
+        let digest = staged.digest;
         match catch_unwind(AssertUnwindSafe(|| self.commit_inner(staged))) {
             Ok(report) => report,
             Err(_) => {
@@ -408,6 +529,24 @@ impl TrafficMonitor {
                     "core::ingest",
                     format!("commit panicked; trip isolated ({samples} samples)"),
                 );
+                // Even a commit-phase panic leaves an attributing trace
+                // (no WAL record was written, so no seq advance either).
+                if let Some(tracer) = self.tracer.read().clone() {
+                    tracer.submit(TraceRecord {
+                        trace: TripTrace {
+                            trace_id: digest,
+                            seq: self.committed.load(AtomicOrdering::Relaxed),
+                            samples,
+                            events: Vec::new(),
+                            outcome: TraceOutcome::Dropped {
+                                reason: DropReason::InternalError.trace_label().to_string(),
+                            },
+                            wal_seq: None,
+                        },
+                        worker: None,
+                        spans: Vec::new(),
+                    });
+                }
                 IngestReport {
                     internal_error: true,
                     samples,
@@ -419,6 +558,10 @@ impl TrafficMonitor {
 
     fn commit_inner(&self, staged: StagedUpload) -> IngestReport {
         let raw_samples = staged.report.samples;
+        // The trace sequence number is the commit order — identical at
+        // any worker count, so sampling and the JSONL export are too.
+        let seq = self.committed.fetch_add(1, AtomicOrdering::Relaxed);
+        let tracer = self.tracer.read().clone();
         self.metrics.trips.inc();
         self.metrics.samples.add(raw_samples as u64);
         // The durable ledger of what this commit did. Every return path
@@ -444,7 +587,15 @@ impl TrafficMonitor {
                 samples: raw_samples,
                 ..IngestReport::default()
             };
-            return self.log_commit(record);
+            // Whether staging took the skip hint or raced past it is
+            // timing-dependent, so the trace is normalized to the one
+            // authoritative fact: the digest collision.
+            let events = tracer.is_some().then(|| {
+                vec![TraceEvent::ExactDuplicate {
+                    digest: staged.digest,
+                }]
+            });
+            return self.seal_commit(record, seq, staged.trace, events, tracer.as_deref());
         }
         if staged.panicked {
             self.metrics.drop_internal_error.inc();
@@ -458,7 +609,13 @@ impl TrafficMonitor {
                 samples: raw_samples,
                 ..IngestReport::default()
             };
-            return self.log_commit(record);
+            return self.seal_commit(
+                record,
+                seq,
+                staged.trace,
+                Some(Vec::new()),
+                tracer.as_deref(),
+            );
         }
 
         self.record_sanitize(&staged.san);
@@ -478,7 +635,16 @@ impl TrafficMonitor {
                 report.near_duplicate = true;
                 self.count_drop(&report);
                 record.report = report;
-                return self.log_commit(record);
+                // Staging may or may not have run the full pipeline
+                // before the fuzzy-digest hint landed; rebuild the
+                // deterministic story from the sanitizer report alone.
+                let events = tracer.is_some().then(|| {
+                    vec![
+                        Self::sanitize_event(raw_samples, &staged.san),
+                        TraceEvent::NearDuplicate { digests: *digests },
+                    ]
+                });
+                return self.seal_commit(record, seq, staged.trace, events, tracer.as_deref());
             }
         }
 
@@ -490,13 +656,43 @@ impl TrafficMonitor {
             self.apply_harvest(&entries);
             record.harvest = entries;
         }
+        let mut events = tracer.is_some().then(|| {
+            let mut events = vec![Self::sanitize_event(raw_samples, &staged.san)];
+            if let Some(draft) = &staged.trace {
+                events.extend(draft.events.iter().cloned());
+            }
+            events
+        });
         let span = self.metrics.span_fusion();
         let mut fusion = self.fusion.lock();
-        for obs in &staged.observations {
-            fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
+        for (i, obs) in staged.observations.iter().enumerate() {
+            if let Some(events) = events.as_mut().filter(|_| i < TRACE_DETAIL) {
+                let prior_mps = fusion.belief(obs.key).map(|b| b.mean_mps);
+                fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
+                let posterior = fusion.belief(obs.key).expect("belief exists after observe");
+                events.push(TraceEvent::FusionDelta {
+                    from: obs.key.from.0,
+                    to: obs.key.to.0,
+                    obs_mps: obs.speed_mps,
+                    obs_variance: obs.variance,
+                    prior_mps,
+                    posterior_mps: posterior.mean_mps,
+                    posterior_variance: posterior.variance,
+                });
+            } else {
+                fusion.observe(obs.key, obs.time_s, obs.speed_mps, obs.variance);
+            }
         }
         drop(fusion);
         span.finish();
+        if let Some(events) = events.as_mut() {
+            if !staged.observations.is_empty() {
+                events.push(TraceEvent::FusionSummary {
+                    observations: staged.observations.len(),
+                    detailed: staged.observations.len().min(TRACE_DETAIL),
+                });
+            }
+        }
         self.metrics
             .fusion_updates
             .add(staged.observations.len() as u64);
@@ -505,24 +701,81 @@ impl TrafficMonitor {
             .record(staged.observations.len() as f64);
         record.observations = staged.observations;
         record.report = report;
-        self.log_commit(record)
+        self.seal_commit(record, seq, staged.trace, events, tracer.as_deref())
+    }
+
+    /// The Sanitize trace event for one upload's accounting. Rebuilt at
+    /// commit from the [`SanitizeReport`] (a pure function of the
+    /// upload), never from racy stage-phase state.
+    fn sanitize_event(raw_samples: usize, san: &SanitizeReport) -> TraceEvent {
+        TraceEvent::Sanitize {
+            samples_in: raw_samples,
+            kept: san.samples_kept,
+            quarantined: san.quarantined(),
+            duplicates_suppressed: san.duplicates_suppressed,
+            scrubbed: san.observations_scrubbed,
+            reordered: san.reordered,
+            clock_skew_s: san.clock_skew_s,
+        }
+    }
+
+    /// The single exit of every commit path: writes the WAL record,
+    /// then finalizes and submits the upload's trace (when a tracer is
+    /// attached) with the authoritative outcome and WAL seq.
+    fn seal_commit(
+        &self,
+        record: CommitRecord,
+        seq: u64,
+        draft: Option<TraceDraft>,
+        events: Option<Vec<TraceEvent>>,
+        tracer: Option<&Tracer>,
+    ) -> IngestReport {
+        let report = record.report;
+        let digest = record.digest;
+        let wal_seq = self.log_commit(record);
+        if let Some(tracer) = tracer {
+            let outcome = match report.drop_reason() {
+                None => TraceOutcome::Committed {
+                    visits: report.visits,
+                    observations: report.observations,
+                },
+                Some(reason) => TraceOutcome::Dropped {
+                    reason: reason.trace_label().to_string(),
+                },
+            };
+            let (worker, spans) = draft.map_or((None, Vec::new()), |d| (d.worker, d.spans));
+            tracer.submit(TraceRecord {
+                trace: TripTrace {
+                    trace_id: digest,
+                    seq,
+                    samples: report.samples,
+                    events: events.unwrap_or_default(),
+                    outcome,
+                    wal_seq,
+                },
+                worker,
+                spans,
+            });
+        }
+        report
     }
 
     /// Appends one commit record to the attached store (a no-op without
     /// one) and auto-checkpoints on the configured cadence. Returns the
-    /// record's report, so commit paths can log-and-return in one step.
+    /// record's WAL sequence number, or `None` when no store is attached
+    /// or the append failed.
     ///
     /// An append failure degrades durability, never availability: it is
     /// counted and logged, and ingestion continues.
-    fn log_commit(&self, record: CommitRecord) -> IngestReport {
-        let report = record.report;
+    fn log_commit(&self, record: CommitRecord) -> Option<u64> {
         let mut guard = self.store.lock();
-        let Some(attached) = guard.as_mut() else {
-            return report;
-        };
+        let attached = guard.as_mut()?;
         let payload = WalRecord::Commit(record).encode();
-        let snapshot_due = match attached.store.append(&payload) {
-            Ok(seq) => attached.snapshot_every > 0 && (seq + 1) % attached.snapshot_every == 0,
+        let (wal_seq, snapshot_due) = match attached.store.append(&payload) {
+            Ok(seq) => (
+                Some(seq),
+                attached.snapshot_every > 0 && (seq + 1) % attached.snapshot_every == 0,
+            ),
             Err(e) => {
                 self.metrics.store_append_errors.inc();
                 busprobe_telemetry::event(
@@ -530,7 +783,7 @@ impl TrafficMonitor {
                     "core::store",
                     format!("WAL append failed; commit not durable: {e}"),
                 );
-                false
+                (None, false)
             }
         };
         drop(guard);
@@ -543,7 +796,7 @@ impl TrafficMonitor {
                 );
             }
         }
-        report
+        wal_seq
     }
 
     /// Appends a refresh marker to the attached store (a no-op without
@@ -833,6 +1086,8 @@ impl TrafficMonitor {
                     seen: Mutex::new(state.seen.into_iter().collect()),
                     metrics: PipelineMetrics::new(),
                     store: Mutex::new(None),
+                    tracer: RwLock::new(None),
+                    committed: AtomicU64::new(0),
                 };
                 (monitor, Some(*seq), commits)
             }
@@ -870,6 +1125,7 @@ impl TrafficMonitor {
             }
         }
         let summary = RecoverySummary {
+            wal_segments: recovered.report.segments,
             snapshot_seq,
             commits,
             replayed_commits,
@@ -890,6 +1146,11 @@ impl TrafficMonitor {
                 summary.duration_s
             ),
         );
+        // Trace sequence numbers continue from the recovered commit
+        // count, as they would on a monitor that never crashed.
+        monitor
+            .committed
+            .store(summary.commits, AtomicOrdering::Relaxed);
         Ok((monitor, summary))
     }
 
@@ -923,6 +1184,24 @@ impl TrafficMonitor {
     /// to measure the indexed speedup against the brute-force scan.
     pub fn set_indexed_matching(&self, enabled: bool) {
         self.matcher.write().set_use_index(enabled);
+    }
+
+    /// Attaches (or, with `None`, detaches) a per-upload decision-
+    /// provenance sink: every subsequent commit finalizes a
+    /// [`TripTrace`] and submits it under the tracer's sampling policy.
+    ///
+    /// Tracing never changes what the pipeline decides — traced and
+    /// untraced runs produce bit-identical reports, state and maps —
+    /// and a detached tracer costs one lock check per upload (<1% of
+    /// ingest, gated in CI).
+    pub fn set_trace_sink(&self, tracer: Option<Arc<Tracer>>) {
+        *self.tracer.write() = tracer;
+    }
+
+    /// The attached decision-provenance sink, if any.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<Arc<Tracer>> {
+        self.tracer.read().clone()
     }
 
     /// A point-in-time snapshot of the pipeline's telemetry: stage
@@ -964,6 +1243,8 @@ impl TrafficMonitor {
             seen: Mutex::new(state.seen.into_iter().collect()),
             metrics: PipelineMetrics::new(),
             store: Mutex::new(None),
+            tracer: RwLock::new(None),
+            committed: AtomicU64::new(0),
         }
     }
 
@@ -976,7 +1257,7 @@ impl TrafficMonitor {
     pub fn observations_for(&self, trip: &Trip) -> (IngestReport, Vec<SpeedObservation>) {
         let (samples, san) = sanitize::sanitize(&trip.samples, None, &self.config.sanitize);
         let mut report = Self::base_report(trip.samples.len(), &san);
-        let (_, observations) = self.run_stages(&samples, &mut report);
+        let (_, observations) = self.run_stages(&samples, &mut report, None);
         self.note_pipeline_counters(&report);
         (report, observations)
     }
@@ -992,12 +1273,15 @@ impl TrafficMonitor {
         &self,
         samples: &[CellularSample],
         report: &mut IngestReport,
+        mut trace: Option<&mut TraceDraft>,
     ) -> (Vec<MappedVisit>, Vec<SpeedObservation>) {
         let _pipeline_span = self.metrics.span_pipeline();
+        let now = |on: bool| on.then(busprobe_telemetry::clock_ns);
 
         // Per-sample matching (γ filter included). Consecutive beeps near
         // one stop often repeat the exact cell sequence; the per-trip memo
         // answers repeats without touching the index.
+        let trace_start = now(trace.is_some());
         let span = self.metrics.span_matching();
         let matcher = self.matcher.read();
         let mut memo = MatchMemo::default();
@@ -1013,36 +1297,89 @@ impl TrafficMonitor {
                     })
             })
             .collect();
+        if let Some(draft) = trace.as_mut() {
+            // Full deliberation (candidates, margin, pruning) for the
+            // first scans; pure reads of the same matcher state the
+            // decision used, so traced and untraced results agree.
+            let as_candidate = |r: crate::matching::MatchResult| CandidateScore {
+                site: r.site.0,
+                score: r.score,
+                common_cells: r.common_cells,
+            };
+            for (i, s) in samples.iter().take(TRACE_DETAIL).enumerate() {
+                let explanation = matcher.explain(&s.scan.fingerprint());
+                draft.events.push(TraceEvent::MatchDecision {
+                    scan: i,
+                    winner: explanation.winner.map(as_candidate),
+                    runner_up: explanation.runner_up.map(as_candidate),
+                    best_rejected: explanation.best_rejected.map(as_candidate),
+                    considered: explanation.considered,
+                    pruned: explanation.pruned,
+                });
+            }
+            draft.events.push(TraceEvent::MatchSummary {
+                scans: samples.len(),
+                matched: matched.len(),
+                detailed: samples.len().min(TRACE_DETAIL),
+            });
+        }
         drop(matcher);
         span.finish();
+        if let (Some(draft), Some(t0)) = (trace.as_mut(), trace_start) {
+            draft.record_span("matching", t0);
+        }
         report.matched = matched.len();
         if matched.is_empty() {
             return (Vec::new(), Vec::new());
         }
 
         // Per-stop clustering.
+        let trace_start = now(trace.is_some());
         let span = self.metrics.span_clustering();
         let clusters = self.clusterer.cluster(matched);
         span.finish();
+        if let (Some(draft), Some(t0)) = (trace.as_mut(), trace_start) {
+            draft.record_span("clustering", t0);
+            draft.events.push(TraceEvent::Clustering {
+                clusters: clusters.len(),
+            });
+        }
         report.clusters = clusters.len();
 
         // Per-trip mapping with partial-trip salvage: keep the longest
         // route-consistent run instead of dropping a noisy trip whole.
+        let trace_start = now(trace.is_some());
         let span = self.metrics.span_mapping();
         let mapper = TripMapper::new(&self.network);
         let mapped = mapper.map_trip_salvaged(&clusters);
         span.finish();
+        if let (Some(draft), Some(t0)) = (trace.as_mut(), trace_start) {
+            draft.record_span("mapping", t0);
+        }
         let Some((visits, salvage_dropped)) = mapped else {
             return (Vec::new(), Vec::new());
         };
+        if let Some(draft) = trace.as_mut() {
+            let confidences = visits.iter().map(|v| v.confidence);
+            draft.events.push(TraceEvent::Mapping {
+                visits: visits.len(),
+                salvage_dropped,
+                min_confidence: confidences.clone().fold(f64::INFINITY, f64::min),
+                max_confidence: confidences.fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
         report.visits = visits.len();
         report.salvage_dropped = salvage_dropped;
 
         // Traffic estimation.
+        let trace_start = now(trace.is_some());
         let span = self.metrics.span_estimation();
         let estimator = TripEstimator::new(&self.network, self.config.estimation);
         let observations = estimator.estimate(&visits);
         span.finish();
+        if let (Some(draft), Some(t0)) = (trace.as_mut(), trace_start) {
+            draft.record_span("estimation", t0);
+        }
         report.observations = observations.len();
         (visits, observations)
     }
@@ -1269,5 +1606,99 @@ mod tests {
                 e.speed_mps
             );
         }
+    }
+
+    /// Exhaustiveness guard: every [`DropReason`] owns a distinct
+    /// telemetry counter (registered by monitor construction) and a
+    /// distinct trace label. `counter_name`/`trace_label` are
+    /// wildcard-free matches, so a new variant fails to compile until it
+    /// gets both; this test keeps the mappings injective and live.
+    #[test]
+    fn drop_reasons_map_to_distinct_counters_and_trace_labels() {
+        let (_monitor, _) = setup(40);
+        let snapshot = busprobe_telemetry::snapshot();
+        let mut counters = std::collections::BTreeSet::new();
+        let mut labels = std::collections::BTreeSet::new();
+        for reason in DropReason::ALL {
+            assert!(
+                snapshot.counter(reason.counter_name()).is_some(),
+                "{} is not a registered telemetry counter",
+                reason.counter_name()
+            );
+            assert!(
+                counters.insert(reason.counter_name()),
+                "duplicate counter for {reason:?}"
+            );
+            assert!(
+                labels.insert(reason.trace_label()),
+                "duplicate trace label for {reason:?}"
+            );
+        }
+        assert_eq!(counters.len(), DropReason::ALL.len());
+        assert_eq!(labels.len(), DropReason::ALL.len());
+    }
+
+    #[test]
+    fn traces_attribute_commits_and_drops() {
+        use busprobe_trace::TracePolicy;
+        let (monitor, scanner) = setup(41);
+        let tracer = Arc::new(Tracer::new(TracePolicy::export_all()));
+        monitor.set_trace_sink(Some(Arc::clone(&tracer)));
+
+        let good = ride(&monitor, &scanner, 5, 3, 80.0, 9);
+        let report = monitor.ingest_trip(&good);
+        assert!(report.observations > 0, "{report:?}");
+        monitor.ingest_trip(&good); // byte-identical retry
+        let garbage = Trip {
+            samples: (0..5)
+                .map(|k| CellularSample {
+                    time_s: k as f64 * 10.0,
+                    scan: busprobe_cellular::CellScan::new(vec![]),
+                })
+                .collect(),
+        };
+        monitor.ingest_trip(&garbage);
+
+        let traces = tracer.exported();
+        assert_eq!(traces.len(), 3, "export-all policy keeps every trip");
+        let committed = &traces[0].trace;
+        assert_eq!(committed.seq, 0);
+        assert!(
+            matches!(committed.outcome, TraceOutcome::Committed { observations, .. }
+                if observations == report.observations),
+            "{:?}",
+            committed.outcome
+        );
+        assert!(committed.wal_seq.is_none(), "no store attached");
+        let kinds: Vec<&str> = committed.events.iter().map(TraceEvent::kind).collect();
+        assert!(kinds.contains(&"Sanitize"), "{kinds:?}");
+        assert!(kinds.contains(&"MatchSummary"), "{kinds:?}");
+        assert!(kinds.contains(&"Mapping"), "{kinds:?}");
+        assert!(kinds.contains(&"FusionSummary"), "{kinds:?}");
+
+        let duplicate = &traces[1].trace;
+        assert!(
+            matches!(&duplicate.outcome, TraceOutcome::Dropped { reason }
+                if reason == DropReason::RejectedDuplicate.trace_label()),
+            "{:?}",
+            duplicate.outcome
+        );
+        assert_eq!(duplicate.trace_id, committed.trace_id, "same upload bytes");
+
+        let unmatched = &traces[2].trace;
+        assert!(
+            matches!(&unmatched.outcome, TraceOutcome::Dropped { reason }
+                if reason == DropReason::Malformed.trace_label()
+                    || reason == DropReason::UnmatchedScans.trace_label()),
+            "{:?}",
+            unmatched.outcome
+        );
+
+        // The decision chain reconstructs from either id, and reads as a
+        // story.
+        let found = tracer.find(committed.trace_id).expect("find by digest");
+        assert_eq!(found.trace.seq, 0);
+        assert!(tracer.find(2).is_some(), "find by seq");
+        assert!(found.trace.narrative().contains("committed"));
     }
 }

@@ -26,6 +26,9 @@ pub(crate) struct StoreMetrics {
     pub replay_corrupt_tails: Counter,
     pub snapshot_bytes: Arc<Histogram>,
     pub replay_seconds: Arc<Histogram>,
+    /// End-to-end `Store::recover` wall time (scan + snapshot load +
+    /// WAL tail collection) — the number `busprobe recover` reports.
+    pub recovery_duration: Arc<Histogram>,
 }
 
 impl StoreMetrics {
@@ -46,6 +49,10 @@ impl StoreMetrics {
                 .histogram("busprobe_store_snapshot_bytes", &SNAPSHOT_BYTES_BUCKETS),
             replay_seconds: registry
                 .histogram("busprobe_store_replay_seconds", &REPLAY_SECONDS_BUCKETS),
+            recovery_duration: registry.histogram(
+                "busprobe_store_recovery_duration_seconds",
+                &REPLAY_SECONDS_BUCKETS,
+            ),
         }
     }
 }

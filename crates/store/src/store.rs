@@ -185,6 +185,7 @@ impl Store {
         metrics.replay_corrupt_tails.add(report.corrupt_tails());
         metrics.snapshots_corrupt.add(snapshots_skipped);
         metrics.replay_seconds.record(duration_s);
+        metrics.recovery_duration.record(duration_s);
         Ok(Recovered {
             snapshot,
             records,

@@ -1,0 +1,35 @@
+//! A process-wide monotonic clock with a shared origin.
+//!
+//! Stage timers, trace spans and the Chrome trace export all need
+//! timestamps on one axis so spans from different crates nest
+//! correctly. The origin is fixed the first time any component reads
+//! the clock.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the process clock's origin (the first
+/// call to this function anywhere in the process). Monotonic and
+/// shared: two readings from different threads are comparable.
+#[must_use]
+pub fn clock_ns() -> u64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    u64::try_from(origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let a = clock_ns();
+        let b = clock_ns();
+        assert!(b >= a);
+        let handle = std::thread::spawn(clock_ns);
+        let c = handle.join().unwrap();
+        assert!(c >= a, "threads share one origin");
+    }
+}

@@ -1,6 +1,6 @@
 //! Structured event logging into a bounded in-memory ring.
 
-use std::collections::VecDeque;
+use crate::ring::Ring;
 use std::fmt;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -53,34 +53,27 @@ pub struct Event {
 }
 
 /// Fixed-capacity ring of recent events; old entries are evicted.
+/// Built on the shared [`Ring`], adding sequence-number assignment.
 #[derive(Debug)]
 pub(crate) struct EventRing {
-    entries: VecDeque<Event>,
-    capacity: usize,
+    ring: Ring<Event>,
     next_seq: u64,
-    dropped: u64,
 }
 
 impl EventRing {
     pub(crate) fn new(capacity: usize) -> Self {
         Self {
-            entries: VecDeque::with_capacity(capacity.min(1024)),
-            capacity: capacity.max(1),
+            ring: Ring::new(capacity),
             next_seq: 0,
-            dropped: 0,
         }
     }
 
     pub(crate) fn push(&mut self, level: Level, target: &str, message: String) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
         let epoch_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
             .unwrap_or(0);
-        self.entries.push_back(Event {
+        self.ring.push(Event {
             seq: self.next_seq,
             epoch_ms,
             level,
@@ -91,17 +84,16 @@ impl EventRing {
     }
 
     pub(crate) fn snapshot(&self) -> Vec<Event> {
-        self.entries.iter().cloned().collect()
+        self.ring.snapshot()
     }
 
     pub(crate) fn dropped(&self) -> u64 {
-        self.dropped
+        self.ring.evicted()
     }
 
     pub(crate) fn clear(&mut self) {
-        self.entries.clear();
+        self.ring.clear();
         self.next_seq = 0;
-        self.dropped = 0;
     }
 }
 

@@ -23,15 +23,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod events;
 mod export;
 mod metrics;
 mod registry;
+mod ring;
 mod span;
 
+pub use clock::clock_ns;
 pub use events::{Event, Level};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{HistogramSnapshot, Registry, Snapshot, StageSnapshot, DEFAULT_EVENT_CAPACITY};
+pub use ring::Ring;
 pub use span::{Span, StageTimer};
 
 use std::sync::OnceLock;

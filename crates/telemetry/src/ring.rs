@@ -1,0 +1,98 @@
+//! A fixed-capacity ring buffer with eviction accounting — the shared
+//! substrate of the telemetry event log and the trace flight recorder.
+
+use std::collections::VecDeque;
+
+/// Keeps the most recent `capacity` entries; older entries are evicted
+/// and counted, so a consumer can tell its view is partial.
+#[derive(Debug)]
+pub struct Ring<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Appends `entry`, evicting the oldest entry when full.
+    pub fn push(&mut self, entry: T) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted since creation (or the last [`clear`](Self::clear)).
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops every entry and zeroes the eviction counter.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.evicted = 0;
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// A copy of the retained entries, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<T> {
+        self.entries.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut ring = Ring::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.evicted(), 2);
+        assert_eq!(ring.len(), 3);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.evicted(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = Ring::new(0);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), vec!["b"]);
+    }
+}

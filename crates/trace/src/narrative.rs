@@ -1,0 +1,242 @@
+//! Human-readable rendering of a trace: the "why did this trip get
+//! this travel time / why was it dropped" story `busprobe explain`
+//! prints.
+
+use crate::event::{CandidateScore, TraceEvent, TraceOutcome, TripTrace};
+use std::fmt::Write as _;
+
+/// Short outcome label: `committed` or `dropped: <reason>`.
+#[must_use]
+pub fn outcome_label(outcome: &TraceOutcome) -> String {
+    match outcome {
+        TraceOutcome::Committed { .. } => "committed".to_string(),
+        TraceOutcome::Dropped { reason } => format!("dropped: {reason}"),
+    }
+}
+
+fn candidate(c: &CandidateScore) -> String {
+    format!(
+        "site-{} (score {:.3}, {} common cells)",
+        c.site, c.score, c.common_cells
+    )
+}
+
+impl TripTrace {
+    /// A multi-line narrative reconstructing the full decision chain —
+    /// sanitize → match candidates and pruning → mapping → fusion →
+    /// commit or drop — for one upload.
+    #[must_use]
+    pub fn narrative(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trip {:#018x} (upload #{}, {} raw samples)",
+            self.trace_id, self.seq, self.samples
+        );
+        for event in &self.events {
+            match event {
+                TraceEvent::Sanitize {
+                    samples_in,
+                    kept,
+                    quarantined,
+                    duplicates_suppressed,
+                    scrubbed,
+                    reordered,
+                    clock_skew_s,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  sanitize: kept {kept}/{samples_in} samples \
+                         ({quarantined} quarantined, {duplicates_suppressed} duplicate beeps, \
+                         {scrubbed} observations scrubbed, {reordered} reordered)"
+                    );
+                    if *clock_skew_s != 0.0 {
+                        let _ = writeln!(
+                            out,
+                            "  sanitize: phone clock skewed {clock_skew_s:+.1}s; timestamps normalized"
+                        );
+                    }
+                }
+                TraceEvent::ExactDuplicate { digest } => {
+                    let _ = writeln!(
+                        out,
+                        "  dedup: byte digest {digest:#018x} already committed — a retry of an \
+                         ingested upload"
+                    );
+                }
+                TraceEvent::NearDuplicate { digests } => {
+                    let _ = writeln!(
+                        out,
+                        "  dedup: fuzzy content digest hit ({:#018x} / {:#018x}) — a jittered \
+                         retry of an ingested upload",
+                        digests[0], digests[1]
+                    );
+                }
+                TraceEvent::MatchDecision {
+                    scan,
+                    winner,
+                    runner_up,
+                    best_rejected,
+                    considered,
+                    pruned,
+                } => {
+                    let _ = write!(
+                        out,
+                        "  match scan #{scan}: index pruned {pruned} sites, scored {considered}"
+                    );
+                    match winner {
+                        Some(w) => {
+                            let _ = write!(out, "; winner {}", candidate(w));
+                            if let Some(r) = runner_up {
+                                let _ = write!(out, ", beat {}", candidate(r));
+                            }
+                        }
+                        None => {
+                            let _ = write!(out, "; no candidate passed the γ threshold");
+                            if let Some(r) = best_rejected {
+                                let _ = write!(out, " (closest was {})", candidate(r));
+                            }
+                        }
+                    }
+                    out.push('\n');
+                }
+                TraceEvent::MatchSummary {
+                    scans,
+                    matched,
+                    detailed,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  match: {matched}/{scans} scans identified a stop \
+                         (per-scan detail above for the first {detailed})"
+                    );
+                }
+                TraceEvent::Clustering { clusters } => {
+                    let _ = writeln!(out, "  cluster: {clusters} stop-visit clusters");
+                }
+                TraceEvent::Mapping {
+                    visits,
+                    salvage_dropped,
+                    min_confidence,
+                    max_confidence,
+                } => {
+                    let _ = write!(
+                        out,
+                        "  map: {visits} route-consistent stop visits \
+                         (confidence {min_confidence:.2}–{max_confidence:.2})"
+                    );
+                    if *salvage_dropped > 0 {
+                        let _ = write!(
+                            out,
+                            "; salvage cut {salvage_dropped} route-inconsistent visits"
+                        );
+                    }
+                    out.push('\n');
+                }
+                TraceEvent::FusionDelta {
+                    from,
+                    to,
+                    obs_mps,
+                    obs_variance,
+                    prior_mps,
+                    posterior_mps,
+                    posterior_variance,
+                } => {
+                    let prior = match prior_mps {
+                        Some(p) => format!("{:.1} km/h", p * 3.6),
+                        None => "no prior".to_string(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  fuse site-{from}→site-{to}: observed {:.1} km/h (σ²={obs_variance:.2}); \
+                         belief {prior} → {:.1} km/h (σ²={posterior_variance:.2})",
+                        obs_mps * 3.6,
+                        posterior_mps * 3.6,
+                    );
+                }
+                TraceEvent::FusionSummary {
+                    observations,
+                    detailed,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "  fuse: {observations} segment speed observations folded into the map \
+                         (deltas above for the first {detailed})"
+                    );
+                }
+            }
+        }
+        match &self.outcome {
+            TraceOutcome::Committed {
+                visits,
+                observations,
+            } => {
+                let _ = write!(
+                    out,
+                    "  outcome: committed — {visits} stop visits, {observations} speed observations"
+                );
+            }
+            TraceOutcome::Dropped { reason } => {
+                let _ = write!(out, "  outcome: dropped — {reason}");
+            }
+        }
+        match self.wal_seq {
+            Some(seq) => {
+                let _ = writeln!(out, " (WAL record {seq})");
+            }
+            None => out.push('\n'),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrative_tells_the_drop_story() {
+        let trace = TripTrace {
+            trace_id: 0xabc,
+            seq: 5,
+            samples: 9,
+            events: vec![
+                TraceEvent::Sanitize {
+                    samples_in: 9,
+                    kept: 6,
+                    quarantined: 3,
+                    duplicates_suppressed: 0,
+                    scrubbed: 1,
+                    reordered: 0,
+                    clock_skew_s: -42.0,
+                },
+                TraceEvent::MatchDecision {
+                    scan: 0,
+                    winner: None,
+                    runner_up: None,
+                    best_rejected: Some(CandidateScore {
+                        site: 3,
+                        score: 9.1,
+                        common_cells: 1,
+                    }),
+                    considered: 4,
+                    pruned: 16,
+                },
+                TraceEvent::MatchSummary {
+                    scans: 6,
+                    matched: 0,
+                    detailed: 1,
+                },
+            ],
+            outcome: TraceOutcome::Dropped {
+                reason: "unmatched-scans".into(),
+            },
+            wal_seq: None,
+        };
+        let story = trace.narrative();
+        assert!(story.contains("kept 6/9"), "{story}");
+        assert!(story.contains("skewed -42.0s"), "{story}");
+        assert!(story.contains("no candidate passed"), "{story}");
+        assert!(story.contains("dropped — unmatched-scans"), "{story}");
+    }
+}

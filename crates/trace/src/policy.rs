@@ -1,0 +1,103 @@
+//! Sampling policy: which finished traces are exported.
+
+use crate::event::TraceOutcome;
+
+/// Decides which finished traces reach the export sink. Drops and
+/// errors are always exported — they are the traces someone will ask
+/// about — while successes are sampled 1-in-N to bound volume on a
+/// healthy stream. Sampling keys on the commit sequence number, which
+/// is identical at any worker count, so the exported set (and the
+/// JSONL bytes) are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePolicy {
+    /// Export every `sample_every`-th committed (successful) upload;
+    /// `0` exports no successes (drops only), `1` exports everything.
+    pub sample_every: u64,
+    /// Capacity of the flight-recorder ring, which keeps the most
+    /// recent traces regardless of sampling for post-mortem dumps.
+    pub ring_capacity: usize,
+}
+
+impl Default for TracePolicy {
+    fn default() -> Self {
+        TracePolicy {
+            sample_every: 64,
+            ring_capacity: 256,
+        }
+    }
+}
+
+impl TracePolicy {
+    /// A policy that exports every trace (what `busprobe explain` and
+    /// the differential tests use).
+    #[must_use]
+    pub fn export_all() -> Self {
+        TracePolicy {
+            sample_every: 1,
+            ..TracePolicy::default()
+        }
+    }
+
+    /// A policy that exports only drops and errors.
+    #[must_use]
+    pub fn drops_only() -> Self {
+        TracePolicy {
+            sample_every: 0,
+            ..TracePolicy::default()
+        }
+    }
+
+    /// Whether the trace for commit `seq` with `outcome` is exported.
+    #[must_use]
+    pub fn exports(&self, seq: u64, outcome: &TraceOutcome) -> bool {
+        if outcome.is_drop() {
+            return true;
+        }
+        self.sample_every > 0 && seq.is_multiple_of(self.sample_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed() -> TraceOutcome {
+        TraceOutcome::Committed {
+            visits: 1,
+            observations: 1,
+        }
+    }
+
+    fn dropped() -> TraceOutcome {
+        TraceOutcome::Dropped {
+            reason: "malformed".into(),
+        }
+    }
+
+    #[test]
+    fn drops_always_export() {
+        for policy in [
+            TracePolicy::default(),
+            TracePolicy::export_all(),
+            TracePolicy::drops_only(),
+        ] {
+            for seq in [0, 1, 63, 64, 1000] {
+                assert!(policy.exports(seq, &dropped()));
+            }
+        }
+    }
+
+    #[test]
+    fn successes_sample_one_in_n() {
+        let policy = TracePolicy {
+            sample_every: 4,
+            ..TracePolicy::default()
+        };
+        let exported: Vec<u64> = (0..10)
+            .filter(|&s| policy.exports(s, &committed()))
+            .collect();
+        assert_eq!(exported, vec![0, 4, 8]);
+        assert!(!TracePolicy::drops_only().exports(0, &committed()));
+        assert!(TracePolicy::export_all().exports(3, &committed()));
+    }
+}

@@ -11,6 +11,11 @@
 //!                                                      ingest uploads, print the traffic map
 //!                                                      (durably, when --state is given)
 //! busprobe recover  --dir DIR --state DIR              rebuild state from a WAL + snapshot dir
+//! busprobe explain  --dir DIR [TRIP-ID] [--jobs N]     replay uploads traced, narrate one trip's
+//!                                                      decision chain (or list all outcomes)
+//! busprobe trace    --dir DIR [--out FILE] [--jsonl FILE] [--sample-every N] [--jobs N]
+//!                                                      replay uploads traced, export Chrome
+//!                                                      trace-event JSON and/or JSONL traces
 //! busprobe demo     [--seed N]                         all three steps in memory
 //! busprobe metrics  --dir DIR [--format text|json|prometheus]
 //!                                                      ingest uploads, dump pipeline telemetry
@@ -40,6 +45,7 @@ use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
 use busprobe::sim::{Scenario, SimTime, Simulation};
 use busprobe::store::Store;
+use busprobe::trace::{RecoveryTrace, TracePolicy, Tracer};
 use busprobe_bench::{best_ns_per_call, World, BENCH_REPS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +53,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Metadata tying the artifacts of one study region together.
 #[derive(Debug, Serialize, Deserialize)]
@@ -62,6 +69,8 @@ fn main() -> ExitCode {
         Some("simulate" | "sim") => cmd_simulate(&args[1..]),
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -90,6 +99,8 @@ USAGE:
     busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
                       [--state DIR] [--snapshot-every N] [--limit N]
     busprobe recover  --dir DIR --state DIR [--snapshot HH:MM] [--geojson FILE]
+    busprobe explain  --dir DIR [TRIP-ID] [--jobs N]
+    busprobe trace    --dir DIR [--out FILE] [--jsonl FILE] [--sample-every N] [--jobs N]
     busprobe demo     [--seed N]
     busprobe metrics  --dir DIR [--format text|json|prometheus] [--state DIR]
     busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
@@ -112,6 +123,20 @@ crashed and resumed) ingests accumulate bit-identically to one
 uninterrupted run. `--limit N` ingests only the first N uploads (crash
 drills). `recover` rebuilds and prints the state read-only, attributing
 any skipped/torn records, without ingesting anything.
+
+`explain` replays the stored uploads with per-trip tracing on and
+narrates one upload's full decision chain — sanitize verdict, match
+candidates with scores and pruning, clustering, route mapping, fusion
+deltas, and the commit/drop outcome with its attributed reason. TRIP-ID
+is the commit sequence number (decimal) or the upload's content digest
+(`0x`-prefixed hex); with no TRIP-ID, every upload's outcome is listed.
+`trace` does the same replay and exports the traces: `--out FILE`
+writes Chrome trace-event JSON (load in chrome://tracing or Perfetto;
+spans nest under the stage timers, parallel traces carry a worker
+track), `--jsonl FILE` writes one deterministic JSON trace per line.
+`--sample-every N` keeps every Nth committed trip (drops and errors are
+always kept; default 1 = keep everything). The JSONL bytes are
+identical at every `--jobs` count.
 
 `bench` measures matcher throughput against synthetic databases,
 end-to-end ingest throughput on the calibrated ≥110-stop corpus, the
@@ -388,6 +413,21 @@ fn recovery_line(state: &Path, summary: &RecoverySummary) -> String {
     line
 }
 
+/// The structured provenance record of one recovery pass.
+fn recovery_trace(summary: &RecoverySummary) -> RecoveryTrace {
+    RecoveryTrace {
+        wal_segments: summary.wal_segments,
+        snapshot_seq: summary.snapshot_seq,
+        snapshots_skipped: summary.snapshots_skipped,
+        replayed_commits: summary.replayed_commits,
+        replayed_refreshes: summary.replayed_refreshes,
+        skipped_records: summary.skipped_records,
+        corrupt_tails: summary.corrupt_tails,
+        commits: summary.commits,
+        duration_s: summary.duration_s,
+    }
+}
+
 /// Recovers a monitor from `state` when it holds store artifacts, else
 /// starts cold; attaches a store for durable appends either way.
 fn durable_monitor(
@@ -536,6 +576,7 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         TrafficMonitor::recover(network.clone(), db, MonitorConfig::default(), &state)
             .map_err(|e| format!("recover from {state:?}: {e}"))?;
     println!("{}", recovery_line(&state, &summary));
+    println!("{}", recovery_trace(&summary).narrative());
 
     // Map horizon: --snapshot, or just after the stored corpus when one
     // is present (matching `ingest`'s default so maps are comparable),
@@ -565,6 +606,142 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         write_json(Path::new(path), &gj)?;
         println!("wrote GeoJSON to {path}");
     }
+    Ok(())
+}
+
+/// The first non-flag argument, skipping `--flag value` pairs (every
+/// busprobe flag takes a value).
+fn positional(args: &[String]) -> Option<&str> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            return Some(args[i].as_str());
+        }
+    }
+    None
+}
+
+/// Parses a TRIP-ID: a decimal commit sequence number or a
+/// `0x`-prefixed upload content digest.
+fn parse_trace_id(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| format!("invalid hex trace id `{s}`"))
+    } else {
+        s.parse()
+            .map_err(|_| format!("invalid trace id `{s}` (decimal seq or 0x-hex digest)"))
+    }
+}
+
+/// Replays the stored corpus with a trace sink attached; returns the
+/// tracer holding every exported trace.
+fn traced_replay(args: &[String], policy: TracePolicy) -> Result<Arc<Tracer>, String> {
+    let dir = dir_of(args)?;
+    let (_, network, _) = load_world(&dir)?;
+    let db: StopFingerprintDb = read_json(&dir.join("db.json"))?;
+    let trips: Vec<Trip> = read_json(&dir.join("trips.json"))?;
+    if trips.is_empty() {
+        return Err("trips.json contains no uploads; run `busprobe simulate` first".into());
+    }
+    let received = load_received(&dir, &trips)?;
+    let jobs: usize = flag_value(args, "--jobs")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --jobs".to_string())?;
+    announce_corpus(&dir, trips.len(), &received);
+    let monitor = TrafficMonitor::new(network, db, MonitorConfig::default());
+    let tracer = Arc::new(Tracer::new(policy));
+    monitor.set_trace_sink(Some(Arc::clone(&tracer)));
+    match &received {
+        Some(r) => monitor.ingest_batch_received_parallel(&trips, r, jobs),
+        None => monitor.ingest_batch_parallel(&trips, jobs),
+    };
+    Ok(tracer)
+}
+
+/// `busprobe explain`: replay the corpus traced and narrate one
+/// upload's decision chain — or list every upload's outcome when no
+/// TRIP-ID is given.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let tracer = traced_replay(args, TracePolicy::export_all())?;
+    let records = tracer.exported();
+    match positional(args) {
+        Some(raw) => {
+            let id = parse_trace_id(raw)?;
+            let record = tracer.find(id).ok_or_else(|| {
+                format!(
+                    "no trace for `{raw}` among {} uploads; run `busprobe explain --dir DIR` \
+                     with no TRIP-ID to list ids",
+                    records.len()
+                )
+            })?;
+            println!("{}", record.trace.narrative());
+            if let Some(worker) = record.worker {
+                println!("  staged by worker {worker}");
+            }
+        }
+        None => {
+            println!(
+                "{:>6}  {:<18}  {:>7}  outcome",
+                "seq", "trace id", "samples"
+            );
+            for record in &records {
+                let t = &record.trace;
+                println!(
+                    "{:>6}  {:<18}  {:>7}  {}",
+                    t.seq,
+                    format!("{:#018x}", t.trace_id),
+                    t.samples,
+                    busprobe::trace::outcome_label(&t.outcome)
+                );
+            }
+            let drops = records.iter().filter(|r| r.trace.outcome.is_drop()).count();
+            println!(
+                "{} uploads: {} committed, {drops} dropped — \
+                 `busprobe explain --dir DIR SEQ` narrates one",
+                records.len(),
+                records.len() - drops
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `busprobe trace`: replay the corpus traced and export the traces as
+/// Chrome trace-event JSON and/or JSONL.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let sample_every: u64 = flag_value(args, "--sample-every")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "invalid --sample-every".to_string())?;
+    let policy = TracePolicy {
+        sample_every,
+        ..TracePolicy::default()
+    };
+    let out = flag_value(args, "--out");
+    let jsonl = flag_value(args, "--jsonl");
+    if out.is_none() && jsonl.is_none() {
+        return Err("nothing to write: pass --out FILE and/or --jsonl FILE".into());
+    }
+    let tracer = traced_replay(args, policy)?;
+    let records = tracer.exported();
+    let drops = records.iter().filter(|r| r.trace.outcome.is_drop()).count();
+    if let Some(path) = out {
+        std::fs::write(path, tracer.chrome_trace()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote Chrome trace-event JSON to {path} (open in chrome://tracing)");
+    }
+    if let Some(path) = jsonl {
+        std::fs::write(path, tracer.jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote JSONL traces to {path}");
+    }
+    println!(
+        "exported {} traces ({} drops, sample-every {sample_every}); \
+         flight recorder holds the last {}",
+        records.len(),
+        drops,
+        tracer.flight().len()
+    );
     Ok(())
 }
 

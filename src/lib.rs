@@ -26,6 +26,7 @@
 //! | [`faults`] | deterministic fault injection: beep loss, clock skew, duplicates, corruption |
 //! | [`telemetry`] | counters, stage timers, event log, JSON/Prometheus exporters |
 //! | [`store`] | durable WAL + snapshot persistence with crash recovery |
+//! | [`trace`] | per-upload decision provenance: trip traces, sampling, JSONL/Chrome exports |
 //! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
 //!
 //! ## Quickstart
@@ -64,3 +65,4 @@ pub use busprobe_sensors as sensors;
 pub use busprobe_sim as sim;
 pub use busprobe_store as store;
 pub use busprobe_telemetry as telemetry;
+pub use busprobe_trace as trace;

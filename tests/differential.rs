@@ -279,6 +279,76 @@ fn online_update_harvest_is_deterministic() {
     }
 }
 
+/// The tracing extension of the equivalence proof: the exported JSONL
+/// decision traces — ids, sequence numbers, every event, every outcome
+/// — are **byte-identical** at every worker count, under both the
+/// export-all and 1-in-N sampling policies, on a fault-injected corpus
+/// where duplicates and damaged uploads race the stage pool.
+#[test]
+fn trace_jsonl_is_byte_identical_at_all_worker_counts() {
+    use busprobe::trace::{TracePolicy, Tracer};
+    use std::sync::Arc;
+
+    let world = TestWorld::new(65, 4);
+    let base = World::small(65).ride_corpus(160, 65);
+    let (trips, received) = faulted(&base, FaultPlan::calibrated(), 17);
+
+    let policies = [
+        ("export-all", TracePolicy::export_all()),
+        (
+            "sampled",
+            TracePolicy {
+                sample_every: 5,
+                ..TracePolicy::default()
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        let traced_run = |workers: Option<usize>| -> String {
+            let monitor = world.monitor();
+            let tracer = Arc::new(Tracer::new(policy));
+            monitor.set_trace_sink(Some(Arc::clone(&tracer)));
+            match workers {
+                // The serial reference is the primitive per-upload path.
+                None => {
+                    for (i, t) in trips.iter().enumerate() {
+                        monitor.ingest_upload(t, received.get(i).copied());
+                    }
+                }
+                Some(w) => {
+                    let _ = monitor.ingest_batch_received_parallel(&trips, &received, w);
+                }
+            }
+            tracer.jsonl()
+        };
+        let reference = traced_run(None);
+        assert!(!reference.is_empty(), "{name}: traces were exported");
+        for workers in WORKER_COUNTS {
+            let got = traced_run(Some(workers));
+            assert_eq!(
+                got, reference,
+                "{name}/workers={workers}: trace JSONL diverged from serial"
+            );
+        }
+        // The export is one valid JSON object per line, in commit order.
+        let mut last_seq = None;
+        for (i, line) in reference.lines().enumerate() {
+            let v: serde_json::Value =
+                serde_json::from_str(line).unwrap_or_else(|e| panic!("{name}: line {i}: {e}"));
+            let seq = v
+                .get("seq")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or_else(|| panic!("{name}: line {i} lacks a seq"));
+            if policy.sample_every == 1 {
+                assert_eq!(seq, i as u64, "{name}: line {i} out of order");
+            } else {
+                assert!(last_seq < Some(seq), "{name}: line {i} out of order");
+            }
+            last_seq = Some(seq);
+        }
+    }
+}
+
 /// A worker count far beyond the batch size degenerates gracefully: the
 /// engine clamps to one worker per trip and stays bit-identical.
 #[test]

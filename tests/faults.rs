@@ -217,6 +217,79 @@ fn chaos_fault_rate_sweep_degrades_gracefully() {
     }
 }
 
+/// Chaos matrix with tracing on: under a drops-only sampling policy,
+/// **every** dropped upload at every fault scale leaves an attributing
+/// trace whose reason label agrees with the ingest report's
+/// [`DropReason`] — and committed uploads export nothing (sampling off
+/// for successes), keeping the policy honest under load.
+#[test]
+fn chaos_every_drop_leaves_an_attributing_trace() {
+    use busprobe::trace::{TraceOutcome, TracePolicy, Tracer};
+    use std::sync::Arc;
+
+    let setup = Setup::new(48);
+    let trips = setup.clean_trips(7);
+
+    for &scale in &[0.5, 1.0, 2.0, 3.0] {
+        let context = format!("scale {scale}");
+        let (faulted_trips, received) = faulted(&trips, FaultPlan::calibrated_scaled(scale), 19);
+        let monitor = setup.monitor();
+        let tracer = Arc::new(Tracer::new(TracePolicy::drops_only()));
+        monitor.set_trace_sink(Some(Arc::clone(&tracer)));
+        let reports = monitor.ingest_batch_received(&faulted_trips, &received);
+        assert_coherent(&reports, &context);
+
+        let records = tracer.exported();
+        let dropped: Vec<(usize, DropReason)> = reports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.drop_reason().map(|d| (i, d)))
+            .collect();
+        assert_eq!(
+            records.len(),
+            dropped.len(),
+            "{context}: one trace per dropped upload, none for commits"
+        );
+        for ((seq, reason), record) in dropped.iter().zip(&records) {
+            let trace = &record.trace;
+            assert_eq!(trace.seq, *seq as u64, "{context}: trace out of order");
+            match &trace.outcome {
+                TraceOutcome::Dropped { reason: label } => assert_eq!(
+                    label,
+                    reason.trace_label(),
+                    "{context}: upload #{seq} trace disagrees with its report"
+                ),
+                other => panic!("{context}: upload #{seq} traced as {other:?}"),
+            }
+            // The trace carries evidence, not just the verdict: every
+            // drop past the dedup fast path records its sanitize pass.
+            if !matches!(
+                reason,
+                DropReason::RejectedDuplicate | DropReason::InternalError
+            ) {
+                assert!(
+                    trace
+                        .events
+                        .iter()
+                        .any(|e| e.kind() == "Sanitize" || e.kind() == "NearDuplicate"),
+                    "{context}: upload #{seq} trace has no evidence: {:?}",
+                    trace.events
+                );
+            }
+            assert!(
+                trace.narrative().contains(reason.trace_label()),
+                "{context}: narrative omits the drop reason"
+            );
+        }
+        if scale >= 1.0 {
+            assert!(
+                !records.is_empty(),
+                "{context}: calibrated faults actually drop uploads"
+            );
+        }
+    }
+}
+
 #[test]
 fn poisoned_trip_in_batch_of_fifty_is_isolated() {
     let setup = Setup::new(45);

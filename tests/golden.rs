@@ -143,6 +143,40 @@ fn golden_corpus_snapshot_is_stable() {
     );
 }
 
+/// The trace JSONL schema is a golden snapshot too: replaying the
+/// committed corpus with tracing on must reproduce `traces.jsonl` byte
+/// for byte — any change to the event fields, their order, the outcome
+/// labels or the sampling policy shows up as a reviewable diff.
+#[test]
+fn golden_trace_jsonl_schema_is_stable() {
+    use busprobe::trace::{TracePolicy, Tracer};
+    use std::sync::Arc;
+
+    let corpus_path = golden_dir().join("corpus.json");
+    let Ok(committed) = std::fs::read_to_string(&corpus_path) else {
+        assert!(
+            blessing(),
+            "missing golden corpus {}",
+            corpus_path.display()
+        );
+        return; // first bless run: the serial test writes the corpus
+    };
+    let (trips, received): (Vec<Trip>, Vec<f64>) = serde_json::from_str(&committed).unwrap();
+
+    let monitor = monitor();
+    let tracer = Arc::new(Tracer::new(TracePolicy::export_all()));
+    monitor.set_trace_sink(Some(Arc::clone(&tracer)));
+    let reports = monitor.ingest_batch_received_parallel(&trips, &received, 2);
+    assert_eq!(reports.len(), trips.len());
+    let jsonl = tracer.jsonl();
+    assert_eq!(
+        jsonl.lines().count(),
+        trips.len(),
+        "export-all traces every upload"
+    );
+    assert_golden("traces.jsonl", &jsonl);
+}
+
 /// The golden replay is itself parallel-safe: the committed corpus run
 /// through the parallel engine matches the committed snapshots too.
 #[test]
