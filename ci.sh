@@ -27,6 +27,17 @@ cargo test -q --test determinism_prop
 cargo test -q --test golden
 cargo test -q --test stress_concurrency
 
+echo "== serve suite (overload shedding + kill -9 crash matrix) =="
+# The streaming frontend's contracts: sustained 2x overload sheds with
+# every drop attributed over a bounded queue, block-policy backpressure
+# never drops, drain flushes acks and checkpoints, the watchdog fails
+# fast on a stalled commit loop (tests/serve_stream.rs) — and on real
+# processes, kill -9 mid-stream never loses an acked upload, a full
+# re-send restores byte-identity with batch ingest, and SIGTERM/SIGINT
+# exit 0 after checkpointing (tests/serve_crash.rs).
+cargo test -q --test serve_stream
+cargo test -q --test serve_crash
+
 echo "== crash-recovery matrix (WAL + snapshot durability) =="
 # Workers {1,4} x snapshot cadence {1,7,none} x crash point {early, mid,
 # torn-last-record}: recover, resume, and the final state must be
@@ -87,14 +98,36 @@ grep -q "torn segment tails" "$tmpdir/recover.out"
   --geojson "$tmpdir/resumed.geojson" >/dev/null
 cmp "$tmpdir/jobs1.geojson" "$tmpdir/resumed.geojson"
 
+echo "== CLI serve drill: stream over a socket, SIGTERM drain, compare =="
+# End-to-end through the resident server: serve the simulated world on
+# a unix socket with a durable state dir, stream the whole corpus with
+# a deliberately flaky producer (bursts, pauses, disconnects that
+# re-send the unacked tail), SIGTERM must drain to exit 0 with a final
+# checkpoint, and the published GeoJSON must be byte-identical to a
+# plain batch ingest of the same corpus.
+./target/release/busprobe serve --dir "$tmpdir" --socket "$tmpdir/serve.sock" \
+  --state "$tmpdir/serve-state" --publish "$tmpdir/publish" \
+  --jobs 2 --queue 64 --sync-every 16 --publish-interval-s 0.2 \
+  > "$tmpdir/serve.out" &
+serve_pid=$!
+for _ in $(seq 100); do [ -S "$tmpdir/serve.sock" ] && break; sleep 0.1; done
+./target/release/busprobe send --dir "$tmpdir" --socket "$tmpdir/serve.sock" \
+  --stream-faults flaky > "$tmpdir/send.out"
+grep -q "all uploads accounted for" "$tmpdir/send.out"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "drained:" "$tmpdir/serve.out"
+grep -q "final checkpoint covers" "$tmpdir/serve.out"
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/publish/map.geojson"
+
 echo "== perf regression check =="
 # Fresh matcher + end-to-end ingest + parallel-scaling + durable-store
-# benchmarks compared against the committed BENCH_matching.json /
-# BENCH_pipeline.json / BENCH_parallel.json / BENCH_store.json
-# baselines; fails on a >20% slowdown, on machines with >=4 cores also
-# enforces the >=2.5x speedup floor at 4 workers, and always enforces
-# the 10% WAL append-overhead ceiling (see README for regenerating
-# baselines).
+# + streaming-overload benchmarks compared against the committed
+# BENCH_matching.json / BENCH_pipeline.json / BENCH_parallel.json /
+# BENCH_store.json / BENCH_serve.json baselines; fails on a >20%
+# slowdown, on machines with >=4 cores also enforces the >=2.5x
+# speedup floor at 4 workers, and always enforces the 10% WAL
+# append-overhead ceiling (see README for regenerating baselines).
 ./target/release/busprobe bench --check
 
 echo "== cargo fmt --check =="

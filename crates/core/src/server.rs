@@ -42,13 +42,26 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How many scans get a full per-scan [`TraceEvent::MatchDecision`]
 /// (and observations a [`TraceEvent::FusionDelta`]) in a trace; the
 /// rest are summarized. Bounds trace size on hostile uploads.
 const TRACE_DETAIL: usize = 4;
+
+/// Transient store I/O on the commit path (WAL append / fsync) is
+/// retried this many times after the first failure before the monitor
+/// degrades to an attributed durability fail-stop.
+const STORE_IO_RETRIES: u32 = 4;
+
+/// First retry delay; doubles per attempt up to
+/// [`STORE_IO_BACKOFF_CAP_MS`].
+const STORE_IO_BACKOFF_BASE_MS: u64 = 2;
+
+/// Ceiling on the per-retry backoff delay.
+const STORE_IO_BACKOFF_CAP_MS: u64 = 50;
 
 /// Complete backend configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -101,13 +114,27 @@ pub enum DropReason {
     /// The pipeline panicked on this upload; the trip was isolated and
     /// dropped (a bug, but never a silent one and never an outage).
     InternalError,
+    /// The streaming frontend's admission queue was full and the
+    /// configured policy rejected (or evicted) this upload instead of
+    /// blocking the producer.
+    ShedQueueFull,
+    /// The upload waited in the admission queue past the configured
+    /// latency budget and was shed before staging.
+    ShedDeadline,
+    /// The upload's wire frame exceeded the configured byte or sample
+    /// limits and was refused at admission.
+    Oversized,
+    /// The wire frame was not a valid protocol line (bad JSON, missing
+    /// or undecodable `upload` field).
+    Unparseable,
 }
 
 impl DropReason {
-    /// Every variant, in pipeline order. The exhaustiveness tests walk
-    /// this list so a new variant can't silently lose its telemetry
-    /// counter or trace attribution.
-    pub const ALL: [DropReason; 7] = [
+    /// Every variant, in pipeline order (admission-layer reasons last —
+    /// they fire before the upload ever reaches staging). The
+    /// exhaustiveness tests walk this list so a new variant can't
+    /// silently lose its telemetry counter or trace attribution.
+    pub const ALL: [DropReason; 11] = [
         DropReason::RejectedDuplicate,
         DropReason::RejectedNearDuplicate,
         DropReason::Malformed,
@@ -115,6 +142,10 @@ impl DropReason {
         DropReason::Unmapped,
         DropReason::TooFewVisits,
         DropReason::InternalError,
+        DropReason::ShedQueueFull,
+        DropReason::ShedDeadline,
+        DropReason::Oversized,
+        DropReason::Unparseable,
     ];
 
     /// The global telemetry counter attributing this drop.
@@ -128,6 +159,10 @@ impl DropReason {
             DropReason::Unmapped => "busprobe_core_drop_unmapped_total",
             DropReason::TooFewVisits => "busprobe_core_drop_too_few_visits_total",
             DropReason::InternalError => "busprobe_core_drop_internal_error_total",
+            DropReason::ShedQueueFull => "busprobe_core_drop_shed_queue_full_total",
+            DropReason::ShedDeadline => "busprobe_core_drop_shed_deadline_total",
+            DropReason::Oversized => "busprobe_core_drop_oversized_total",
+            DropReason::Unparseable => "busprobe_core_drop_unparseable_total",
         }
     }
 
@@ -142,6 +177,10 @@ impl DropReason {
             DropReason::Unmapped => "unmapped",
             DropReason::TooFewVisits => "too-few-visits",
             DropReason::InternalError => "internal-error",
+            DropReason::ShedQueueFull => "shed-queue-full",
+            DropReason::ShedDeadline => "shed-deadline",
+            DropReason::Oversized => "oversized",
+            DropReason::Unparseable => "unparseable",
         }
     }
 }
@@ -322,6 +361,10 @@ pub struct TrafficMonitor {
     /// Uploads committed so far — the trace sequence number, which is
     /// the commit order and therefore identical at any worker count.
     committed: AtomicU64,
+    /// Latched when store I/O exhausted its retries and the store was
+    /// detached: durability has fail-stopped while ingest continues.
+    /// Resident frontends poll this to drain and exit with diagnostics.
+    store_failed: AtomicBool,
 }
 
 impl TrafficMonitor {
@@ -341,6 +384,7 @@ impl TrafficMonitor {
             store: Mutex::new(None),
             tracer: RwLock::new(None),
             committed: AtomicU64::new(0),
+            store_failed: AtomicBool::new(false),
         }
     }
 
@@ -357,6 +401,23 @@ impl TrafficMonitor {
             }
         }
         h.finish()
+    }
+
+    /// Content digest of an upload, as used for trace identities and
+    /// duplicate detection. Exposed so admission layers (the streaming
+    /// frontend) can attribute uploads they drop *before* staging under
+    /// the same id a committed copy would have carried.
+    #[must_use]
+    pub fn upload_digest(trip: &Trip) -> u64 {
+        Self::digest(trip)
+    }
+
+    /// Uploads committed so far — equivalently, the sequence number the
+    /// next commit will receive. Monotone, so watchdogs can use it as a
+    /// liveness heartbeat for the commit path.
+    #[must_use]
+    pub fn commit_count(&self) -> u64 {
+        self.committed.load(AtomicOrdering::Relaxed)
     }
 
     /// The study region.
@@ -760,32 +821,92 @@ impl TrafficMonitor {
         report
     }
 
+    /// Runs one store I/O operation with bounded retries and capped
+    /// exponential backoff, counting every retry. Transient failures
+    /// (EINTR, a hiccuping filesystem) heal invisibly; a persistent one
+    /// surfaces as the final error for the caller to fail-stop on.
+    fn retry_store_io<T>(
+        &self,
+        what: &str,
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        let mut delay = Duration::from_millis(STORE_IO_BACKOFF_BASE_MS);
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if attempt < STORE_IO_RETRIES => {
+                    attempt += 1;
+                    self.metrics.store_io_retries.inc();
+                    busprobe_telemetry::event(
+                        Level::Warn,
+                        "core::store",
+                        format!(
+                            "{what} failed (attempt {attempt}/{STORE_IO_RETRIES}), \
+                             retrying in {delay:?}: {e}"
+                        ),
+                    );
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(STORE_IO_BACKOFF_CAP_MS));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Degrades durability to an attributed fail-stop after store I/O
+    /// exhausted its retries: the store is detached (no further appends
+    /// are attempted), the failure is counted, logged at error level and
+    /// latched in [`store_failed`](Self::store_failed). Ingestion itself
+    /// continues — availability over durability, and never a panic.
+    fn fail_stop_store(&self, guard: &mut Option<AttachedStore>, what: &str, e: &io::Error) {
+        self.metrics.store_failstop.inc();
+        self.store_failed.store(true, AtomicOrdering::Release);
+        *guard = None;
+        busprobe_telemetry::event(
+            Level::Error,
+            "core::store",
+            format!(
+                "{what} still failing after {STORE_IO_RETRIES} retries; \
+                 durability fail-stop, store detached: {e}"
+            ),
+        );
+    }
+
+    /// Whether store I/O fail-stopped: commits since the latch are not
+    /// durable, and resident frontends should drain and exit with
+    /// diagnostics instead of silently serving non-durable acks.
+    #[must_use]
+    pub fn store_failed(&self) -> bool {
+        self.store_failed.load(AtomicOrdering::Acquire)
+    }
+
     /// Appends one commit record to the attached store (a no-op without
     /// one) and auto-checkpoints on the configured cadence. Returns the
     /// record's WAL sequence number, or `None` when no store is attached
     /// or the append failed.
     ///
-    /// An append failure degrades durability, never availability: it is
-    /// counted and logged, and ingestion continues.
+    /// An append failure is retried with backoff; exhausting the retries
+    /// degrades durability, never availability: the failure is counted,
+    /// logged, latched via [`store_failed`](Self::store_failed), and
+    /// ingestion continues.
     fn log_commit(&self, record: CommitRecord) -> Option<u64> {
         let mut guard = self.store.lock();
         let attached = guard.as_mut()?;
         let payload = WalRecord::Commit(record).encode();
-        let (wal_seq, snapshot_due) = match attached.store.append(&payload) {
-            Ok(seq) => (
-                Some(seq),
-                attached.snapshot_every > 0 && (seq + 1) % attached.snapshot_every == 0,
-            ),
-            Err(e) => {
-                self.metrics.store_append_errors.inc();
-                busprobe_telemetry::event(
-                    Level::Warn,
-                    "core::store",
-                    format!("WAL append failed; commit not durable: {e}"),
-                );
-                (None, false)
-            }
-        };
+        let snapshot_every = attached.snapshot_every;
+        let (wal_seq, snapshot_due) =
+            match self.retry_store_io("WAL append", || attached.store.append(&payload)) {
+                Ok(seq) => (
+                    Some(seq),
+                    snapshot_every > 0 && (seq + 1) % snapshot_every == 0,
+                ),
+                Err(e) => {
+                    self.metrics.store_append_errors.inc();
+                    self.fail_stop_store(&mut guard, "WAL append", &e);
+                    (None, false)
+                }
+            };
         drop(guard);
         if snapshot_due {
             if let Err(e) = self.checkpoint() {
@@ -806,13 +927,12 @@ impl TrafficMonitor {
         let Some(attached) = guard.as_mut() else {
             return;
         };
-        if let Err(e) = attached.store.append(&WalRecord::Refresh.encode()) {
+        let payload = WalRecord::Refresh.encode();
+        if let Err(e) =
+            self.retry_store_io("WAL refresh append", || attached.store.append(&payload))
+        {
             self.metrics.store_append_errors.inc();
-            busprobe_telemetry::event(
-                Level::Warn,
-                "core::store",
-                format!("WAL append failed; refresh not durable: {e}"),
-            );
+            self.fail_stop_store(&mut guard, "WAL refresh append", &e);
         }
     }
 
@@ -873,7 +993,19 @@ impl TrafficMonitor {
             Some(DropReason::UnmatchedScans) => self.metrics.drop_unmatched_scans.inc(),
             Some(DropReason::Unmapped) => self.metrics.drop_unmapped.inc(),
             Some(DropReason::TooFewVisits) => self.metrics.drop_too_few_visits.inc(),
-            Some(DropReason::RejectedDuplicate | DropReason::InternalError) | None => {}
+            // Duplicates and internal errors are counted at their own
+            // sites; admission-layer reasons never come out of an
+            // IngestReport (they fire before staging, in the serve
+            // frontend) but the match stays wildcard-free on purpose.
+            Some(
+                DropReason::RejectedDuplicate
+                | DropReason::InternalError
+                | DropReason::ShedQueueFull
+                | DropReason::ShedDeadline
+                | DropReason::Oversized
+                | DropReason::Unparseable,
+            )
+            | None => {}
         }
         if let Some(reason) = report.drop_reason() {
             busprobe_telemetry::event(
@@ -996,9 +1128,19 @@ impl TrafficMonitor {
     /// appended so far durable against a crash. No-op when no store is
     /// attached. Appends are otherwise buffered and reach the OS at
     /// rotation, checkpoints and drop.
+    ///
+    /// A failing fsync is retried with backoff; exhaustion fail-stops
+    /// durability (store detached, [`store_failed`](Self::store_failed)
+    /// latched) *and* returns the error, so callers gating
+    /// acknowledgements on durability never release them.
     pub fn sync_store(&self) -> io::Result<()> {
-        if let Some(attached) = self.store.lock().as_mut() {
-            attached.store.sync()?;
+        let mut guard = self.store.lock();
+        let Some(attached) = guard.as_mut() else {
+            return Ok(());
+        };
+        if let Err(e) = self.retry_store_io("WAL fsync", || attached.store.sync()) {
+            self.fail_stop_store(&mut guard, "WAL fsync", &e);
+            return Err(e);
         }
         Ok(())
     }
@@ -1088,6 +1230,7 @@ impl TrafficMonitor {
                     store: Mutex::new(None),
                     tracer: RwLock::new(None),
                     committed: AtomicU64::new(0),
+                    store_failed: AtomicBool::new(false),
                 };
                 (monitor, Some(*seq), commits)
             }
@@ -1245,6 +1388,7 @@ impl TrafficMonitor {
             store: Mutex::new(None),
             tracer: RwLock::new(None),
             committed: AtomicU64::new(0),
+            store_failed: AtomicBool::new(false),
         }
     }
 
@@ -1700,5 +1844,80 @@ mod tests {
         assert_eq!(found.trace.seq, 0);
         assert!(tracer.find(2).is_some(), "find by seq");
         assert!(found.trace.narrative().contains("committed"));
+    }
+
+    fn store_scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("busprobe-core-retry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn transient_store_faults_heal_with_retries() {
+        let (monitor, scanner) = setup(50);
+        let dir = store_scratch("heal");
+        let mut store = Store::open(&dir).unwrap();
+        // Two hiccups: well inside the retry budget, so the append must
+        // eventually land and durability must survive untouched.
+        store.inject_io_faults(2, 0);
+        monitor.attach_store(store, 0);
+        let before = monitor.metrics.store_io_retries.get();
+        let trip = ride(&monitor, &scanner, 5, 3, 80.0, 1);
+        let report = monitor.ingest_trip(&trip);
+        assert!(report.observations > 0, "{report:?}");
+        assert_eq!(
+            monitor.metrics.store_io_retries.get() - before,
+            2,
+            "each injected fault costs exactly one retry"
+        );
+        assert!(!monitor.store_failed(), "store healed, no fail-stop");
+        assert!(monitor.has_store(), "store stays attached");
+        assert_eq!(monitor.store_seq(), Some(1), "the commit reached the WAL");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_store_retries_fail_stop_without_panicking() {
+        let (monitor, scanner) = setup(51);
+        let dir = store_scratch("failstop");
+        let mut store = Store::open(&dir).unwrap();
+        // More consecutive faults than the retry budget: the append can
+        // never land, so durability must degrade to an attributed
+        // fail-stop while ingestion keeps going.
+        store.inject_io_faults(STORE_IO_RETRIES + 2, 0);
+        monitor.attach_store(store, 0);
+        let trip = ride(&monitor, &scanner, 5, 3, 80.0, 1);
+        let report = monitor.ingest_trip(&trip);
+        assert!(report.observations > 0, "the commit itself still lands");
+        assert!(monitor.store_failed(), "fail-stop latched");
+        assert!(!monitor.has_store(), "store detached on fail-stop");
+        assert!(
+            monitor.metrics.store_failstop.get() >= 1,
+            "fail-stop attributed in telemetry"
+        );
+        // Availability over durability: later uploads still ingest.
+        let trip2 = ride(&monitor, &scanner, 5, 3, 85.0, 2);
+        let report2 = monitor.ingest_trip(&trip2);
+        assert!(report2.observations > 0, "{report2:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_returns_err_after_fail_stop() {
+        let (monitor, scanner) = setup(52);
+        let dir = store_scratch("syncfail");
+        let mut store = Store::open(&dir).unwrap();
+        store.inject_io_faults(0, STORE_IO_RETRIES + 2);
+        monitor.attach_store(store, 0);
+        let trip = ride(&monitor, &scanner, 5, 3, 80.0, 1);
+        monitor.ingest_trip(&trip);
+        // An ack-gating caller must see the failure, not a silent Ok.
+        assert!(monitor.sync_store().is_err(), "exhausted sync surfaces");
+        assert!(monitor.store_failed());
+        assert!(!monitor.has_store());
+        // Once detached, sync is a no-op again.
+        assert!(monitor.sync_store().is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

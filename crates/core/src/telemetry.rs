@@ -45,6 +45,11 @@ pub(crate) struct PipelineMetrics {
     // Durable-store appends that failed (ingestion continues; durability
     // of the affected commits is lost).
     pub store_append_errors: Counter,
+    // Transient store I/O failures on the commit path that were retried
+    // (and may have healed), and retry exhaustions that latched the
+    // durability fail-stop.
+    pub store_io_retries: Counter,
+    pub store_failstop: Counter,
     // Distribution of observations per accepted trip.
     pub obs_per_trip: Arc<Histogram>,
     // Wall-time per pipeline stage.
@@ -62,6 +67,15 @@ pub(crate) struct PipelineMetrics {
 impl PipelineMetrics {
     pub(crate) fn new() -> Self {
         let registry = busprobe_telemetry::global();
+        // Admission-layer drop reasons (queue shedding, deadline misses,
+        // oversized/unparseable frames) are incremented by the streaming
+        // frontend, which resolves these same counters by name; touching
+        // every variant here keeps the DropReason exhaustiveness
+        // contract — each variant owns a live counter the moment any
+        // monitor exists.
+        for reason in crate::server::DropReason::ALL {
+            registry.counter(reason.counter_name());
+        }
         Self {
             trips: registry.counter("busprobe_core_trips_ingested_total"),
             samples: registry.counter("busprobe_core_samples_total"),
@@ -88,6 +102,8 @@ impl PipelineMetrics {
             drop_too_few_visits: registry.counter("busprobe_core_drop_too_few_visits_total"),
             drop_internal_error: registry.counter("busprobe_core_drop_internal_error_total"),
             store_append_errors: registry.counter("busprobe_core_store_append_errors_total"),
+            store_io_retries: registry.counter("busprobe_store_io_retries_total"),
+            store_failstop: registry.counter("busprobe_core_store_failstop_total"),
             obs_per_trip: registry.histogram("busprobe_core_observations_per_trip", &OBS_BUCKETS),
             stage_ingest_batch: registry.stage("busprobe_core_stage_ingest_batch"),
             stage_pipeline: registry.stage("busprobe_core_stage_pipeline"),

@@ -15,6 +15,9 @@
 //! * [`Upload`] — a faulted trip plus its trustworthy server-side arrival
 //!   time (phones lie about timestamps; the network does not), which the
 //!   backend's sanitizer uses to bound clock skew,
+//! * [`StreamFaultPlan`] — delivery-pattern faults for streaming
+//!   producers (bursts, slow pacing, mid-stream disconnects), driving
+//!   the `busprobe send` client against the resident serve frontend,
 //! * [`WalFaultPlan`] / [`damage_store_dir`] — storage-level damage for
 //!   `busprobe-store` state directories (truncated tails, torn appends,
 //!   bit flips), proving crash recovery degrades gracefully.
@@ -36,9 +39,11 @@
 
 mod inject;
 mod plan;
+mod stream;
 mod telemetry;
 mod wal;
 
 pub use inject::{FaultInjector, FaultReport, Injection, Upload};
 pub use plan::{FaultPlan, ParsePlanError};
+pub use stream::{ParseStreamPlanError, StreamAction, StreamFaultPlan};
 pub use wal::{damage_store_dir, WalFaultPlan, WalFaultReport};

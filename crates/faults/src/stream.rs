@@ -1,0 +1,221 @@
+//! Stream-level fault injection for the serve frontend's producers.
+//!
+//! The upload faults in [`plan`](crate::FaultPlan) damage *content*;
+//! this module damages *delivery*: bursty arrival (many uploads
+//! back-to-back, then silence), slow paced producers, and connections
+//! that drop mid-stream and re-dial. A producer drives the plan by
+//! asking [`StreamFaultPlan::actions_before`] what to do before
+//! sending upload `index` — the schedule is a pure function of the
+//! index, so a re-run (or a crash-test re-send) replays the identical
+//! arrival pattern with no RNG state to carry.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// What a producer must do before sending one upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamAction {
+    /// Sleep this long (inter-burst gap / slow producer).
+    Pause(Duration),
+    /// Close the connection and re-dial before sending.
+    Disconnect,
+}
+
+/// Delivery-pattern faults for a streaming producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFaultPlan {
+    /// Uploads sent back-to-back between pauses (≤ 1 = no bursting;
+    /// every upload is its own "burst").
+    pub burst: usize,
+    /// Milliseconds of silence between bursts.
+    pub pause_ms: u64,
+    /// Drop and re-dial the connection every this many uploads
+    /// (0 = never disconnect).
+    pub disconnect_every: usize,
+}
+
+impl Default for StreamFaultPlan {
+    fn default() -> Self {
+        Self::smooth()
+    }
+}
+
+impl StreamFaultPlan {
+    /// An undisturbed producer: no pauses, no disconnects.
+    #[must_use]
+    pub fn smooth() -> Self {
+        StreamFaultPlan {
+            burst: 0,
+            pause_ms: 0,
+            disconnect_every: 0,
+        }
+    }
+
+    /// Bursty arrival: 50-upload salvos separated by 20 ms of silence
+    /// — the pattern a batching upload proxy produces.
+    #[must_use]
+    pub fn bursty() -> Self {
+        StreamFaultPlan {
+            burst: 50,
+            pause_ms: 20,
+            disconnect_every: 0,
+        }
+    }
+
+    /// A lossy mobile link: 20-upload bursts, 5 ms gaps, and a dropped
+    /// connection every 97 uploads (prime, so it drifts across burst
+    /// boundaries).
+    #[must_use]
+    pub fn flaky() -> Self {
+        StreamFaultPlan {
+            burst: 20,
+            pause_ms: 5,
+            disconnect_every: 97,
+        }
+    }
+
+    /// The actions a producer must take immediately before sending
+    /// upload `index` (0-based), in order. Deterministic in `index`.
+    #[must_use]
+    pub fn actions_before(&self, index: usize) -> Vec<StreamAction> {
+        let mut actions = Vec::new();
+        if self.disconnect_every > 0 && index > 0 && index.is_multiple_of(self.disconnect_every) {
+            actions.push(StreamAction::Disconnect);
+        }
+        if self.burst > 1 && self.pause_ms > 0 && index > 0 && index.is_multiple_of(self.burst) {
+            actions.push(StreamAction::Pause(Duration::from_millis(self.pause_ms)));
+        }
+        actions
+    }
+
+    /// Whether this plan disturbs delivery at all.
+    #[must_use]
+    pub fn is_smooth(&self) -> bool {
+        self.actions_before_count() == 0
+    }
+
+    fn actions_before_count(&self) -> usize {
+        usize::from(self.disconnect_every > 0) + usize::from(self.burst > 1 && self.pause_ms > 0)
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), ParseStreamPlanError> {
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| ParseStreamPlanError(format!("`{key}={value}` is not an integer")))?;
+        match key {
+            "burst" => self.burst = parsed as usize,
+            "pause_ms" => self.pause_ms = parsed,
+            "disconnect_every" => self.disconnect_every = parsed as usize,
+            other => {
+                return Err(ParseStreamPlanError(format!(
+                    "unknown stream-fault key `{other}` (expected burst, pause_ms or \
+                     disconnect_every)"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A malformed `--stream-faults` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStreamPlanError(pub String);
+
+impl fmt::Display for ParseStreamPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseStreamPlanError {}
+
+impl FromStr for StreamFaultPlan {
+    type Err = ParseStreamPlanError;
+
+    /// `preset[,key=value]*` with presets `smooth`, `bursty`, `flaky`
+    /// — the same grammar shape as `--faults`.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut plan = StreamFaultPlan::smooth();
+        for (i, part) in spec.split(',').map(str::trim).enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            match (i, part) {
+                (0, "smooth") => plan = StreamFaultPlan::smooth(),
+                (0, "bursty") => plan = StreamFaultPlan::bursty(),
+                (0, "flaky") => plan = StreamFaultPlan::flaky(),
+                _ => {
+                    let (key, value) = part.split_once('=').ok_or_else(|| {
+                        ParseStreamPlanError(format!("`{part}` is neither a preset nor key=value"))
+                    })?;
+                    plan.set(key.trim(), value.trim())?;
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_plan_never_acts() {
+        let plan = StreamFaultPlan::smooth();
+        for i in 0..200 {
+            assert!(plan.actions_before(i).is_empty());
+        }
+        assert!(plan.is_smooth());
+    }
+
+    #[test]
+    fn bursts_pause_on_boundaries_only() {
+        let plan: StreamFaultPlan = "burst=10,pause_ms=7".parse().unwrap();
+        assert!(plan.actions_before(0).is_empty(), "no pause before start");
+        assert!(plan.actions_before(9).is_empty());
+        assert_eq!(
+            plan.actions_before(10),
+            vec![StreamAction::Pause(Duration::from_millis(7))]
+        );
+        assert_eq!(
+            plan.actions_before(20),
+            vec![StreamAction::Pause(Duration::from_millis(7))]
+        );
+    }
+
+    #[test]
+    fn disconnects_precede_pauses_and_replay_identically() {
+        let plan: StreamFaultPlan = "flaky,burst=10,pause_ms=3".parse().unwrap();
+        let at_97 = plan.actions_before(97);
+        assert_eq!(at_97, vec![StreamAction::Disconnect]);
+        // 970 is both a disconnect multiple and a burst boundary.
+        let at_970 = plan.actions_before(970);
+        assert_eq!(
+            at_970,
+            vec![
+                StreamAction::Disconnect,
+                StreamAction::Pause(Duration::from_millis(3))
+            ]
+        );
+        assert_eq!(plan.actions_before(970), at_970, "pure function of index");
+    }
+
+    #[test]
+    fn presets_and_overrides_parse() {
+        assert_eq!(
+            "smooth".parse::<StreamFaultPlan>().unwrap(),
+            StreamFaultPlan::smooth()
+        );
+        assert_eq!(
+            "bursty".parse::<StreamFaultPlan>().unwrap(),
+            StreamFaultPlan::bursty()
+        );
+        let custom: StreamFaultPlan = "bursty,disconnect_every=40".parse().unwrap();
+        assert_eq!(custom.burst, 50);
+        assert_eq!(custom.disconnect_every, 40);
+        assert!("nope".parse::<StreamFaultPlan>().is_err());
+        assert!("burst=x".parse::<StreamFaultPlan>().is_err());
+    }
+}

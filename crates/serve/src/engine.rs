@@ -1,0 +1,993 @@
+//! The serve engine: admission control, the single commit loop,
+//! durability-gated acknowledgements, checkpointing, publication, and
+//! the stall watchdog.
+//!
+//! Producers (connection threads) call [`EngineHandle::handle_line`]
+//! with wire frames; uploads that pass the frame checks enter the
+//! bounded admission queue under the configured [`FullPolicy`]. One
+//! commit thread drains the queue in batches, sheds entries that
+//! overstayed the latency budget, runs the rest through the monitor's
+//! stage/commit pipeline, and acknowledges each upload only after its
+//! WAL record is fsynced — so a producer that re-sends whatever was
+//! never acked loses nothing across a crash, and the duplicate guard
+//! absorbs the overlap.
+//!
+//! Every upload that does not commit is attributed: shed, deadline,
+//! oversized and unparseable frames each increment their
+//! [`DropReason`] counter, emit an admission-drop trace, and (when the
+//! producer is still connected) get a `drop` response naming the
+//! reason.
+
+use crate::protocol::{self, Request};
+use crate::queue::{BoundedQueue, Popped};
+use busprobe_core::geojson::map_to_geojson;
+use busprobe_core::{DropReason, TrafficMonitor};
+use busprobe_geo::LocalProjection;
+use busprobe_mobile::Trip;
+use busprobe_telemetry::{Counter, Gauge, Histogram, Level};
+use busprobe_trace::{TraceRecord, TripTrace};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission-latency buckets, seconds.
+const LATENCY_BUCKETS: [f64; 10] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0];
+
+/// What to do with a new upload when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FullPolicy {
+    /// Stall the producer's connection until space frees up — true
+    /// backpressure, nothing is lost.
+    #[default]
+    Block,
+    /// Bounce the *new* upload with an attributed `shed-queue-full`
+    /// drop; queued work is never disturbed.
+    Reject,
+    /// Admit the new upload and shed the *oldest* queued one — freshest
+    /// data wins under overload.
+    ShedOldest,
+}
+
+impl FullPolicy {
+    /// The CLI / config spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FullPolicy::Block => "block",
+            FullPolicy::Reject => "reject",
+            FullPolicy::ShedOldest => "shed-oldest",
+        }
+    }
+}
+
+impl FromStr for FullPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(FullPolicy::Block),
+            "reject" => Ok(FullPolicy::Reject),
+            "shed-oldest" => Ok(FullPolicy::ShedOldest),
+            other => Err(format!(
+                "unknown full-queue policy {other:?} (expected block, reject or shed-oldest)"
+            )),
+        }
+    }
+}
+
+/// Tuning for one [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission queue capacity — the memory bound under overload.
+    pub queue_capacity: usize,
+    /// Full-queue policy.
+    pub full_policy: FullPolicy,
+    /// Shed uploads that waited in the queue longer than this.
+    pub latency_budget: Option<Duration>,
+    /// Stage-pool workers for the commit loop's batches (≤ 1 = serial).
+    pub workers: usize,
+    /// Most uploads the commit loop takes per batch.
+    pub batch_max: usize,
+    /// Fsync + release acknowledgements every this many commits (the
+    /// idle flush covers stragglers). 1 = ack every commit.
+    pub sync_every: u64,
+    /// Checkpoint every this many commits (0 = count trigger off).
+    pub checkpoint_every: u64,
+    /// Checkpoint at least this often while commits are flowing.
+    pub checkpoint_interval: Option<Duration>,
+    /// Publish `map.geojson` + `metrics.prom` here.
+    pub publish_dir: Option<PathBuf>,
+    /// Republish cadence while commits are flowing.
+    pub publish_interval: Duration,
+    /// Refuse frames longer than this many bytes (`oversized`).
+    pub max_line_bytes: usize,
+    /// Refuse uploads with more samples than this (`oversized`).
+    pub max_samples: usize,
+    /// Fail fast when the commit loop makes no progress for this long.
+    pub watchdog_stall: Option<Duration>,
+    /// Commit-loop poll interval when the queue is empty.
+    pub idle_poll: Duration,
+    /// Fault injection: sleep this long before ingesting each batch
+    /// (models a wedged pipeline so the watchdog can be tested).
+    pub commit_throttle: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            full_policy: FullPolicy::Block,
+            latency_budget: None,
+            workers: 1,
+            batch_max: 32,
+            sync_every: 32,
+            checkpoint_every: 0,
+            checkpoint_interval: None,
+            publish_dir: None,
+            publish_interval: Duration::from_secs(2),
+            max_line_bytes: 1 << 20,
+            max_samples: 4096,
+            watchdog_stall: None,
+            idle_poll: Duration::from_millis(25),
+            commit_throttle: None,
+        }
+    }
+}
+
+/// Where responses for one producer connection go. Cheap to clone;
+/// clones share the writer. Write failures (producer hung up) are
+/// counted, never fatal — the upload's fate is already recorded in
+/// telemetry and traces.
+#[derive(Clone)]
+pub struct ReplySink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl ReplySink {
+    /// Wraps a writer (socket half, stdout, buffer).
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        ReplySink {
+            writer: Arc::new(Mutex::new(Box::new(writer))),
+        }
+    }
+
+    /// An in-memory sink plus its shared buffer — test helper.
+    #[must_use]
+    pub fn buffered() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        (ReplySink::new(Buf(Arc::clone(&shared))), shared)
+    }
+
+    /// Sends a line, swallowing write errors (for front-end loops that
+    /// have no engine counter in hand).
+    pub fn send_raw(&self, line: &str) {
+        let mut writer = self.writer.lock();
+        let _ = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+    }
+
+    fn send_line(&self, line: &str, errors: &Counter) {
+        let mut writer = self.writer.lock();
+        let failed = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err();
+        if failed {
+            errors.inc();
+        }
+    }
+}
+
+/// One upload waiting in the admission queue.
+struct Admission {
+    id: Option<u64>,
+    trip: Trip,
+    received_s: Option<f64>,
+    digest: u64,
+    samples: usize,
+    enqueued: Instant,
+    reply: Option<ReplySink>,
+}
+
+/// Per-engine counters backing [`ServeSummary`] (the global telemetry
+/// registry is process-wide; these stay attributable per engine).
+#[derive(Default)]
+struct Stats {
+    received: AtomicU64,
+    admitted: AtomicU64,
+    committed: AtomicU64,
+    acked: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    oversized: AtomicU64,
+    unparseable: AtomicU64,
+    refused_draining: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// Pre-resolved global telemetry instruments.
+struct ServeMetrics {
+    admitted: Counter,
+    acked: Counter,
+    reply_errors: Counter,
+    checkpoints: Counter,
+    publishes: Counter,
+    queue_depth: Gauge,
+    queue_high_water: Gauge,
+    admission_latency: Arc<Histogram>,
+    shed_queue_full: Counter,
+    shed_deadline: Counter,
+    oversized: Counter,
+    unparseable: Counter,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        ServeMetrics {
+            admitted: busprobe_telemetry::counter("busprobe_serve_admitted_total"),
+            acked: busprobe_telemetry::counter("busprobe_serve_acks_total"),
+            reply_errors: busprobe_telemetry::counter("busprobe_serve_reply_errors_total"),
+            checkpoints: busprobe_telemetry::counter("busprobe_serve_checkpoints_total"),
+            publishes: busprobe_telemetry::counter("busprobe_serve_publishes_total"),
+            queue_depth: busprobe_telemetry::gauge("busprobe_serve_queue_depth"),
+            queue_high_water: busprobe_telemetry::gauge("busprobe_serve_queue_high_water"),
+            admission_latency: busprobe_telemetry::histogram(
+                "busprobe_serve_admission_latency_seconds",
+                &LATENCY_BUCKETS,
+            ),
+            shed_queue_full: busprobe_telemetry::counter(DropReason::ShedQueueFull.counter_name()),
+            shed_deadline: busprobe_telemetry::counter(DropReason::ShedDeadline.counter_name()),
+            oversized: busprobe_telemetry::counter(DropReason::Oversized.counter_name()),
+            unparseable: busprobe_telemetry::counter(DropReason::Unparseable.counter_name()),
+        }
+    }
+
+    fn drop_counter(&self, reason: DropReason) -> &Counter {
+        match reason {
+            DropReason::ShedQueueFull => &self.shed_queue_full,
+            DropReason::ShedDeadline => &self.shed_deadline,
+            DropReason::Oversized => &self.oversized,
+            _ => &self.unparseable,
+        }
+    }
+}
+
+/// State shared by producers, the commit loop and the watchdog.
+struct Shared {
+    monitor: Arc<TrafficMonitor>,
+    config: ServeConfig,
+    queue: BoundedQueue<Admission>,
+    stats: Stats,
+    tele: ServeMetrics,
+    /// Commit-loop heartbeat: one tick per loop iteration (batches and
+    /// idle polls alike). Frozen beats = a stuck commit thread.
+    commit_beats: AtomicU64,
+    /// Set once the commit loop has exited (stops the watchdog).
+    commit_done: AtomicBool,
+    checkpoint_requested: AtomicBool,
+    /// First fatal diagnostic (watchdog stall or store fail-stop).
+    fatal: Mutex<Option<String>>,
+    /// Max finite last-sample time over every upload handed to the
+    /// pipeline — mirrors the batch CLI's default-horizon fold so the
+    /// published map matches `ingest` byte for byte.
+    horizon_last: Mutex<f64>,
+    last_checkpoint_seq: Mutex<Option<u64>>,
+}
+
+impl Shared {
+    fn set_fatal(&self, diag: String) {
+        let mut fatal = self.fatal.lock();
+        if fatal.is_none() {
+            busprobe_telemetry::event(Level::Error, "serve::engine", diag.clone());
+            *fatal = Some(diag);
+        }
+    }
+
+    /// Attributes one upload dropped before staging: counter, trace,
+    /// and (when the producer is still listening) a `drop` response.
+    fn attribute_drop(&self, adm: &Admission, reason: DropReason) {
+        let stat = match reason {
+            DropReason::ShedQueueFull => &self.stats.shed_queue_full,
+            DropReason::ShedDeadline => &self.stats.shed_deadline,
+            DropReason::Oversized => &self.stats.oversized,
+            _ => &self.stats.unparseable,
+        };
+        stat.fetch_add(1, Ordering::Relaxed);
+        self.tele.drop_counter(reason).inc();
+        if let Some(tracer) = self.monitor.trace_sink() {
+            tracer.submit(TraceRecord {
+                trace: TripTrace::admission_drop(
+                    adm.digest,
+                    self.monitor.commit_count(),
+                    adm.samples,
+                    reason.trace_label(),
+                ),
+                worker: None,
+                spans: Vec::new(),
+            });
+        }
+        if let Some(reply) = &adm.reply {
+            reply.send_line(
+                &protocol::drop_line(adm.id, reason.trace_label()),
+                &self.tele.reply_errors,
+            );
+        }
+    }
+
+    fn stats_line(&self) -> String {
+        format!(
+            "{{\"ok\":\"stats\",\"received\":{},\"admitted\":{},\"committed\":{},\"acked\":{},\
+             \"shed_queue_full\":{},\"shed_deadline\":{},\"oversized\":{},\"unparseable\":{},\
+             \"queue\":{},\"queue_high_water\":{}}}",
+            self.stats.received.load(Ordering::Relaxed),
+            self.stats.admitted.load(Ordering::Relaxed),
+            self.stats.committed.load(Ordering::Relaxed),
+            self.stats.acked.load(Ordering::Relaxed),
+            self.stats.shed_queue_full.load(Ordering::Relaxed),
+            self.stats.shed_deadline.load(Ordering::Relaxed),
+            self.stats.oversized.load(Ordering::Relaxed),
+            self.stats.unparseable.load(Ordering::Relaxed),
+            self.queue.len(),
+            self.queue.high_water(),
+        )
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            received: self.stats.received.load(Ordering::Relaxed),
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            committed: self.stats.committed.load(Ordering::Relaxed),
+            acked: self.stats.acked.load(Ordering::Relaxed),
+            shed_queue_full: self.stats.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.stats.shed_deadline.load(Ordering::Relaxed),
+            oversized: self.stats.oversized.load(Ordering::Relaxed),
+            unparseable: self.stats.unparseable.load(Ordering::Relaxed),
+            refused_draining: self.stats.refused_draining.load(Ordering::Relaxed),
+            checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
+            queue_high_water: self.queue.high_water(),
+            final_checkpoint_seq: *self.last_checkpoint_seq.lock(),
+            fatal: self.fatal.lock().clone(),
+        }
+    }
+}
+
+/// What one engine run did, returned by [`ServeEngine::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Wire lines received.
+    pub received: u64,
+    /// Uploads admitted into the queue.
+    pub admitted: u64,
+    /// Uploads run through the stage/commit pipeline.
+    pub committed: u64,
+    /// Acknowledgements released (post-fsync).
+    pub acked: u64,
+    /// Uploads shed because the queue was full.
+    pub shed_queue_full: u64,
+    /// Uploads shed after overstaying the latency budget.
+    pub shed_deadline: u64,
+    /// Frames refused for size.
+    pub oversized: u64,
+    /// Frames refused as unparseable.
+    pub unparseable: u64,
+    /// Uploads refused with a synchronous error because the server was
+    /// already draining.
+    pub refused_draining: u64,
+    /// Checkpoints written (including the final drain checkpoint).
+    pub checkpoints: u64,
+    /// Deepest the admission queue ever got — the memory bound held.
+    pub queue_high_water: usize,
+    /// Coverage point of the last checkpoint, if a store was attached.
+    pub final_checkpoint_seq: Option<u64>,
+    /// Fatal diagnostic, if the run ended by watchdog or store
+    /// fail-stop instead of a clean drain.
+    pub fatal: Option<String>,
+}
+
+impl ServeSummary {
+    /// Uploads attributed to an admission-layer drop.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.oversized + self.unparseable
+    }
+}
+
+/// Called (once) from the watchdog thread when the engine declares a
+/// fatal condition — the resident CLI uses it to exit non-zero.
+pub type FatalHook = Box<dyn Fn(&str) + Send + 'static>;
+
+/// A clonable front door for connection threads.
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+impl EngineHandle {
+    /// Processes one wire line, routing any responses to `reply`.
+    /// Under the `Block` policy this stalls the caller while the queue
+    /// is full — that is the backpressure, propagated to the producer
+    /// through the unread socket.
+    pub fn handle_line(&self, line: &str, reply: Option<&ReplySink>) {
+        let shared = &self.shared;
+        shared.stats.received.fetch_add(1, Ordering::Relaxed);
+        if line.len() > shared.config.max_line_bytes {
+            self.refuse_frame(
+                line,
+                DropReason::Oversized,
+                format!(
+                    "frame of {} bytes exceeds the {}-byte limit",
+                    line.len(),
+                    shared.config.max_line_bytes
+                ),
+                reply,
+            );
+            return;
+        }
+        match protocol::parse_line(line) {
+            Err(e) => self.refuse_frame(line, DropReason::Unparseable, e.0, reply),
+            Ok(Request::Ping) => self.respond(reply, &protocol::ok_line("pong")),
+            Ok(Request::Stats) => self.respond(reply, &shared.stats_line()),
+            Ok(Request::Checkpoint) => {
+                shared.checkpoint_requested.store(true, Ordering::Relaxed);
+                self.respond(reply, &protocol::ok_line("checkpoint-scheduled"));
+            }
+            Ok(Request::Shutdown) => {
+                self.respond(reply, &protocol::ok_line("draining"));
+                self.begin_drain();
+            }
+            Ok(Request::Upload {
+                id,
+                trip,
+                received_s,
+            }) => {
+                let adm = Admission {
+                    digest: TrafficMonitor::upload_digest(&trip),
+                    samples: trip.samples.len(),
+                    id,
+                    trip,
+                    received_s,
+                    enqueued: Instant::now(),
+                    reply: reply.cloned(),
+                };
+                if adm.samples > shared.config.max_samples {
+                    shared.attribute_drop(&adm, DropReason::Oversized);
+                    return;
+                }
+                self.admit(adm);
+            }
+        }
+    }
+
+    /// Stops admission: queued uploads still commit, then the commit
+    /// loop flushes acks, writes a final checkpoint and exits.
+    pub fn begin_drain(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Whether drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.queue.is_closed()
+    }
+
+    /// The fatal diagnostic, if one latched.
+    #[must_use]
+    pub fn fatal(&self) -> Option<String> {
+        self.shared.fatal.lock().clone()
+    }
+
+    /// The configured frame byte limit (front-end loops cap their
+    /// reassembly buffers against it).
+    #[must_use]
+    pub fn max_line_bytes(&self) -> usize {
+        self.shared.config.max_line_bytes
+    }
+
+    /// Whether the commit loop has exited (drained or fatal).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.shared.commit_done.load(Ordering::Acquire)
+    }
+
+    fn respond(&self, reply: Option<&ReplySink>, line: &str) {
+        if let Some(reply) = reply {
+            reply.send_line(line, &self.shared.tele.reply_errors);
+        }
+    }
+
+    /// Attributes a frame that never yielded an upload (oversized line
+    /// or unparseable JSON): the trace id is a hash of the raw bytes,
+    /// the only identity such a frame has.
+    fn refuse_frame(
+        &self,
+        raw: &str,
+        reason: DropReason,
+        detail: String,
+        reply: Option<&ReplySink>,
+    ) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        raw.hash(&mut h);
+        let adm = Admission {
+            id: None,
+            trip: Trip {
+                samples: Vec::new(),
+            },
+            received_s: None,
+            digest: h.finish(),
+            samples: 0,
+            enqueued: Instant::now(),
+            reply: None, // respond with the detailed error instead
+        };
+        self.shared.attribute_drop(&adm, reason);
+        self.respond(reply, &protocol::err_line(&detail, reason.trace_label()));
+    }
+
+    fn admit(&self, adm: Admission) {
+        let shared = &self.shared;
+        let outcome = match shared.config.full_policy {
+            FullPolicy::Block => shared.queue.push_blocking(adm).map(|()| None),
+            FullPolicy::Reject => shared.queue.try_push(adm).map(|()| None),
+            FullPolicy::ShedOldest => shared.queue.push_evicting(adm),
+        };
+        match outcome {
+            Ok(evicted) => {
+                shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                shared.tele.admitted.inc();
+                let depth = shared.queue.len();
+                shared.tele.queue_depth.set(depth as f64);
+                shared
+                    .tele
+                    .queue_high_water
+                    .set_max(shared.queue.high_water() as f64);
+                if let Some(victim) = evicted {
+                    shared.attribute_drop(&victim, DropReason::ShedQueueFull);
+                }
+            }
+            Err(adm) if shared.queue.is_closed() => {
+                // Refused synchronously because the server is draining —
+                // not a shed; the producer sees the error immediately.
+                shared
+                    .stats
+                    .refused_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(reply) = &adm.reply {
+                    reply.send_line(
+                        &protocol::err_line("server is draining; upload refused", "draining"),
+                        &shared.tele.reply_errors,
+                    );
+                }
+            }
+            Err(adm) => {
+                // Reject policy, queue full: bounce the newcomer.
+                shared.attribute_drop(&adm, DropReason::ShedQueueFull);
+            }
+        }
+    }
+}
+
+/// The resident streaming engine. [`start`](Self::start) spawns the
+/// commit loop (and watchdog, when configured); producers feed it via
+/// [`handle`](Self::handle); [`join`](Self::join) drains and returns
+/// the run's [`ServeSummary`].
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    commit: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts the engine over `monitor` (which should already have its
+    /// store attached when durability is wanted).
+    #[must_use]
+    pub fn start(monitor: Arc<TrafficMonitor>, config: ServeConfig) -> Self {
+        Self::start_with(monitor, config, None)
+    }
+
+    /// [`start`](Self::start) with a hook the watchdog calls on a
+    /// fatal condition (the CLI passes `exit(2)`).
+    #[must_use]
+    pub fn start_with(
+        monitor: Arc<TrafficMonitor>,
+        config: ServeConfig,
+        on_fatal: Option<FatalHook>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            monitor,
+            config,
+            stats: Stats::default(),
+            tele: ServeMetrics::new(),
+            commit_beats: AtomicU64::new(0),
+            commit_done: AtomicBool::new(false),
+            checkpoint_requested: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            horizon_last: Mutex::new(0.0),
+            last_checkpoint_seq: Mutex::new(None),
+        });
+        let commit = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-commit".into())
+                .spawn(move || CommitLoop::new(shared).run())
+                .expect("spawn commit thread")
+        };
+        let watchdog = shared.config.watchdog_stall.map(|stall| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, stall, on_fatal.as_ref()))
+                .expect("spawn watchdog thread")
+        });
+        ServeEngine {
+            shared,
+            commit: Some(commit),
+            watchdog,
+        }
+    }
+
+    /// A clonable front door for connection threads.
+    #[must_use]
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops admission and lets the commit loop drain.
+    pub fn begin_drain(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Drains (closing the queue if still open), waits for the commit
+    /// loop and watchdog, and reports what happened.
+    #[must_use]
+    pub fn join(mut self) -> ServeSummary {
+        self.shared.queue.close();
+        if let Some(h) = self.commit.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+        self.shared.summary()
+    }
+}
+
+/// The single consumer of the admission queue.
+struct CommitLoop {
+    shared: Arc<Shared>,
+    pending_acks: Vec<(Option<u64>, u64, Option<ReplySink>)>,
+    commits_since_sync: u64,
+    commits_since_checkpoint: u64,
+    last_checkpoint: Instant,
+    last_publish: Instant,
+    publish_dirty: bool,
+}
+
+impl CommitLoop {
+    fn new(shared: Arc<Shared>) -> Self {
+        CommitLoop {
+            shared,
+            pending_acks: Vec::new(),
+            commits_since_sync: 0,
+            commits_since_checkpoint: 0,
+            last_checkpoint: Instant::now(),
+            last_publish: Instant::now(),
+            publish_dirty: false,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            self.shared.commit_beats.fetch_add(1, Ordering::Relaxed);
+            if self.shared.fatal.lock().is_some() {
+                break;
+            }
+            let popped = self
+                .shared
+                .queue
+                .pop_batch(self.shared.config.batch_max, self.shared.config.idle_poll);
+            match popped {
+                Popped::Drained => break,
+                Popped::Idle => {
+                    if !self.flush_acks() {
+                        break;
+                    }
+                    if !self.maybe_checkpoint(false) {
+                        break;
+                    }
+                    self.maybe_publish(false);
+                }
+                Popped::Batch(batch) => {
+                    if !self.commit_batch(batch) {
+                        break;
+                    }
+                    if !self.maybe_checkpoint(false) {
+                        break;
+                    }
+                    self.maybe_publish(false);
+                }
+            }
+        }
+        // Drain epilogue: only on a clean exit — after a fatal, nothing
+        // more gets acknowledged (producers re-send the unacked tail).
+        if self.shared.fatal.lock().is_none() {
+            if self.flush_acks() {
+                let _ = self.maybe_checkpoint(true);
+            }
+            self.maybe_publish(true);
+        }
+        self.shared.tele.queue_depth.set(0.0);
+        self.shared.commit_done.store(true, Ordering::Release);
+    }
+
+    /// Sheds stale entries, ingests the rest, queues their acks.
+    /// Returns false on a fatal condition.
+    fn commit_batch(&mut self, batch: Vec<Admission>) -> bool {
+        let shared = &self.shared;
+        let config = &shared.config;
+        shared.tele.queue_depth.set(shared.queue.len() as f64);
+        let mut keep: Vec<Admission> = Vec::with_capacity(batch.len());
+        for adm in batch {
+            if let Some(budget) = config.latency_budget {
+                if adm.enqueued.elapsed() > budget {
+                    shared.attribute_drop(&adm, DropReason::ShedDeadline);
+                    continue;
+                }
+            }
+            keep.push(adm);
+        }
+        if keep.is_empty() {
+            return true;
+        }
+        if let Some(throttle) = config.commit_throttle {
+            std::thread::sleep(throttle);
+        }
+        {
+            let mut horizon = shared.horizon_last.lock();
+            for adm in &keep {
+                if let Some(sample) = adm.trip.samples.last() {
+                    if sample.time_s.is_finite() {
+                        *horizon = horizon.max(sample.time_s);
+                    }
+                }
+            }
+        }
+        for adm in &keep {
+            shared
+                .tele
+                .admission_latency
+                .record(adm.enqueued.elapsed().as_secs_f64());
+        }
+        let base_seq = shared.monitor.commit_count();
+        let n = keep.len() as u64;
+        let mut metas: Vec<(Option<u64>, Option<ReplySink>)> = Vec::with_capacity(keep.len());
+        let mut trips: Vec<Trip> = Vec::with_capacity(keep.len());
+        let mut recvs: Vec<Option<f64>> = Vec::with_capacity(keep.len());
+        for adm in keep {
+            metas.push((adm.id, adm.reply));
+            trips.push(adm.trip);
+            recvs.push(adm.received_s);
+        }
+        if config.workers > 1 && recvs.iter().all(Option::is_some) {
+            let received: Vec<f64> = recvs.iter().map(|r| r.unwrap_or(0.0)).collect();
+            let _ =
+                shared
+                    .monitor
+                    .ingest_batch_received_parallel(&trips, &received, config.workers);
+        } else {
+            for (trip, recv) in trips.iter().zip(&recvs) {
+                let _ = shared.monitor.ingest_upload(trip, *recv);
+            }
+        }
+        shared.stats.committed.fetch_add(n, Ordering::Relaxed);
+        self.commits_since_sync += n;
+        self.commits_since_checkpoint += n;
+        self.publish_dirty = true;
+        for (i, (id, reply)) in metas.into_iter().enumerate() {
+            self.pending_acks.push((id, base_seq + i as u64, reply));
+        }
+        if shared.monitor.store_failed() {
+            shared.set_fatal(format!(
+                "durable store fail-stopped mid-stream; {} commits will not be acknowledged",
+                self.pending_acks.len()
+            ));
+            self.pending_acks.clear();
+            return false;
+        }
+        if self.commits_since_sync >= config.sync_every {
+            return self.flush_acks();
+        }
+        true
+    }
+
+    /// Makes every pending commit durable, then releases its ack.
+    /// Returns false when durability fail-stopped (nothing is acked).
+    fn flush_acks(&mut self) -> bool {
+        if self.commits_since_sync == 0 && self.pending_acks.is_empty() {
+            return true;
+        }
+        let shared = &self.shared;
+        match shared.monitor.sync_store() {
+            Ok(()) => {
+                for (id, seq, reply) in self.pending_acks.drain(..) {
+                    if let Some(reply) = &reply {
+                        reply.send_line(&protocol::ack_line(id, seq), &shared.tele.reply_errors);
+                    }
+                    shared.stats.acked.fetch_add(1, Ordering::Relaxed);
+                    shared.tele.acked.inc();
+                }
+                self.commits_since_sync = 0;
+                true
+            }
+            Err(e) => {
+                shared.set_fatal(format!(
+                    "WAL fsync fail-stopped; withholding {} acknowledgements: {e}",
+                    self.pending_acks.len()
+                ));
+                self.pending_acks.clear();
+                false
+            }
+        }
+    }
+
+    /// Runs a checkpoint when one is due (count, interval, request, or
+    /// `force` at drain). Acks flush first so the snapshot never covers
+    /// unacknowledged commits. Returns false on a fatal flush.
+    fn maybe_checkpoint(&mut self, force: bool) -> bool {
+        {
+            let shared = &self.shared;
+            let config = &shared.config;
+            let requested = shared.checkpoint_requested.swap(false, Ordering::Relaxed);
+            let count_due = config.checkpoint_every > 0
+                && self.commits_since_checkpoint >= config.checkpoint_every;
+            let time_due = config
+                .checkpoint_interval
+                .is_some_and(|iv| self.last_checkpoint.elapsed() >= iv)
+                && self.commits_since_checkpoint > 0;
+            if !(force || requested || count_due || time_due) {
+                return true;
+            }
+            if !shared.monitor.has_store() {
+                return true;
+            }
+        }
+        if !self.flush_acks() {
+            return false;
+        }
+        let shared = &self.shared;
+        match shared.monitor.checkpoint() {
+            Ok(Some(seq)) => {
+                *shared.last_checkpoint_seq.lock() = Some(seq);
+                shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                shared.tele.checkpoints.inc();
+                busprobe_telemetry::event(
+                    Level::Info,
+                    "serve::engine",
+                    format!("checkpoint covers {seq} commits"),
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                busprobe_telemetry::event(
+                    Level::Warn,
+                    "serve::engine",
+                    format!("checkpoint failed (WAL continues to cover the stream): {e}"),
+                );
+            }
+        }
+        self.commits_since_checkpoint = 0;
+        self.last_checkpoint = Instant::now();
+        true
+    }
+
+    /// Publishes `map.geojson` + `metrics.prom` when due (new commits
+    /// and the cadence elapsed, or `force` at drain).
+    fn maybe_publish(&mut self, force: bool) {
+        let shared = &self.shared;
+        let Some(dir) = &shared.config.publish_dir else {
+            return;
+        };
+        let due = force
+            || (self.publish_dirty
+                && self.last_publish.elapsed() >= shared.config.publish_interval);
+        if !due {
+            return;
+        }
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            busprobe_telemetry::event(
+                Level::Warn,
+                "serve::engine",
+                format!("cannot create publish dir {dir:?}: {e}"),
+            );
+            return;
+        }
+        // Same horizon rule as the batch CLI's default: just after the
+        // last upload, so the two maps compare byte for byte.
+        let horizon = *shared.horizon_last.lock() + 60.0;
+        let map = shared.monitor.snapshot_with_max_age(horizon, f64::INFINITY);
+        let geojson = map_to_geojson(
+            &map,
+            shared.monitor.network(),
+            &LocalProjection::new(1.34, 103.70),
+        );
+        let bytes = serde_json::to_vec(&geojson).unwrap_or_default();
+        write_atomic(&dir.join("map.geojson"), &bytes);
+        let prom = busprobe_telemetry::snapshot().to_prometheus();
+        write_atomic(&dir.join("metrics.prom"), prom.as_bytes());
+        shared.tele.publishes.inc();
+        self.publish_dirty = false;
+        self.last_publish = Instant::now();
+    }
+}
+
+/// Readers must never see a half-written artifact: write to a sibling
+/// temp file, then rename over the target (atomic on POSIX).
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = result {
+        busprobe_telemetry::event(
+            Level::Warn,
+            "serve::engine",
+            format!("publish {path:?} failed: {e}"),
+        );
+    }
+}
+
+/// Fails fast when the commit loop stops making progress: the beat
+/// counter ticks every loop iteration, so frozen beats mean a thread
+/// stuck inside an ingest or a wedged store — diagnose loudly instead
+/// of silently queueing forever.
+fn watchdog_loop(shared: &Arc<Shared>, stall: Duration, on_fatal: Option<&FatalHook>) {
+    let poll = (stall / 4).max(Duration::from_millis(5));
+    let mut last_beat = shared.commit_beats.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    loop {
+        std::thread::sleep(poll);
+        if shared.commit_done.load(Ordering::Acquire) {
+            return;
+        }
+        let beat = shared.commit_beats.load(Ordering::Relaxed);
+        if beat != last_beat {
+            last_beat = beat;
+            last_change = Instant::now();
+            continue;
+        }
+        if last_change.elapsed() >= stall {
+            let diag = format!(
+                "commit loop stalled for {:.0?} (beats frozen at {beat}, queue {}/{} deep, \
+                 {} commits so far); failing fast",
+                last_change.elapsed(),
+                shared.queue.len(),
+                shared.queue.capacity(),
+                shared.monitor.commit_count(),
+            );
+            shared.set_fatal(diag.clone());
+            shared.queue.close();
+            if let Some(hook) = on_fatal {
+                hook(&diag);
+            }
+            return;
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! A bounded MPSC admission queue with blocking, rejecting and
+//! evicting push modes.
+//!
+//! This is the pressure vessel between untrusted producers (socket
+//! connections) and the single commit loop: capacity is fixed at
+//! construction, so queue memory is bounded no matter how fast
+//! producers arrive, and the three push modes implement the three
+//! overload policies ([`FullPolicy`](crate::FullPolicy)) — block the
+//! producer, bounce the new item, or evict the oldest waiter.
+//!
+//! Built on `std::sync::Mutex` + `Condvar` (the vendored `parking_lot`
+//! has no condition variable) with two wait channels: consumers wait
+//! for items, blocked producers wait for space.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Deepest the queue has ever been — bounded-memory evidence.
+    high_water: usize,
+}
+
+/// A fixed-capacity FIFO shared between producer threads and one
+/// consumer.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// What [`BoundedQueue::pop_batch`] observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// Up to `max` items, FIFO order.
+    Batch(Vec<T>),
+    /// Nothing arrived within the timeout; the queue is still open.
+    Idle,
+    /// The queue is closed and fully drained — no item will ever
+    /// arrive again.
+    Drained,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A producer panicking mid-push leaves the queue consistent
+        // (push/pop are single operations), so poisoning is recoverable.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record_push(&self, inner: &mut Inner<T>, item: T) {
+        inner.items.push_back(item);
+        inner.high_water = inner.high_water.max(inner.items.len());
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking push: waits for space (true backpressure — the calling
+    /// connection thread, and transitively the producer's socket,
+    /// stalls). Returns the item back if the queue closed while
+    /// waiting.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        self.record_push(&mut inner, item);
+        Ok(())
+    }
+
+    /// Non-blocking push: returns the item back when the queue is full
+    /// or closed, so the caller can attribute the rejection.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.record_push(&mut inner, item);
+        Ok(())
+    }
+
+    /// Evicting push: always admits the new item (unless closed, which
+    /// returns it via `Err`), shedding the *oldest* queued item when
+    /// full. The evicted item comes back for attribution.
+    pub fn push_evicting(&self, item: T) -> Result<Option<T>, T> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(item);
+        }
+        let evicted = if inner.items.len() >= self.capacity {
+            inner.items.pop_front()
+        } else {
+            None
+        };
+        self.record_push(&mut inner, item);
+        Ok(evicted)
+    }
+
+    /// Consumer side: waits up to `timeout` for items, then drains up
+    /// to `max` of them in FIFO order. [`Popped::Drained`] is terminal.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Popped<T> {
+        let mut inner = self.lock();
+        if inner.items.is_empty() && !inner.closed {
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner = guard;
+        }
+        if inner.items.is_empty() {
+            return if inner.closed {
+                Popped::Drained
+            } else {
+                Popped::Idle
+            };
+        }
+        let take = max.max(1).min(inner.items.len());
+        let batch: Vec<T> = inner.items.drain(..take).collect();
+        // Space freed: wake every blocked producer (each re-checks).
+        self.not_full.notify_all();
+        Popped::Batch(batch)
+    }
+
+    /// Stops all admission: every subsequent push fails, blocked
+    /// producers wake with their item back, and the consumer sees
+    /// [`Popped::Drained`] once the remaining items are popped.
+    pub fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_batch_limit() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(
+            q.pop_batch(3, Duration::from_millis(1)),
+            Popped::Batch(vec![0, 1, 2])
+        );
+        assert_eq!(
+            q.pop_batch(10, Duration::from_millis(1)),
+            Popped::Batch(vec![3, 4])
+        );
+        assert_eq!(q.pop_batch(10, Duration::from_millis(1)), Popped::Idle);
+        assert_eq!(q.high_water(), 5);
+    }
+
+    #[test]
+    fn try_push_bounces_when_full() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2, "memory stays bounded");
+    }
+
+    #[test]
+    fn evicting_push_sheds_the_oldest() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.push_evicting(3), Ok(Some(1)), "oldest came back");
+        assert_eq!(
+            q.pop_batch(10, Duration::from_millis(1)),
+            Popped::Batch(vec![2, 3])
+        );
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_then_lands() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(2))
+        };
+        // The producer is stuck until the consumer makes room.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_batch(1, Duration::from_millis(100)),
+            Popped::Batch(vec![1])
+        );
+        producer.join().unwrap().unwrap();
+        assert_eq!(
+            q.pop_batch(1, Duration::from_millis(100)),
+            Popped::Batch(vec![2])
+        );
+    }
+
+    #[test]
+    fn close_unblocks_producers_and_drains_consumer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(2))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(2), "blocked item returned");
+        assert_eq!(q.try_push(3), Err(3), "closed queue admits nothing");
+        // The item queued before close still drains, then Drained.
+        assert_eq!(
+            q.pop_batch(10, Duration::from_millis(1)),
+            Popped::Batch(vec![1])
+        );
+        assert_eq!(q.pop_batch(10, Duration::from_millis(1)), Popped::Drained);
+    }
+}

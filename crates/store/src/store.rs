@@ -65,6 +65,10 @@ pub struct Store {
     config: StoreConfig,
     wal: WalWriter,
     metrics: StoreMetrics,
+    /// Fault injection (tests only): the next this-many appends fail.
+    fault_appends: u32,
+    /// Fault injection (tests only): the next this-many syncs fail.
+    fault_syncs: u32,
 }
 
 impl Store {
@@ -89,7 +93,21 @@ impl Store {
             config,
             wal,
             metrics: StoreMetrics::new(),
+            fault_appends: 0,
+            fault_syncs: 0,
         })
+    }
+
+    /// Fault injection for robustness tests: the next `appends` calls to
+    /// [`append`](Self::append) and the next `syncs` calls to
+    /// [`sync`](Self::sync) fail with a transient-looking
+    /// [`io::ErrorKind::Interrupted`] error before touching the WAL,
+    /// then the store behaves normally again. Models an I/O layer that
+    /// hiccups and heals — the shape the commit path's bounded retry is
+    /// built for.
+    pub fn inject_io_faults(&mut self, appends: u32, syncs: u32) {
+        self.fault_appends = appends;
+        self.fault_syncs = syncs;
     }
 
     /// The state directory.
@@ -113,11 +131,25 @@ impl Store {
 
     /// Appends one commit payload; returns its sequence number.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        if self.fault_appends > 0 {
+            self.fault_appends -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient append fault",
+            ));
+        }
         self.wal.append(payload)
     }
 
     /// Flushes and fsyncs the WAL.
     pub fn sync(&mut self) -> io::Result<()> {
+        if self.fault_syncs > 0 {
+            self.fault_syncs -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient sync fault",
+            ));
+        }
         self.wal.sync()
     }
 

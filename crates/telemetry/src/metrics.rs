@@ -69,6 +69,15 @@ impl Gauge {
         }
     }
 
+    /// Raise the gauge to `value` if it is above the current reading —
+    /// a lock-free high-water mark (peak queue depth, worst latency).
+    /// Only meaningful for non-negative values, whose IEEE-754 bit
+    /// patterns order like the floats themselves.
+    pub fn set_max(&self, value: f64) {
+        debug_assert!(value >= 0.0, "set_max is a non-negative high-water mark");
+        self.bits.fetch_max(value.to_bits(), Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> f64 {
@@ -195,6 +204,16 @@ mod tests {
         g.set(2.5);
         g.add(-1.0);
         assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_high_water_only_rises() {
+        let g = Gauge::default();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+        g.set_max(7.5);
+        assert!((g.get() - 7.5).abs() < 1e-12);
     }
 
     #[test]

@@ -192,6 +192,27 @@ pub struct TripTrace {
     pub wal_seq: Option<u64>,
 }
 
+impl TripTrace {
+    /// A trace for an upload dropped *before* the pipeline — shed at
+    /// the admission queue, timed out waiting, or refused at the wire
+    /// (oversized / unparseable frame). It carries no decision events
+    /// and no WAL sequence because the upload never reached staging;
+    /// `reason` is the stable `DropReason` trace label.
+    #[must_use]
+    pub fn admission_drop(trace_id: u64, seq: u64, samples: usize, reason: &str) -> Self {
+        TripTrace {
+            trace_id,
+            seq,
+            samples,
+            events: Vec::new(),
+            outcome: TraceOutcome::Dropped {
+                reason: reason.to_string(),
+            },
+            wal_seq: None,
+        }
+    }
+}
+
 /// One timed pipeline stage for the Chrome trace export. Wall-clock,
 /// so never part of the JSONL schema.
 #[derive(Debug, Clone, PartialEq, Serialize)]

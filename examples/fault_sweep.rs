@@ -110,6 +110,9 @@ fn main() {
                 Some(DropReason::Unmapped) => *drops.entry("unmp").or_default() += 1,
                 Some(DropReason::TooFewVisits) => *drops.entry("few").or_default() += 1,
                 Some(DropReason::InternalError) => *drops.entry("int!").or_default() += 1,
+                // Admission-layer reasons (streaming frontend only) never
+                // appear on batch ingest reports.
+                Some(other) => *drops.entry(other.trace_label()).or_default() += 1,
             }
         }
 

@@ -232,6 +232,14 @@ fn ingest_reports_attribute_every_dropped_trip_to_a_stage() {
             Some(DropReason::InternalError) => {
                 panic!("clean uploads must not trip the panic isolation: {report:?}")
             }
+            Some(
+                reason @ (DropReason::ShedQueueFull
+                | DropReason::ShedDeadline
+                | DropReason::Oversized
+                | DropReason::Unparseable),
+            ) => {
+                panic!("admission-layer reasons never appear on batch ingest reports: {reason:?}")
+            }
         }
     }
 
