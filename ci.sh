@@ -27,6 +27,14 @@ cargo test -q --test determinism_prop
 cargo test -q --test golden
 cargo test -q --test stress_concurrency
 
+echo "== batch-scorer equivalence suite (batched == memoized == brute) =="
+# The trip-level batched SoA scorer against the per-scan memoized path
+# and the brute-force reference: bit-identical scores and identical
+# match sets on randomized databases, through index maintenance churn,
+# index on/off, and trips far past the per-trip distinct-cell cap
+# (crates/core/tests/batch_equivalence.rs).
+cargo test -q -p busprobe-core --test batch_equivalence
+
 echo "== serve suite (overload shedding + kill -9 crash matrix) =="
 # The streaming frontend's contracts: sustained 2x overload sheds with
 # every drop attributed over a bounded queue, block-policy backpressure
@@ -43,7 +51,9 @@ echo "== crash-recovery matrix (WAL + snapshot durability) =="
 # torn-last-record}: recover, resume, and the final state must be
 # bit-identical to a run that never crashed. Plus storage-level fault
 # injection: bit-flipped records are skipped with attribution, corrupt
-# snapshots fall back to full WAL replay (see tests/crash_recovery.rs).
+# snapshots fall back to full WAL replay. A second matrix covers group
+# commit: workers {1,4} x group window {1,8,64} x crash {inside window,
+# at a window boundary, torn group frame} (see tests/crash_recovery.rs).
 cargo test -q --test crash_recovery
 
 echo "== CLI differential: ingest --jobs 1 vs --jobs 4 =="
@@ -98,6 +108,23 @@ grep -q "torn segment tails" "$tmpdir/recover.out"
   --geojson "$tmpdir/resumed.geojson" >/dev/null
 cmp "$tmpdir/jobs1.geojson" "$tmpdir/resumed.geojson"
 
+echo "== CLI group-commit crash drill: tear a group frame, recover, resume =="
+# The same drill on the group-commit path: ingest a prefix with one
+# BPG1 frame + fsync per 8 commits, truncate the newest segment inside
+# the last group frame, `recover` must attribute exactly that torn
+# tail, and a resumed grouped ingest must still export byte-identical
+# GeoJSON — the whole torn group is re-committed, nothing else doubles.
+./target/release/busprobe ingest --dir "$tmpdir" --state "$tmpdir/gstate" \
+  --limit 12 --group-every 8 >/dev/null
+gwal_tail=$(ls "$tmpdir"/gstate/*.wal | sort | tail -n 1)
+truncate -s -9 "$gwal_tail"
+./target/release/busprobe recover --dir "$tmpdir" --state "$tmpdir/gstate" \
+  > "$tmpdir/grecover.out"
+grep -q "torn segment tails" "$tmpdir/grecover.out"
+./target/release/busprobe ingest --dir "$tmpdir" --state "$tmpdir/gstate" \
+  --group-every 8 --geojson "$tmpdir/gresumed.geojson" >/dev/null
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/gresumed.geojson"
+
 echo "== CLI serve drill: stream over a socket, SIGTERM drain, compare =="
 # End-to-end through the resident server: serve the simulated world on
 # a unix socket with a durable state dir, stream the whole corpus with
@@ -126,8 +153,12 @@ echo "== perf regression check =="
 # BENCH_matching.json / BENCH_pipeline.json / BENCH_parallel.json /
 # BENCH_store.json / BENCH_serve.json baselines; fails on a >20%
 # slowdown, on machines with >=4 cores also enforces the >=2.5x
-# speedup floor at 4 workers, and always enforces the 10% WAL
-# append-overhead ceiling (see README for regenerating baselines).
+# speedup floor at 4 workers, and always enforces the absolute gates:
+# the >=1.25x ingest-speedup floor over the frozen pre-batching rate,
+# the WAL append-overhead ceilings (5% of the live bare run, 2% of the
+# frozen seed commit cost on the grouped path), and monotone paced
+# durable-serve throughput in the group-commit window (see README for
+# regenerating baselines).
 ./target/release/busprobe bench --check
 
 echo "== cargo fmt --check =="

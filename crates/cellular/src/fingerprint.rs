@@ -14,6 +14,12 @@ impl fmt::Display for DuplicateCellError {
 
 impl std::error::Error for DuplicateCellError {}
 
+/// Inputs at most this long deduplicate by linear membership probes; a
+/// modem reports a handful of towers, so hashing every id costs more
+/// than scanning the short prefix. Longer (hostile) inputs spill to a
+/// hash set, keeping construction O(n).
+const LINEAR_DEDUP_MAX: usize = 32;
+
 /// A cellular signature: visible cell IDs in descending order of RSS.
 ///
 /// This is the exact representation the paper matches with its modified
@@ -47,9 +53,20 @@ impl Fingerprint {
     /// Returns [`DuplicateCellError`] if a cell id appears twice. An empty
     /// fingerprint is permitted (a scan may hear nothing).
     pub fn new(cells: Vec<CellTowerId>) -> Result<Self, DuplicateCellError> {
-        let mut seen = std::collections::HashSet::with_capacity(cells.len());
-        if cells.iter().any(|c| !seen.insert(*c)) {
-            return Err(DuplicateCellError);
+        // Real scans hear a handful of towers: a linear probe of the
+        // prefix beats hashing every id. Oversized (hostile) inputs take
+        // the set path to stay O(n).
+        if cells.len() <= LINEAR_DEDUP_MAX {
+            for (k, c) in cells.iter().enumerate() {
+                if cells[..k].contains(c) {
+                    return Err(DuplicateCellError);
+                }
+            }
+        } else {
+            let mut seen = std::collections::HashSet::with_capacity(cells.len());
+            if cells.iter().any(|c| !seen.insert(*c)) {
+                return Err(DuplicateCellError);
+            }
         }
         Ok(Fingerprint { cells })
     }
@@ -121,8 +138,25 @@ impl FromIterator<CellTowerId> for Fingerprint {
     /// Collects cell IDs, silently dropping duplicates after their first
     /// occurrence (convenient for building from merged scans).
     fn from_iter<I: IntoIterator<Item = CellTowerId>>(iter: I) -> Self {
-        let mut seen = std::collections::HashSet::new();
-        let cells = iter.into_iter().filter(|c| seen.insert(*c)).collect();
+        let iter = iter.into_iter();
+        let mut cells: Vec<CellTowerId> =
+            Vec::with_capacity(iter.size_hint().0.min(LINEAR_DEDUP_MAX));
+        let mut spill: Option<std::collections::HashSet<CellTowerId>> = None;
+        for c in iter {
+            let duplicate = match &spill {
+                Some(seen) => seen.contains(&c),
+                None => cells.contains(&c),
+            };
+            if duplicate {
+                continue;
+            }
+            cells.push(c);
+            if let Some(seen) = &mut spill {
+                seen.insert(c);
+            } else if cells.len() == LINEAR_DEDUP_MAX {
+                spill = Some(cells.iter().copied().collect());
+            }
+        }
         Fingerprint { cells }
     }
 }

@@ -18,7 +18,6 @@
 
 use busprobe_network::StopSiteId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One cellular sample after per-sample matching.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,16 +110,26 @@ impl Cluster {
     /// (§III-C3), sorted by descending probability then score.
     #[must_use]
     pub fn candidates(&self) -> Vec<ClusterCandidate> {
-        let mut by_site: BTreeMap<StopSiteId, (usize, f64)> = BTreeMap::new();
+        // Site-sorted insertion into a short vec: clusters hold a handful
+        // of samples, and the mapper calls this per cluster on the hot
+        // path, so a tree allocation per call costs more than the probe.
+        // Scores accumulate in sample order per site (same fold a tree
+        // entry would produce) and the site-ascending pre-sort order
+        // keeps the stable sort below tie-breaking identically.
+        let mut by_site: Vec<(StopSiteId, usize, f64)> = Vec::new();
         for s in &self.samples {
-            let e = by_site.entry(s.site).or_insert((0, 0.0));
-            e.0 += 1;
-            e.1 += s.score;
+            match by_site.binary_search_by(|e| e.0.cmp(&s.site)) {
+                Ok(i) => {
+                    by_site[i].1 += 1;
+                    by_site[i].2 += s.score;
+                }
+                Err(i) => by_site.insert(i, (s.site, 1, s.score)),
+            }
         }
         let total = self.samples.len() as f64;
         let mut out: Vec<ClusterCandidate> = by_site
             .into_iter()
-            .map(|(site, (n, score_sum))| ClusterCandidate {
+            .map(|(site, n, score_sum)| ClusterCandidate {
                 site,
                 probability: n as f64 / total,
                 mean_score: score_sum / n as f64,

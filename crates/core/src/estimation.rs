@@ -111,20 +111,17 @@ impl<'a> TripEstimator<'a> {
                 continue;
             }
             let btt = (raw - self.config.hop_overhead_s).max(self.config.min_btt_s);
-            let Some(chain) = self.network.segment_chain(from.site, to.site) else {
+            // `segment_chain_stats` is `None` both when no route connects
+            // the hop and when the chain references a segment the registry
+            // lacks (inconsistent wire data) — skip rather than panic;
+            // hostile uploads must not be able to reach an abort. The
+            // free-time total is the chain's length-weighted harmonic
+            // free-speed composition, precomputed in chain order.
+            let Some((chain, length, free_time)) =
+                self.network.segment_chain_stats(from.site, to.site)
+            else {
                 continue;
             };
-            // A chain key without segment data means the network handed us
-            // an inconsistent chain; skip the hop rather than panic —
-            // hostile uploads must not be able to reach an abort.
-            let segments: Option<Vec<_>> = chain.iter().map(|k| self.network.segment(*k)).collect();
-            let Some(segments) = segments else {
-                continue;
-            };
-            let length: f64 = segments.iter().map(|s| s.length_m).sum();
-            // Free speed of the chain: length-weighted harmonic composition
-            // (total free travel time of the pieces).
-            let free_time: f64 = segments.iter().map(|s| s.free_travel_time_s()).sum();
             let att = self.config.b * btt + free_time;
             let speed = length / att;
             let mid_time = (from.departure_s + to.arrival_s) / 2.0;
@@ -136,7 +133,7 @@ impl<'a> TripEstimator<'a> {
             let confidence = from.confidence.min(to.confidence).max(0.1);
             let discount = (7.0 / confidence).clamp(0.5, 10.0);
             let var = self.config.obs_sigma_mps * self.config.obs_sigma_mps * discount;
-            for key in chain {
+            for &key in chain {
                 out.push(SpeedObservation {
                     key,
                     speed_mps: speed,

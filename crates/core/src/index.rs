@@ -26,6 +26,7 @@
 //! removed stops are recycled; the interner only grows (a cell that once
 //! existed costs one empty posting list — negligible against re-keying).
 
+use crate::fxhash::FxBuildHasher;
 use busprobe_cellular::{CellTowerId, Fingerprint};
 use busprobe_network::StopSiteId;
 use std::cell::RefCell;
@@ -61,11 +62,173 @@ thread_local! {
         RefCell::new(CandidateScratch::default());
 }
 
+/// Per-trip candidate pool shared by every scan in one upload.
+///
+/// Samples within a trip hear the same few stops, so instead of probing
+/// the interner and walking posting lists once per sample, the batch
+/// scorer probes once per *trip*: [`MatchIndex::probe_trip`] ranks the
+/// trip's distinct indexed cells, unions the posting lists into one
+/// site-ascending candidate pool, flattens every candidate fingerprint
+/// into a contiguous SoA cell arena, and precomputes per-candidate
+/// shared-cell bitmasks over the ranked cells. Per-sample
+/// `common_cells` then collapses to a handful of `popcnt`s (fingerprints
+/// are duplicate-free, so the popcount equals the posting-walk count
+/// bit-for-bit).
+///
+/// The pool is plain reusable scratch: buffers grow to the trip's
+/// high-water mark and are reset by index walks, never by full clears of
+/// the slot-sized arrays.
+#[derive(Debug, Default)]
+pub(crate) struct TripPool {
+    /// Bit rank + 1 per interned cell (`0` = not in this trip).
+    rank_of_cell: Vec<u32>,
+    /// Interned ids holding a non-zero entry in `rank_of_cell`.
+    ranked_cells: Vec<u32>,
+    /// Per trip fingerprint, `(start, len)` into `fp_bits`.
+    fp_spans: Vec<(u32, u32)>,
+    /// Flattened per-fingerprint bit ranks (one per indexed cell).
+    fp_bits: Vec<u32>,
+    /// Mask words per candidate (⌈ranked cells / 64⌉).
+    words: usize,
+    /// Scratch mask of the currently loaded fingerprint.
+    fp_mask: Vec<u64>,
+    /// Pool position per slot; `u32::MAX` = not in this trip's pool.
+    pool_of_slot: Vec<u32>,
+    /// Candidate slots in pool (site-ascending) order.
+    slots: Vec<u32>,
+    /// Sort scratch: `(site << 32) | slot` keys.
+    packed: Vec<u64>,
+    /// Mask rows in discovery order, permuted into `masks` after the
+    /// site sort (lets one posting walk build both pool and masks).
+    disc_masks: Vec<u64>,
+    /// Candidate sites in pool order.
+    sites: Vec<StopSiteId>,
+    /// Candidate fingerprint `(start, len)` spans into `cells`.
+    spans: Vec<(u32, u32)>,
+    /// SoA arena: every candidate fingerprint's cells, flattened.
+    cells: Vec<CellTowerId>,
+    /// Candidate shared-cell masks, `words` per candidate.
+    masks: Vec<u64>,
+    /// Shared count per candidate against the loaded fingerprint.
+    shared_of: Vec<u32>,
+}
+
+impl TripPool {
+    /// Restores the zeroed/unset invariants and sizes the dense arrays.
+    fn reset(&mut self, interned: usize, slots: usize) {
+        for &ci in &self.ranked_cells {
+            self.rank_of_cell[ci as usize] = 0;
+        }
+        self.ranked_cells.clear();
+        for &slot in &self.slots {
+            self.pool_of_slot[slot as usize] = u32::MAX;
+        }
+        self.slots.clear();
+        if self.rank_of_cell.len() < interned {
+            self.rank_of_cell.resize(interned, 0);
+        }
+        if self.pool_of_slot.len() < slots {
+            self.pool_of_slot.resize(slots, u32::MAX);
+        }
+        self.fp_spans.clear();
+        self.fp_bits.clear();
+        self.sites.clear();
+        self.spans.clear();
+        self.cells.clear();
+        self.masks.clear();
+        self.packed.clear();
+        self.disc_masks.clear();
+        self.shared_of.clear();
+    }
+
+    /// Number of candidate stops in the pool.
+    pub(crate) fn candidate_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site of pool candidate `p`.
+    pub(crate) fn site(&self, p: usize) -> StopSiteId {
+        self.sites[p]
+    }
+
+    /// Stored-fingerprint cells of pool candidate `p` (arena slice).
+    pub(crate) fn candidate_cells(&self, p: usize) -> &[CellTowerId] {
+        let (start, len) = self.spans[p];
+        &self.cells[start as usize..(start + len) as usize]
+    }
+
+    /// Loads trip fingerprint `k`'s shared-cell mask into the scratch
+    /// register for [`shared_with_loaded`](Self::shared_with_loaded).
+    pub(crate) fn load_fingerprint(&mut self, k: usize) {
+        self.fp_mask.clear();
+        self.fp_mask.resize(self.words, 0);
+        let (start, len) = self.fp_spans[k];
+        for &bit in &self.fp_bits[start as usize..(start + len) as usize] {
+            self.fp_mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Exact `common_cells` between the loaded fingerprint and candidate
+    /// `p` — cells outside the index cannot be shared with any candidate.
+    pub(crate) fn shared_with_loaded(&self, p: usize) -> u32 {
+        let mask = &self.masks[p * self.words..(p + 1) * self.words];
+        mask.iter()
+            .zip(&self.fp_mask)
+            .map(|(m, f)| (m & f).count_ones())
+            .sum()
+    }
+
+    /// Counting-scan of the pool against the loaded fingerprint: fills
+    /// `shared_of` per candidate and a per-level histogram in `counts`
+    /// (touched only for `shared >= min_shared`, the γ filter collapsed
+    /// to an integer threshold). Returns the highest counted level
+    /// (0 = none). The visit loop then walks levels high→low and pool
+    /// positions ascending within a level — candidates stay in
+    /// site-ascending order without materializing bucket lists. A trip's
+    /// distinct cells almost always fit one mask word; that case runs
+    /// without the word loop or its bounds checks.
+    pub(crate) fn fill_shared(&mut self, min_shared: usize, counts: &mut [u32]) -> usize {
+        self.shared_of.clear();
+        let mut top = 0usize;
+        if self.words == 1 {
+            let fpm = self.fp_mask[0];
+            for &m in &self.masks {
+                let shared = (m & fpm).count_ones();
+                self.shared_of.push(shared);
+                if shared as usize >= min_shared {
+                    counts[shared as usize] += 1;
+                    if shared as usize > top {
+                        top = shared as usize;
+                    }
+                }
+            }
+        } else if self.words > 1 {
+            for p in 0..self.sites.len() {
+                let shared = self.shared_with_loaded(p);
+                self.shared_of.push(shared);
+                if shared as usize >= min_shared {
+                    counts[shared as usize] += 1;
+                    if shared as usize > top {
+                        top = shared as usize;
+                    }
+                }
+            }
+        }
+        top
+    }
+
+    /// Shared count of pool candidate `p` from the last
+    /// [`fill_shared`](Self::fill_shared).
+    pub(crate) fn shared_of(&self, p: usize) -> u32 {
+        self.shared_of[p]
+    }
+}
+
 /// Inverted cell→stop index with exact score-bound pruning.
 #[derive(Debug, Clone, Default)]
 pub struct MatchIndex {
     /// Interner: cell ID → dense index into `postings`.
-    cell_ids: HashMap<CellTowerId, u32>,
+    cell_ids: HashMap<CellTowerId, u32, FxBuildHasher>,
     /// Per interned cell, the slots whose fingerprint contains it.
     postings: Vec<Vec<u32>>,
     /// Slot-addressed entries; `None` marks a recycled slot.
@@ -240,6 +403,92 @@ impl MatchIndex {
             }
             candidates
         })
+    }
+
+    /// Builds the per-trip candidate pool for `fps` (the trip's distinct
+    /// fingerprints) into `pool`: one interner lookup per cell instance,
+    /// two posting walks total, instead of a full probe per sample.
+    ///
+    /// Pool order is site-ascending, so a bucket walk in descending
+    /// shared count reproduces [`visit_candidates`](Self::visit_candidates)'s
+    /// `(bound desc, site asc)` visit order exactly.
+    pub(crate) fn probe_trip(&self, fps: &[&Fingerprint], pool: &mut TripPool) {
+        pool.reset(self.postings.len(), self.entries.len());
+
+        // Pass 1: rank the trip's distinct indexed cells and record each
+        // fingerprint's bit list. Cells the interner has never seen are
+        // excluded outright — no stored fingerprint contains them, so
+        // they cannot contribute to any candidate's shared count.
+        let mut bits = 0u32;
+        for fp in fps {
+            let start = u32::try_from(pool.fp_bits.len()).expect("trip bits fit in u32");
+            for &cell in fp.cells() {
+                let Some(&ci) = self.cell_ids.get(&cell) else {
+                    continue;
+                };
+                let rank = &mut pool.rank_of_cell[ci as usize];
+                if *rank == 0 {
+                    bits += 1;
+                    *rank = bits;
+                    pool.ranked_cells.push(ci);
+                }
+                pool.fp_bits.push(*rank - 1);
+            }
+            let len = u32::try_from(pool.fp_bits.len()).expect("trip bits fit in u32") - start;
+            pool.fp_spans.push((start, len));
+        }
+        pool.words = (bits as usize).div_ceil(64);
+
+        // Pass 2: one posting walk both unions the ranked cells' posting
+        // lists into the pool and ORs each candidate's shared-cell bits
+        // into a discovery-ordered mask row.
+        for &ci in &pool.ranked_cells {
+            let bit = pool.rank_of_cell[ci as usize] - 1;
+            let (word, shift) = ((bit / 64) as usize, bit % 64);
+            for &slot in &self.postings[ci as usize] {
+                let mut d = pool.pool_of_slot[slot as usize] as usize;
+                if d == u32::MAX as usize {
+                    d = pool.slots.len();
+                    pool.pool_of_slot[slot as usize] = u32::try_from(d).expect("pool fits in u32");
+                    pool.slots.push(slot);
+                    pool.disc_masks
+                        .resize(pool.disc_masks.len() + pool.words, 0);
+                }
+                pool.disc_masks[d * pool.words + word] |= 1u64 << shift;
+            }
+        }
+        // Sort by site with one entry lookup per slot (packed keys), not
+        // one per comparison.
+        for &slot in &pool.slots {
+            // invariant: postings only reference occupied slots.
+            let site = self.entries[slot as usize]
+                .as_ref()
+                .expect("posted slot occupied")
+                .site;
+            pool.packed
+                .push((u64::from(site.0) << 32) | u64::from(slot));
+        }
+        pool.packed.sort_unstable();
+        pool.slots.clear();
+        for p in 0..pool.packed.len() {
+            let slot = (pool.packed[p] & 0xFFFF_FFFF) as u32;
+            pool.slots.push(slot);
+            let d = pool.pool_of_slot[slot as usize] as usize;
+            pool.masks
+                .extend_from_slice(&pool.disc_masks[d * pool.words..(d + 1) * pool.words]);
+            pool.pool_of_slot[slot as usize] = u32::try_from(p).expect("pool fits in u32");
+            let entry = self.entries[slot as usize]
+                .as_ref()
+                .expect("posted slot occupied");
+            let start = u32::try_from(pool.cells.len()).expect("arena fits in u32");
+            pool.cells.extend_from_slice(entry.fp.cells());
+            pool.spans.push((
+                start,
+                u32::try_from(entry.fp.len()).expect("fp fits in u32"),
+            ));
+            pool.sites.push(entry.site);
+        }
+        pool.packed.clear();
     }
 }
 

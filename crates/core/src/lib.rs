@@ -57,6 +57,7 @@ pub mod database;
 pub mod durability;
 pub mod estimation;
 pub mod fusion;
+mod fxhash;
 pub mod geojson;
 pub mod index;
 pub mod inference;

@@ -21,9 +21,10 @@
 //! holds the property suite asserting it.
 
 use crate::database::StopFingerprintDb;
-use crate::index::MatchIndex;
+use crate::fxhash::FxBuildHasher;
+use crate::index::{MatchIndex, TripPool};
 use crate::telemetry::MatcherMetrics;
-use busprobe_cellular::Fingerprint;
+use busprobe_cellular::{CellTowerId, Fingerprint};
 use busprobe_network::StopSiteId;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -64,8 +65,20 @@ struct DpScratch {
     cur: Vec<f64>,
 }
 
+/// Reusable per-thread scratch for the trip-level batch scorer: the
+/// shared candidate pool plus the per-level histogram that orders each
+/// sample's visit.
+#[derive(Debug, Default)]
+struct TripScratch {
+    pool: TripPool,
+    /// `counts[shared]` counts candidates sharing exactly `shared` cells
+    /// with the current sample (levels ≥ the γ threshold only).
+    counts: Vec<u32>,
+}
+
 thread_local! {
     static DP_SCRATCH: RefCell<DpScratch> = RefCell::new(DpScratch::default());
+    static TRIP_SCRATCH: RefCell<TripScratch> = RefCell::new(TripScratch::default());
 }
 
 /// Smith–Waterman local-alignment similarity between two RSS-ordered cell
@@ -104,38 +117,55 @@ fn similarity_scratch(
     config: &MatchConfig,
     s: &mut DpScratch,
 ) -> f64 {
-    let xs = a.cells();
-    let ys = b.cells();
+    similarity_cells(a.cells(), b.cells(), config, s)
+}
+
+/// [`similarity`] over raw cell slices — the batch scorer aligns samples
+/// against SoA arena slices that never materialize a `Fingerprint`. Same
+/// DP, same operation order, bit-identical scores.
+fn similarity_cells(
+    xs: &[CellTowerId],
+    ys: &[CellTowerId],
+    config: &MatchConfig,
+    s: &mut DpScratch,
+) -> f64 {
     if xs.is_empty() || ys.is_empty() {
         return 0.0;
     }
     // Two-row dynamic program; H[i][j] = best local alignment ending at
-    // (i, j), floored at zero (local alignment restarts freely).
+    // (i, j), floored at zero (local alignment restarts freely). The
+    // boundary column H[i][0] is always 0, so `diag` and `left` carry as
+    // scalars across the row and the zipped iteration elides every bounds
+    // check; each f64 operation and its order are exactly the indexed
+    // formulation's, keeping scores bit-stable.
     s.prev.clear();
-    s.prev.resize(ys.len() + 1, 0.0);
+    s.prev.resize(ys.len(), 0.0);
     s.cur.clear();
-    s.cur.resize(ys.len() + 1, 0.0);
-    let prev = &mut s.prev;
-    let cur = &mut s.cur;
+    s.cur.resize(ys.len(), 0.0);
+    let mut prev = &mut s.prev;
+    let mut cur = &mut s.cur;
     let mut best = 0.0f64;
     for &x in xs {
-        for (j, &y) in ys.iter().enumerate() {
-            let diag = prev[j]
+        let mut diag_h = 0.0f64; // H[i-1][j-1], seeded by the zero column
+        let mut left_h = 0.0f64; // H[i][j-1]
+        for (&y, (up_h, out)) in ys.iter().zip(prev.iter().zip(cur.iter_mut())) {
+            let diag = diag_h
                 + if x == y {
                     config.match_score
                 } else {
                     -config.mismatch_penalty
                 };
-            let up = prev[j + 1] - config.gap_penalty;
-            let left = cur[j] - config.gap_penalty;
+            let up = *up_h - config.gap_penalty;
+            let left = left_h - config.gap_penalty;
             let h = diag.max(up).max(left).max(0.0);
-            cur[j + 1] = h;
+            diag_h = *up_h;
+            left_h = h;
+            *out = h;
             if h > best {
                 best = h;
             }
         }
-        std::mem::swap(prev, cur);
-        cur[0] = 0.0;
+        std::mem::swap(&mut prev, &mut cur);
     }
     best
 }
@@ -219,11 +249,18 @@ impl MatchMemo {
     }
 }
 
+/// Per-trip deduplication cap shared by [`MatchMemo::default`] and the
+/// batch scorer: both answer at most this many *distinct* fingerprints
+/// per trip from one computation; occurrences beyond the cap are
+/// recomputed (the cap only guards against hostile uploads).
+pub(crate) const TRIP_DISTINCT_CAP: usize = 64;
+
 impl Default for MatchMemo {
-    /// The per-trip default: 64 distinct fingerprints (beeps arrive a few
-    /// seconds apart; a trip rarely carries more distinct scans).
+    /// The per-trip default: [`TRIP_DISTINCT_CAP`] distinct fingerprints
+    /// (beeps arrive a few seconds apart; a trip rarely carries more
+    /// distinct scans).
     fn default() -> Self {
-        MatchMemo::new(64)
+        MatchMemo::new(TRIP_DISTINCT_CAP)
     }
 }
 
@@ -430,6 +467,174 @@ impl Matcher {
             memo.map.insert(sample.clone(), result);
         }
         result
+    }
+
+    /// [`best_match`](Self::best_match) for every sample of one trip,
+    /// sharing the index probe across the whole upload.
+    ///
+    /// Samples within a trip hear the same few stops, so the batch path
+    /// probes the inverted index once per trip: distinct fingerprints are
+    /// deduplicated (repeats count as memo hits, exactly like
+    /// [`best_match_memo`](Self::best_match_memo)), one
+    /// [`TripPool`] materializes the union of candidate posting lists
+    /// with per-candidate shared-cell bitmasks and an SoA cell arena, and
+    /// each distinct sample then scores its candidates by counting-sorted
+    /// shared-count buckets — reproducing the per-sample visit order
+    /// `(bound desc, site asc)` and early exit exactly. Results are
+    /// bit-identical to a per-sample [`MatchMemo`] loop;
+    /// `crates/core/tests/batch_equivalence.rs` holds the property suite.
+    ///
+    /// Distinct fingerprints beyond [`TRIP_DISTINCT_CAP`] are answered
+    /// per occurrence through the per-sample path, mirroring the memo's
+    /// bounded capacity.
+    #[must_use]
+    pub fn match_trip(&self, fps: &[Fingerprint]) -> Vec<Option<MatchResult>> {
+        if !self.indexed() {
+            // Pruning unsound (γ ≤ 0) or index disabled: the batch path
+            // degenerates to the per-sample memoized scan.
+            let mut memo = MatchMemo::default();
+            return fps
+                .iter()
+                .map(|fp| self.best_match_memo(fp, &mut memo))
+                .collect();
+        }
+
+        // Deduplicate on the exact cell sequence. `occ[i]` is sample i's
+        // distinct-fingerprint id, or `u32::MAX` past the cap.
+        let mut distinct: Vec<&Fingerprint> = Vec::new();
+        let mut occ: Vec<u32> = Vec::with_capacity(fps.len());
+        let mut ids: HashMap<&[CellTowerId], u32, FxBuildHasher> =
+            HashMap::with_capacity_and_hasher(fps.len(), FxBuildHasher::default());
+        for fp in fps {
+            match ids.entry(fp.cells()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    self.metrics.memo_hits.inc();
+                    occ.push(*e.get());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if distinct.len() < TRIP_DISTINCT_CAP {
+                        let k = u32::try_from(distinct.len()).expect("cap fits in u32");
+                        e.insert(k);
+                        occ.push(k);
+                        distinct.push(fp);
+                    } else {
+                        occ.push(u32::MAX);
+                    }
+                }
+            }
+        }
+
+        let answers = TRIP_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            self.index.probe_trip(&distinct, &mut scratch.pool);
+            let mut answers: Vec<Option<MatchResult>> = Vec::with_capacity(distinct.len());
+            for (k, fp) in distinct.iter().enumerate() {
+                answers.push(self.best_match_pooled(k, fp, &mut scratch.pool, &mut scratch.counts));
+            }
+            answers
+        });
+
+        occ.iter()
+            .zip(fps)
+            .map(|(&o, fp)| {
+                if o == u32::MAX {
+                    // Past the dedup cap: computed per occurrence, exactly
+                    // like a full memo answering a miss it cannot store.
+                    self.best_match(fp)
+                } else {
+                    answers[o as usize]
+                }
+            })
+            .collect()
+    }
+
+    /// [`best_match`](Self::best_match) against the trip pool: shared
+    /// counts come from mask popcounts, candidates visit in counting-scan
+    /// order (shared desc; pool position — i.e. site — ascending within a
+    /// level), and alignments run over the SoA arena slices. One visit
+    /// order, one γ filter, one early exit — the per-sample path's,
+    /// reproduced bit-for-bit.
+    fn best_match_pooled(
+        &self,
+        k: usize,
+        sample: &Fingerprint,
+        pool: &mut TripPool,
+        counts: &mut Vec<u32>,
+    ) -> Option<MatchResult> {
+        pool.load_fingerprint(k);
+        // The γ filter `score_bound(shared) >= γ` is monotone in the
+        // shared count, so it collapses to one integer threshold computed
+        // up front — the same float comparisons the per-sample filter
+        // makes, hoisted out of the per-candidate loop.
+        let mut min_shared = 1usize;
+        while min_shared <= sample.len()
+            && MatchIndex::score_bound(min_shared, self.config.match_score)
+                < self.config.accept_threshold
+        {
+            min_shared += 1;
+        }
+        // Histogram levels: shared counts never exceed the sample length.
+        if counts.len() <= sample.len() {
+            counts.resize(sample.len() + 1, 0);
+        }
+        let top = if min_shared > sample.len() {
+            0 // γ unreachable for this sample: no candidate can pass
+        } else {
+            pool.fill_shared(min_shared, counts)
+        };
+
+        let mut best: Option<MatchResult> = None;
+        let mut scored = 0usize;
+        DP_SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            'visit: for shared in (min_shared..=top).rev() {
+                let mut remaining = counts[shared];
+                if remaining == 0 {
+                    continue;
+                }
+                let bound = MatchIndex::score_bound(shared, self.config.match_score);
+                for p in 0..pool.candidate_count() {
+                    if pool.shared_of(p) as usize != shared {
+                        continue;
+                    }
+                    if let Some(b) = &best {
+                        // Same exit as the per-sample visitor: no
+                        // remaining bound can beat the current best.
+                        if bound < b.score {
+                            break 'visit;
+                        }
+                    }
+                    scored += 1;
+                    let score =
+                        similarity_cells(sample.cells(), pool.candidate_cells(p), &self.config, s);
+                    if score >= self.config.accept_threshold {
+                        let candidate = MatchResult {
+                            site: pool.site(p),
+                            score,
+                            common_cells: shared,
+                        };
+                        let better = match &best {
+                            None => true,
+                            Some(b) => rank(&candidate, b) == Ordering::Less,
+                        };
+                        if better {
+                            best = Some(candidate);
+                        }
+                    }
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        });
+        if top >= min_shared {
+            for c in &mut counts[min_shared..=top] {
+                *c = 0;
+            }
+        }
+        self.record_query(scored);
+        best
     }
 
     /// Reference implementation of [`best_match`](Self::best_match): a
@@ -724,6 +929,69 @@ mod tests {
             matcher.best_match_memo(&fp(&[1, 2, 3]), &mut memo),
             matcher.best_match(&fp(&[1, 2, 3]))
         );
+    }
+
+    #[test]
+    fn match_trip_equals_per_sample_memo() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2, 3, 4, 5]));
+        db.insert(StopSiteId(1), fp(&[1, 2, 9, 8, 7]));
+        db.insert(StopSiteId(2), fp(&[31, 1, 2, 50]));
+        db.insert(StopSiteId(3), fp(&[60, 61, 62]));
+        let matcher = Matcher::new(db, config());
+        let trip = vec![
+            fp(&[1, 2, 3, 4, 6]),
+            fp(&[1, 2, 31]),
+            fp(&[1, 2, 3, 4, 6]), // repeat: dedup answers it
+            fp(&[60, 61]),
+            fp(&[99, 98]), // unmatched
+            fp(&[]),       // empty scan
+            fp(&[1, 2, 31]),
+        ];
+        let batch = matcher.match_trip(&trip);
+        let mut memo = MatchMemo::default();
+        let serial: Vec<_> = trip
+            .iter()
+            .map(|f| matcher.best_match_memo(f, &mut memo))
+            .collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn match_trip_past_the_dedup_cap_still_answers() {
+        let mut db = StopFingerprintDb::new();
+        for k in 0..100u32 {
+            db.insert(StopSiteId(k), fp(&[k, k + 1000, k + 2000]));
+        }
+        let matcher = Matcher::new(db, config());
+        // More distinct fingerprints than TRIP_DISTINCT_CAP, plus a
+        // repeat of an over-cap fingerprint.
+        let mut trip: Vec<Fingerprint> = (0..80u32).map(|k| fp(&[k, k + 1000, k + 2000])).collect();
+        trip.push(fp(&[79, 1079, 2079]));
+        let batch = matcher.match_trip(&trip);
+        let mut memo = MatchMemo::default();
+        let serial: Vec<_> = trip
+            .iter()
+            .map(|f| matcher.best_match_memo(f, &mut memo))
+            .collect();
+        assert_eq!(batch, serial);
+        assert_eq!(batch[79].unwrap().site, StopSiteId(79));
+    }
+
+    #[test]
+    fn match_trip_unindexed_falls_back_to_the_scan() {
+        let mut db = StopFingerprintDb::new();
+        db.insert(StopSiteId(0), fp(&[1, 2]));
+        db.insert(StopSiteId(1), fp(&[8, 9]));
+        let cfg = MatchConfig {
+            accept_threshold: 0.0,
+            ..config()
+        };
+        let matcher = Matcher::new(db, cfg);
+        let trip = vec![fp(&[1, 2]), fp(&[8, 9]), fp(&[1, 2])];
+        let batch = matcher.match_trip(&trip);
+        let serial: Vec<_> = trip.iter().map(|f| matcher.best_match_brute(f)).collect();
+        assert_eq!(batch, serial);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub(crate) fn ingest_batch(
     if workers <= 1 {
         // One worker: stage+commit back to back is already the serial
         // path — no threads, no channel, nothing to merge.
-        return trips
+        let reports = trips
             .iter()
             .enumerate()
             .map(|(seq, trip)| {
@@ -76,6 +76,8 @@ pub(crate) fn ingest_batch(
                 monitor.ingest_upload(trip, recv)
             })
             .collect();
+        monitor.flush_wal_group();
+        return reports;
     }
 
     busprobe_telemetry::event(
@@ -142,6 +144,9 @@ pub(crate) fn ingest_batch(
     // invariant: stage_upload and commit_staged catch panics per trip,
     // so workers cannot unwind.
     .expect("ingest workers do not panic");
+    // The reorder buffer just drained: a batch boundary is a group
+    // boundary, so a partial group window never straddles batches.
+    monitor.flush_wal_group();
     reports
 }
 

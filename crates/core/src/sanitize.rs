@@ -172,38 +172,46 @@ pub fn sanitize(
     // `reorder_window + 1` samples restores order for anything up to
     // `reorder_window` positions late; a sample older than everything the
     // window already emitted is quarantined instead of buffered forever.
+    // Already-ordered uploads (the overwhelmingly common case) skip the
+    // window entirely: with no inversions the buffer would emit the input
+    // verbatim and quarantine nothing.
     report.reordered = kept
         .windows(2)
         .filter(|w| w[1].time_s < w[0].time_s)
         .count();
-    let window = cfg.reorder_window.max(1);
-    let mut buffer: Vec<CellularSample> = Vec::with_capacity(window + 1);
-    let mut ordered: Vec<CellularSample> = Vec::with_capacity(kept.len());
-    let emit =
-        |s: CellularSample, ordered: &mut Vec<CellularSample>, report: &mut SanitizeReport| {
-            if ordered.last().is_some_and(|last| s.time_s < last.time_s) {
-                report.quarantined_unorderable += 1;
-            } else {
-                ordered.push(s);
+    let ordered: Vec<CellularSample> = if report.reordered == 0 {
+        kept
+    } else {
+        let window = cfg.reorder_window.max(1);
+        let mut buffer: Vec<CellularSample> = Vec::with_capacity(window + 1);
+        let mut ordered: Vec<CellularSample> = Vec::with_capacity(kept.len());
+        let emit =
+            |s: CellularSample, ordered: &mut Vec<CellularSample>, report: &mut SanitizeReport| {
+                if ordered.last().is_some_and(|last| s.time_s < last.time_s) {
+                    report.quarantined_unorderable += 1;
+                } else {
+                    ordered.push(s);
+                }
+            };
+        for s in kept {
+            let at = buffer.partition_point(|b| b.time_s <= s.time_s);
+            buffer.insert(at, s);
+            if buffer.len() > window {
+                let head = buffer.remove(0);
+                emit(head, &mut ordered, &mut report);
             }
-        };
-    for s in kept {
-        let at = buffer.partition_point(|b| b.time_s <= s.time_s);
-        buffer.insert(at, s);
-        if buffer.len() > window {
-            let head = buffer.remove(0);
-            emit(head, &mut ordered, &mut report);
         }
-    }
-    for s in buffer {
-        emit(s, &mut ordered, &mut report);
-    }
+        for s in buffer {
+            emit(s, &mut ordered, &mut report);
+        }
+        ordered
+    };
 
     // Stage 4: consecutive-duplicate suppression.
     let mut out: Vec<CellularSample> = Vec::with_capacity(ordered.len());
     for s in ordered {
         if out.last().is_some_and(|last| {
-            s.scan == last.scan && (s.time_s - last.time_s).abs() <= cfg.duplicate_window_s
+            (s.time_s - last.time_s).abs() <= cfg.duplicate_window_s && s.scan == last.scan
         }) {
             report.duplicates_suppressed += 1;
             continue;
@@ -242,8 +250,17 @@ fn repair_scan(
 }
 
 fn has_duplicate_tower(obs: &[busprobe_cellular::CellObservation]) -> bool {
-    let mut seen = std::collections::HashSet::with_capacity(obs.len());
-    obs.iter().any(|o| !seen.insert(o.tower))
+    // Real scans hold a handful of towers: a quadratic probe of a short
+    // slice beats allocating a hash set on every clean scan. Oversized
+    // (hostile) scans fall back to the set to stay O(n).
+    if obs.len() <= 32 {
+        obs.iter()
+            .enumerate()
+            .any(|(k, o)| obs[..k].iter().any(|p| p.tower == o.tower))
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(obs.len());
+        obs.iter().any(|o| !seen.insert(o.tower))
+    }
 }
 
 /// Near-duplicate digests of a sanitized upload: a content hash over

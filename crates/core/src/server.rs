@@ -25,7 +25,7 @@ use crate::estimation::{SpeedObservation, TripEstimator};
 use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
 use crate::mapping::{MappedVisit, TripMapper};
-use crate::matching::{MatchMemo, Matcher};
+use crate::matching::Matcher;
 use crate::sanitize::{self, SanitizeConfig, SanitizeReport};
 use crate::telemetry::PipelineMetrics;
 use crate::updater::{DbUpdater, UpdaterConfig};
@@ -320,6 +320,26 @@ struct AttachedStore {
     /// Write a full-state snapshot every this many WAL records
     /// (0 = only on explicit [`TrafficMonitor::checkpoint`] calls).
     snapshot_every: u64,
+    /// Group-commit window: buffer this many commit payloads and append
+    /// them as one WAL group frame (1 = append each commit immediately,
+    /// producing a log byte-identical to ungrouped operation).
+    group_every: u64,
+    /// Commit payloads buffered for the current group window, in commit
+    /// order. Flushed as one frame when the window fills, before any
+    /// fsync/checkpoint/refresh, at batch boundaries, and on detach.
+    pending: Vec<Vec<u8>>,
+}
+
+impl Drop for AttachedStore {
+    /// Best-effort flush of a partial group on detach, mirroring the
+    /// buffered-writer contract: a clean exit or unwinding panic loses
+    /// nothing, while a SIGKILL mid-window may lose the buffered group,
+    /// which recovery reports as a missing suffix and a resumed ingest
+    /// re-commits.
+    fn drop(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        let _ = self.store.append_group(&pending);
+    }
 }
 
 /// The backend server.
@@ -881,10 +901,12 @@ impl TrafficMonitor {
         self.store_failed.load(AtomicOrdering::Acquire)
     }
 
-    /// Appends one commit record to the attached store (a no-op without
-    /// one) and auto-checkpoints on the configured cadence. Returns the
-    /// record's WAL sequence number, or `None` when no store is attached
-    /// or the append failed.
+    /// Queues one commit record for the attached store (a no-op without
+    /// one), appending the buffered group as one WAL frame when the
+    /// group window fills, and auto-checkpoints on the configured
+    /// cadence. Returns the record's WAL sequence number — deterministic
+    /// even while buffered, because appends happen in commit order — or
+    /// `None` when no store is attached or the append failed.
     ///
     /// An append failure is retried with backoff; exhausting the retries
     /// degrades durability, never availability: the failure is counted,
@@ -895,35 +917,92 @@ impl TrafficMonitor {
         let attached = guard.as_mut()?;
         let payload = WalRecord::Commit(record).encode();
         let snapshot_every = attached.snapshot_every;
-        let (wal_seq, snapshot_due) =
-            match self.retry_store_io("WAL append", || attached.store.append(&payload)) {
-                Ok(seq) => (
-                    Some(seq),
-                    snapshot_every > 0 && (seq + 1) % snapshot_every == 0,
-                ),
-                Err(e) => {
-                    self.metrics.store_append_errors.inc();
-                    self.fail_stop_store(&mut guard, "WAL append", &e);
-                    (None, false)
+        let group_every = attached.group_every.max(1);
+        // The sequence number this record will carry once its group
+        // flushes: the store's next sequence plus the records queued
+        // ahead of it in the window.
+        let wal_seq = attached.store.next_seq() + attached.pending.len() as u64;
+        attached.pending.push(payload);
+        let mut flushed = None;
+        if attached.pending.len() as u64 >= group_every {
+            match self.flush_group(&mut guard) {
+                Ok(range) => flushed = range,
+                Err(_) => {
+                    drop(guard);
+                    return None;
                 }
-            };
-        drop(guard);
-        if snapshot_due {
-            if let Err(e) = self.checkpoint() {
-                busprobe_telemetry::event(
-                    Level::Warn,
-                    "core::store",
-                    format!("periodic checkpoint failed: {e}"),
-                );
             }
         }
-        wal_seq
+        drop(guard);
+        self.snapshot_if_due(snapshot_every, flushed);
+        Some(wal_seq)
+    }
+
+    /// Appends the buffered commit group (if any) to the WAL as one
+    /// frame. On success returns the flushed sequence range
+    /// `[first, end)`; on exhausted retries the store is fail-stopped
+    /// and the error returned.
+    fn flush_group(&self, guard: &mut Option<AttachedStore>) -> io::Result<Option<(u64, u64)>> {
+        let Some(attached) = guard.as_mut() else {
+            return Ok(None);
+        };
+        if attached.pending.is_empty() {
+            return Ok(None);
+        }
+        let pending = std::mem::take(&mut attached.pending);
+        match self.retry_store_io("WAL group append", || attached.store.append_group(&pending)) {
+            Ok(first) => Ok(Some((first, first + pending.len() as u64))),
+            Err(e) => {
+                self.metrics.store_append_errors.inc();
+                self.fail_stop_store(guard, "WAL group append", &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs a periodic checkpoint when the flushed sequence range
+    /// `[first, end)` crossed the snapshot cadence — the grouped
+    /// generalization of "every `snapshot_every`-th record snapshots",
+    /// to which it degenerates exactly at a group window of one.
+    fn snapshot_if_due(&self, snapshot_every: u64, flushed: Option<(u64, u64)>) {
+        let Some((first, end)) = flushed else {
+            return;
+        };
+        if snapshot_every == 0 || end / snapshot_every == first / snapshot_every {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            busprobe_telemetry::event(
+                Level::Warn,
+                "core::store",
+                format!("periodic checkpoint failed: {e}"),
+            );
+        }
+    }
+
+    /// Flushes any buffered commit group to the WAL — the batch-ingest
+    /// reorder-buffer boundary — honoring the snapshot cadence for the
+    /// flushed range. Flush failures have already fail-stopped the store
+    /// and are not propagated: batch ingest, like per-upload ingest,
+    /// degrades durability rather than availability.
+    pub(crate) fn flush_wal_group(&self) {
+        let mut guard = self.store.lock();
+        let snapshot_every = guard.as_ref().map_or(0, |a| a.snapshot_every);
+        let flushed = self.flush_group(&mut guard).unwrap_or(None);
+        drop(guard);
+        self.snapshot_if_due(snapshot_every, flushed);
     }
 
     /// Appends a refresh marker to the attached store (a no-op without
-    /// one), sequencing the database refresh among the commits.
+    /// one), sequencing the database refresh among the commits. Any
+    /// buffered commit group flushes first so the log preserves the
+    /// mutation order.
     fn log_refresh(&self) {
         let mut guard = self.store.lock();
+        let snapshot_every = guard.as_ref().map_or(0, |a| a.snapshot_every);
+        let Ok(flushed) = self.flush_group(&mut guard) else {
+            return;
+        };
         let Some(attached) = guard.as_mut() else {
             return;
         };
@@ -934,6 +1013,8 @@ impl TrafficMonitor {
             self.metrics.store_append_errors.inc();
             self.fail_stop_store(&mut guard, "WAL refresh append", &e);
         }
+        drop(guard);
+        self.snapshot_if_due(snapshot_every, flushed);
     }
 
     /// Seeds a report with the raw sample count and sanitizer accounting.
@@ -1105,9 +1186,25 @@ impl TrafficMonitor {
     /// faithful serialization of the monitor's one mutation stream —
     /// parallel ingest produces the same log as serial ingest.
     pub fn attach_store(&self, store: Store, snapshot_every: u64) {
+        self.attach_store_grouped(store, snapshot_every, 1);
+    }
+
+    /// [`attach_store`](Self::attach_store) with a group-commit window:
+    /// commits buffer in-process and append as one WAL group frame per
+    /// `group_every` commits (and at every fsync, checkpoint, refresh,
+    /// batch boundary and detach), so the ordered commit phase pays one
+    /// frame — and, for callers gating acknowledgements on
+    /// [`sync_store`](Self::sync_store), one fsync — per window instead
+    /// of per trip. Recovery replays group members to the exact
+    /// per-record state; a window of 1 produces a byte-identical log to
+    /// ungrouped operation. A SIGKILL can lose at most the buffered
+    /// window — never an upload acknowledged after a sync.
+    pub fn attach_store_grouped(&self, store: Store, snapshot_every: u64, group_every: u64) {
         *self.store.lock() = Some(AttachedStore {
             store,
             snapshot_every,
+            group_every: group_every.max(1),
+            pending: Vec::new(),
         });
     }
 
@@ -1118,10 +1215,14 @@ impl TrafficMonitor {
     }
 
     /// The WAL sequence number the next commit will receive, if a store
-    /// is attached.
+    /// is attached — counting commits still buffered in the current
+    /// group window.
     #[must_use]
     pub fn store_seq(&self) -> Option<u64> {
-        self.store.lock().as_ref().map(|a| a.store.next_seq())
+        self.store
+            .lock()
+            .as_ref()
+            .map(|a| a.store.next_seq() + a.pending.len() as u64)
     }
 
     /// Flushes and fsyncs the attached store's WAL, making every commit
@@ -1135,6 +1236,15 @@ impl TrafficMonitor {
     /// acknowledgements on durability never release them.
     pub fn sync_store(&self) -> io::Result<()> {
         let mut guard = self.store.lock();
+        if guard.is_none() {
+            return Ok(());
+        }
+        // A partial group window flushes (as a smaller group frame)
+        // before the fsync, so "synced" always means "every commit so
+        // far is on disk" — the acknowledgement contract is unchanged
+        // by group commit.
+        let snapshot_every = guard.as_ref().map_or(0, |a| a.snapshot_every);
+        let flushed = self.flush_group(&mut guard)?;
         let Some(attached) = guard.as_mut() else {
             return Ok(());
         };
@@ -1142,6 +1252,8 @@ impl TrafficMonitor {
             self.fail_stop_store(&mut guard, "WAL fsync", &e);
             return Err(e);
         }
+        drop(guard);
+        self.snapshot_if_due(snapshot_every, flushed);
         Ok(())
     }
 
@@ -1153,6 +1265,12 @@ impl TrafficMonitor {
     /// so the snapshot observes a commit boundary.
     pub fn checkpoint(&self) -> io::Result<Option<u64>> {
         let mut guard = self.store.lock();
+        if guard.is_none() {
+            return Ok(None);
+        }
+        // The snapshot must cover every commit, including a buffered
+        // partial group; flush it first so coverage equals commit count.
+        self.flush_group(&mut guard)?;
         let Some(attached) = guard.as_mut() else {
             return Ok(None);
         };
@@ -1422,23 +1540,25 @@ impl TrafficMonitor {
         let _pipeline_span = self.metrics.span_pipeline();
         let now = |on: bool| on.then(busprobe_telemetry::clock_ns);
 
-        // Per-sample matching (γ filter included). Consecutive beeps near
-        // one stop often repeat the exact cell sequence; the per-trip memo
-        // answers repeats without touching the index.
+        // Trip-level batch matching (γ filter included). Samples within a
+        // trip hear the same few stops, so the batch scorer deduplicates
+        // repeated cell sequences and shares one index probe across the
+        // whole upload — bit-identical to the historical per-sample
+        // `best_match_memo` loop.
         let trace_start = now(trace.is_some());
         let span = self.metrics.span_matching();
         let matcher = self.matcher.read();
-        let mut memo = MatchMemo::default();
-        let matched: Vec<MatchedSample> = samples
-            .iter()
-            .filter_map(|s| {
-                matcher
-                    .best_match_memo(&s.scan.fingerprint(), &mut memo)
-                    .map(|hit| MatchedSample {
-                        time_s: s.time_s,
-                        site: hit.site,
-                        score: hit.score,
-                    })
+        let fps: Vec<_> = samples.iter().map(|s| s.scan.fingerprint()).collect();
+        let matched: Vec<MatchedSample> = matcher
+            .match_trip(&fps)
+            .into_iter()
+            .zip(samples)
+            .filter_map(|(hit, s)| {
+                hit.map(|hit| MatchedSample {
+                    time_s: s.time_s,
+                    site: hit.site,
+                    score: hit.score,
+                })
             })
             .collect();
         if let Some(draft) = trace.as_mut() {
@@ -1450,8 +1570,8 @@ impl TrafficMonitor {
                 score: r.score,
                 common_cells: r.common_cells,
             };
-            for (i, s) in samples.iter().take(TRACE_DETAIL).enumerate() {
-                let explanation = matcher.explain(&s.scan.fingerprint());
+            for (i, fp) in fps.iter().take(TRACE_DETAIL).enumerate() {
+                let explanation = matcher.explain(fp);
                 draft.events.push(TraceEvent::MatchDecision {
                     scan: i,
                     winner: explanation.winner.map(as_candidate),

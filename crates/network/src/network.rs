@@ -3,8 +3,9 @@ use crate::ids::{RouteId, SegmentKey, StopId, StopSiteId};
 use crate::route::BusRoute;
 use crate::stop::{BusStop, StopSite};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A directed road segment between two consecutive logical stops on at
 /// least one route. This is the unit at which traffic is estimated and
@@ -114,6 +115,28 @@ pub struct TransitNetwork {
     /// Which routes traverse each block edge (for coverage stats).
     #[serde(with = "map_as_pairs")]
     edge_routes: BTreeMap<BlockEdge, BTreeSet<RouteId>>,
+    /// Lazily built [`Self::segment_chain`] results for every served
+    /// site pair. Derived data: skipped on the wire and rebuilt on first
+    /// use after deserialization.
+    #[serde(skip)]
+    chains: OnceLock<HashMap<(StopSiteId, StopSiteId), CachedChain>>,
+    /// Row-major `sites × sites` bitmap of the `follows` relation, the
+    /// mapper's Viterbi inner loop being too hot for per-query tree
+    /// walks. Derived from `successors`; skipped on the wire.
+    #[serde(skip)]
+    follows_bits: OnceLock<Vec<u64>>,
+}
+
+/// One cached [`TransitNetwork::segment_chain`] result with precomputed
+/// chain totals, so the estimator's per-hop loop reads two floats instead
+/// of walking the segment registry.
+#[derive(Debug, Clone)]
+struct CachedChain {
+    keys: Vec<SegmentKey>,
+    /// `(total length_m, total free travel time_s)`, accumulated over
+    /// `keys` in chain order; `None` when a key has no segment entry
+    /// (possible only for inconsistent wire data).
+    stats: Option<(f64, f64)>,
 }
 
 /// Serializes `BTreeMap`s with non-string keys as sequences of pairs so the
@@ -194,6 +217,8 @@ impl TransitNetwork {
             segments: BTreeMap::new(),
             successors: Vec::new(),
             edge_routes,
+            chains: OnceLock::new(),
+            follows_bits: OnceLock::new(),
         };
         network.build_segments();
         network.build_successors();
@@ -296,9 +321,21 @@ impl TransitNetwork {
     /// might arrive at `b` after passing `a`.
     #[must_use]
     pub fn follows(&self, a: StopSiteId, b: StopSiteId) -> bool {
-        self.successors
-            .get(a.index())
-            .is_some_and(|s| s.contains(&b))
+        let n = self.sites.len();
+        if a.index() >= n || b.index() >= n {
+            return false;
+        }
+        let words = n.div_ceil(64);
+        let bits = self.follows_bits.get_or_init(|| {
+            let mut bits = vec![0u64; n * words];
+            for (x, succ) in self.successors.iter().enumerate() {
+                for y in succ {
+                    bits[x * words + y.index() / 64] |= 1u64 << (y.index() % 64);
+                }
+            }
+            bits
+        });
+        bits[a.index() * words + b.index() / 64] >> (b.index() % 64) & 1 == 1
     }
 
     /// All sites strictly after `a` on some route.
@@ -338,31 +375,95 @@ impl TransitNetwork {
     /// spreads the measured travel time over this chain.
     #[must_use]
     pub fn segment_chain(&self, a: StopSiteId, b: StopSiteId) -> Option<Vec<SegmentKey>> {
-        let mut best: Option<Vec<SegmentKey>> = None;
-        for route in &self.routes {
-            let (Some(ia), Some(ib)) = (route.position_of(a), route.position_of(b)) else {
-                continue;
-            };
-            if ia >= ib {
-                continue;
+        self.segment_chain_ref(a, b).map(<[SegmentKey]>::to_vec)
+    }
+
+    /// Borrowed form of [`Self::segment_chain`]: the estimator walks every
+    /// hop of every trip through here, so the hot path must not clone.
+    #[must_use]
+    pub fn segment_chain_ref(&self, a: StopSiteId, b: StopSiteId) -> Option<&[SegmentKey]> {
+        self.chains().get(&(a, b)).map(|c| c.keys.as_slice())
+    }
+
+    /// The segment chain from `a` to `b` plus its precomputed totals
+    /// `(length_m, free travel time_s)`. `None` when no single route
+    /// visits `a` then `b`, or when the chain references a segment the
+    /// registry lacks (inconsistent wire data) — callers skip the hop in
+    /// both cases.
+    #[must_use]
+    pub fn segment_chain_stats(
+        &self,
+        a: StopSiteId,
+        b: StopSiteId,
+    ) -> Option<(&[SegmentKey], f64, f64)> {
+        let chain = self.chains().get(&(a, b))?;
+        let (length_m, free_time_s) = chain.stats?;
+        Some((&chain.keys, length_m, free_time_s))
+    }
+
+    /// All chains, keyed by `(from, to)`, built once on first use.
+    ///
+    /// Routes are visited in id order and an entry is replaced only when
+    /// the new chain is *strictly* shorter, reproducing the
+    /// first-shortest-route selection of the scanning implementation
+    /// exactly (including first-occurrence semantics for sites a route
+    /// visits twice).
+    fn chains(&self) -> &HashMap<(StopSiteId, StopSiteId), CachedChain> {
+        self.chains.get_or_init(|| {
+            let mut map: HashMap<(StopSiteId, StopSiteId), CachedChain> = HashMap::new();
+            let mut order: Vec<(StopSiteId, usize)> = Vec::new();
+            for route in &self.routes {
+                let stops = route.stops();
+                // `position_of` is first-occurrence: keep only the first
+                // index of each site, in ascending index order.
+                order.clear();
+                for (i, rs) in stops.iter().enumerate() {
+                    if !order.iter().any(|&(s, _)| s == rs.site) {
+                        order.push((rs.site, i));
+                    }
+                }
+                for (x, &(a, ia)) in order.iter().enumerate() {
+                    for &(b, ib) in &order[x + 1..] {
+                        if map.get(&(a, b)).is_some_and(|c| c.keys.len() <= ib - ia) {
+                            continue;
+                        }
+                        let keys: Vec<SegmentKey> = stops[ia..=ib]
+                            .windows(2)
+                            .map(|w| SegmentKey::new(w[0].site, w[1].site))
+                            .collect();
+                        // Totals accumulate in chain order from 0.0,
+                        // matching a per-field `.sum()` over the chain
+                        // bit for bit.
+                        let mut length_m = 0.0f64;
+                        let mut free_time_s = 0.0f64;
+                        let mut complete = true;
+                        for key in &keys {
+                            let Some(seg) = self.segments.get(key) else {
+                                complete = false;
+                                break;
+                            };
+                            length_m += seg.length_m;
+                            free_time_s += seg.free_travel_time_s();
+                        }
+                        map.insert(
+                            (a, b),
+                            CachedChain {
+                                keys,
+                                stats: complete.then_some((length_m, free_time_s)),
+                            },
+                        );
+                    }
+                }
             }
-            if best.as_ref().is_some_and(|c| c.len() <= ib - ia) {
-                continue;
-            }
-            let chain: Vec<SegmentKey> = route.stops()[ia..=ib]
-                .windows(2)
-                .map(|w| SegmentKey::new(w[0].site, w[1].site))
-                .collect();
-            best = Some(chain);
-        }
-        best
+            map
+        })
     }
 
     /// Driving distance of the shortest segment chain from `a` to `b`.
     #[must_use]
     pub fn site_distance(&self, a: StopSiteId, b: StopSiteId) -> Option<f64> {
-        let chain = self.segment_chain(a, b)?;
-        Some(chain.iter().map(|k| self.segments[k].length_m).sum())
+        self.segment_chain_stats(a, b)
+            .map(|(_, length_m, _)| length_m)
     }
 
     /// Coverage of the street grid by the route set.

@@ -20,6 +20,13 @@
 
 /// Magic prefix of a WAL record frame.
 pub const RECORD_MAGIC: [u8; 4] = *b"BPW1";
+/// Magic prefix of a WAL *group* frame: one frame carrying several
+/// commit payloads appended (and fsynced) together. The header's
+/// sequence number is the first member's; members occupy consecutive
+/// sequence numbers. A group of one is always written as a plain
+/// `BPW1` record, so logs produced with group commit disabled are
+/// byte-identical to pre-group-commit logs.
+pub const GROUP_MAGIC: [u8; 4] = *b"BPG1";
 /// Magic prefix of a snapshot frame.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"BPS1";
 /// Bytes before the payload.
@@ -28,10 +35,16 @@ pub const HEADER_LEN: usize = 20;
 /// as a corrupt length field rather than an allocation request.
 pub const MAX_PAYLOAD_LEN: usize = 64 << 20;
 
-/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
-/// built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) slice-by-8
+/// lookup tables, built at compile time. Table 0 is the classic
+/// byte-at-a-time table; table `k` advances a byte through `k` further
+/// zero bytes, letting the hot loop fold 8 input bytes per iteration
+/// with eight independent lookups instead of eight serially-dependent
+/// ones. The computed checksum is bit-identical to the byte-at-a-time
+/// form (the known-vector test pins it), so on-disk frames are
+/// unaffected — only the commit path's cycles-per-byte changes.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -44,10 +57,20 @@ const CRC_TABLE: [u32; 256] = {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 };
 
 /// Incremental CRC32 so the header and payload can be hashed without
@@ -65,8 +88,21 @@ impl Crc32 {
     /// Folds `bytes` into the digest.
     pub fn update(&mut self, bytes: &[u8]) {
         let mut c = self.0;
-        for &b in bytes {
-            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = c ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            c = CRC_TABLES[7][(lo & 0xFF) as usize]
+                ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[4][(lo >> 24) as usize]
+                ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+                ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ CRC_TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = CRC_TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
         }
         self.0 = c;
     }
@@ -133,6 +169,64 @@ pub fn encode(magic: [u8; 4], seq: u64, payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(payload);
 }
 
+/// Appends one complete group frame for `payloads` starting at `seq`,
+/// in a single pass: the members are serialized straight into the frame
+/// body (no intermediate assembled-group buffer to copy from) and the
+/// CRC is folded over the cache-warm bytes in place, then patched into
+/// the header. Byte-identical to running [`encode_group_payload`]
+/// through [`encode`] with [`GROUP_MAGIC`] — a unit test pins that.
+pub fn encode_group(seq: u64, payloads: &[Vec<u8>], out: &mut Vec<u8>) {
+    let body_len: usize = 4 + payloads.iter().map(|p| 4 + p.len()).sum::<usize>();
+    debug_assert!(body_len <= MAX_PAYLOAD_LEN);
+    out.reserve(HEADER_LEN + body_len);
+    let frame_start = out.len();
+    out.extend_from_slice(&GROUP_MAGIC);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // CRC, patched once the body is in
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for payload in payloads {
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let mut crc = Crc32::new();
+    crc.update(&out[frame_start + 4..frame_start + 16]);
+    crc.update(&out[frame_start + HEADER_LEN..]);
+    let checksum = crc.finish().to_le_bytes();
+    out[frame_start + 16..frame_start + 20].copy_from_slice(&checksum);
+}
+
+/// Serializes the members of a group frame into `out`:
+/// `[count u32 LE] ([len u32 LE] [bytes])*count`.
+pub fn encode_group_payload(payloads: &[Vec<u8>], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for payload in payloads {
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+}
+
+/// Splits a group frame's payload back into its member payloads, in
+/// append order. Returns `None` when the structure is inconsistent —
+/// only possible for a frame written by a different format version,
+/// since the frame CRC already validated every byte.
+#[must_use]
+pub fn decode_group_payload(payload: &[u8]) -> Option<Vec<&[u8]>> {
+    let count = u32::from_le_bytes(payload.get(0..4)?.try_into().ok()?) as usize;
+    let mut members = Vec::with_capacity(count.min(1024));
+    let mut at = 4usize;
+    for _ in 0..count {
+        let len = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        members.push(payload.get(at..at + len)?);
+        at += len;
+    }
+    if at != payload.len() {
+        return None;
+    }
+    Some(members)
+}
+
 /// Decodes the frame starting at `buf[0]`, expecting `magic`.
 pub fn decode(magic: [u8; 4], buf: &[u8]) -> Result<Frame<'_>, FrameError> {
     if buf.len() < HEADER_LEN {
@@ -183,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn sliced_crc32_equals_byte_at_a_time_at_every_length_and_split() {
+        // The slice-by-8 fold must be indistinguishable from the
+        // reference recurrence for every length (remainder path) and
+        // every incremental split (chunked `update` calls).
+        let reference = |bytes: &[u8]| -> u32 {
+            let mut c = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                c = CRC_TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        };
+        let data: Vec<u8> = (0..200u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 13) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+            let mut split = Crc32::new();
+            split.update(&data[..len / 3]);
+            split.update(&data[len / 3..len]);
+            assert_eq!(split.finish(), reference(&data[..len]), "split at {len}");
+        }
+    }
+
+    #[test]
     fn frame_round_trips() {
         let mut buf = Vec::new();
         encode(RECORD_MAGIC, 42, b"hello", &mut buf);
@@ -224,6 +342,49 @@ mod tests {
             Err(FrameError::BadMagic),
             "wrong magic must not decode"
         );
+    }
+
+    #[test]
+    fn group_payload_round_trips() {
+        let members: Vec<Vec<u8>> = vec![b"first".to_vec(), Vec::new(), b"third".to_vec()];
+        let mut body = Vec::new();
+        encode_group_payload(&members, &mut body);
+        let decoded = decode_group_payload(&body).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0], b"first");
+        assert_eq!(decoded[1], b"");
+        assert_eq!(decoded[2], b"third");
+    }
+
+    #[test]
+    fn single_pass_group_encode_is_byte_identical_to_two_step() {
+        for count in 0..5usize {
+            let members: Vec<Vec<u8>> = (0..count).map(|i| vec![i as u8; i * 37 % 50]).collect();
+            let mut body = Vec::new();
+            encode_group_payload(&members, &mut body);
+            let mut two_step = b"prefix".to_vec();
+            encode(GROUP_MAGIC, 99 + count as u64, &body, &mut two_step);
+            let mut one_pass = b"prefix".to_vec();
+            encode_group(99 + count as u64, &members, &mut one_pass);
+            assert_eq!(one_pass, two_step, "count {count}");
+        }
+    }
+
+    #[test]
+    fn malformed_group_payload_is_rejected() {
+        let members: Vec<Vec<u8>> = vec![b"only".to_vec()];
+        let mut body = Vec::new();
+        encode_group_payload(&members, &mut body);
+        // Trailing garbage, truncated member, and absurd counts all fail
+        // structurally instead of panicking or mis-splitting.
+        let mut extra = body.clone();
+        extra.push(0);
+        assert!(decode_group_payload(&extra).is_none());
+        assert!(decode_group_payload(&body[..body.len() - 1]).is_none());
+        let mut bad_count = body.clone();
+        bad_count[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_group_payload(&bad_count).is_none());
+        assert!(decode_group_payload(&[]).is_none());
     }
 
     #[test]

@@ -141,6 +141,23 @@ impl Store {
         self.wal.append(payload)
     }
 
+    /// Appends `payloads` as one group frame (one buffer write, one
+    /// frame on disk) occupying consecutive sequence numbers; returns
+    /// the first. A single payload is written as a plain record frame,
+    /// so logs from a group size of one are byte-identical to ungrouped
+    /// logs. Fault injection charges a group as one append — it models
+    /// one I/O operation.
+    pub fn append_group(&mut self, payloads: &[Vec<u8>]) -> io::Result<u64> {
+        if self.fault_appends > 0 {
+            self.fault_appends -= 1;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient append fault",
+            ));
+        }
+        self.wal.append_group(payloads)
+    }
+
     /// Flushes and fsyncs the WAL.
     pub fn sync(&mut self) -> io::Result<()> {
         if self.fault_syncs > 0 {

@@ -7,7 +7,7 @@
 //! compaction can drop a segment by comparing its *successor's* first
 //! sequence number against the snapshot coverage point.
 
-use crate::frame::{self, HEADER_LEN, RECORD_MAGIC};
+use crate::frame::{self, GROUP_MAGIC, HEADER_LEN, RECORD_MAGIC};
 use crate::StoreMetrics;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write};
@@ -124,8 +124,8 @@ fn scan_segment(
     let mut offset = 0usize;
     let mut valid_end = 0usize;
     while offset < buf.len() {
-        match frame::decode(RECORD_MAGIC, &buf[offset..]) {
-            Ok(f) => {
+        match decode_any(&buf[offset..]) {
+            Ok(AnyFrame::Record(f)) => {
                 report.records += 1;
                 report.bytes += f.consumed as u64;
                 report.first_seq = Some(report.first_seq.map_or(f.seq, |s| s.min(f.seq)));
@@ -134,6 +134,34 @@ fn scan_segment(
                 offset += f.consumed;
                 valid_end = offset;
             }
+            Ok(AnyFrame::Group(f)) => match frame::decode_group_payload(f.payload) {
+                Some(members) => {
+                    report.records += members.len() as u64;
+                    report.bytes += f.consumed as u64;
+                    if !members.is_empty() {
+                        let last = f.seq + members.len() as u64 - 1;
+                        report.first_seq = Some(report.first_seq.map_or(f.seq, |s| s.min(f.seq)));
+                        report.last_seq = Some(report.last_seq.map_or(last, |s| s.max(last)));
+                    }
+                    for (i, member) in members.iter().enumerate() {
+                        sink(f.seq + i as u64, member);
+                    }
+                    offset += f.consumed;
+                    valid_end = offset;
+                }
+                None => {
+                    // The CRC validated but the group structure didn't —
+                    // a frame from an incompatible format version. Skip
+                    // it whole, attributed like any other damaged span,
+                    // and keep the bytes in place as evidence.
+                    report.anomalies.push(ReplayOutcome::SkippedRecord {
+                        segment,
+                        offset: offset as u64,
+                        bytes_skipped: f.consumed as u64,
+                    });
+                    offset += f.consumed;
+                }
+            },
             Err(_) => match next_valid_frame(&buf[offset + 1..]) {
                 Some(delta) => {
                     let skip = delta + 1;
@@ -158,7 +186,26 @@ fn scan_segment(
     valid_end
 }
 
-/// Distance to the next offset in `buf` that decodes as a valid frame.
+/// A decoded frame of either record flavor.
+enum AnyFrame<'a> {
+    /// A plain single-payload record (`BPW1`).
+    Record(frame::Frame<'a>),
+    /// A group frame (`BPG1`) whose payload packs several records.
+    Group(frame::Frame<'a>),
+}
+
+/// Decodes the frame at `buf[0]` as a record or a group frame. A torn
+/// header that matches either magic prefix reports `Truncated` so the
+/// tail-repair path still engages.
+fn decode_any(buf: &[u8]) -> Result<AnyFrame<'_>, frame::FrameError> {
+    match frame::decode(RECORD_MAGIC, buf) {
+        Err(frame::FrameError::BadMagic) => frame::decode(GROUP_MAGIC, buf).map(AnyFrame::Group),
+        other => other.map(AnyFrame::Record),
+    }
+}
+
+/// Distance to the next offset in `buf` that decodes as a valid frame
+/// of either flavor.
 fn next_valid_frame(buf: &[u8]) -> Option<usize> {
     if buf.len() < HEADER_LEN {
         return None;
@@ -166,7 +213,7 @@ fn next_valid_frame(buf: &[u8]) -> Option<usize> {
     let mut from = 0usize;
     while let Some(pos) = find_magic(&buf[from..]) {
         let at = from + pos;
-        if frame::decode(RECORD_MAGIC, &buf[at..]).is_ok() {
+        if decode_any(&buf[at..]).is_ok() {
             return Some(at);
         }
         from = at + 1;
@@ -174,10 +221,10 @@ fn next_valid_frame(buf: &[u8]) -> Option<usize> {
     None
 }
 
-/// First offset of the record magic in `buf`, if any.
+/// First offset of either record magic in `buf`, if any.
 fn find_magic(buf: &[u8]) -> Option<usize> {
     buf.windows(RECORD_MAGIC.len())
-        .position(|w| w == RECORD_MAGIC)
+        .position(|w| w == RECORD_MAGIC || w == GROUP_MAGIC)
 }
 
 /// Replays every segment under `dir` in order, feeding valid records to
@@ -331,6 +378,40 @@ impl WalWriter {
         self.metrics.wal_appends.inc();
         self.metrics.wal_bytes.add(self.scratch.len() as u64);
         Ok(seq)
+    }
+
+    /// Appends `payloads` as one group frame occupying consecutive
+    /// sequence numbers, returning the first. One frame means one buffer
+    /// write — and, under `sync_every_append`, one fsync — per group
+    /// instead of one per record. A single payload degenerates to a
+    /// plain [`append`](Self::append) so ungrouped logs stay
+    /// byte-identical; an empty group writes nothing.
+    pub fn append_group(&mut self, payloads: &[Vec<u8>]) -> io::Result<u64> {
+        let first = self.next_seq;
+        if payloads.is_empty() {
+            return Ok(first);
+        }
+        if payloads.len() == 1 {
+            return self.append(&payloads[0]);
+        }
+        self.scratch.clear();
+        frame::encode_group(first, payloads, &mut self.scratch);
+        if self.segment_bytes > 0
+            && self.segment_bytes + self.scratch.len() as u64 > self.config.max_segment_bytes
+        {
+            self.rotate(first)?;
+        }
+        self.file.write_all(&self.scratch)?;
+        if self.config.sync_every_append {
+            self.file.flush()?;
+            self.file.get_ref().sync_data()?;
+            self.metrics.wal_fsyncs.inc();
+        }
+        self.segment_bytes += self.scratch.len() as u64;
+        self.next_seq = first + payloads.len() as u64;
+        self.metrics.wal_appends.add(payloads.len() as u64);
+        self.metrics.wal_bytes.add(self.scratch.len() as u64);
+        Ok(first)
     }
 
     /// Flushes and fsyncs the active segment.
@@ -493,6 +574,123 @@ mod tests {
             vec![0, 2, 3, 4, 5],
             "replay resynchronized on the record after the flip"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_append_replays_as_consecutive_records() {
+        let dir = tmp_dir("group");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            wal.append(b"solo-0").unwrap();
+            let first = wal
+                .append_group(&[b"g-1".to_vec(), b"g-2".to_vec(), b"g-3".to_vec()])
+                .unwrap();
+            assert_eq!(first, 1);
+            assert_eq!(wal.next_seq(), 4);
+            // A one-record group is a plain record frame on disk.
+            assert_eq!(wal.append_group(&[b"solo-4".to_vec()]).unwrap(), 4);
+            assert_eq!(wal.append_group(&[]).unwrap(), 5, "empty group is a no-op");
+            assert_eq!(wal.next_seq(), 5);
+        }
+        let (records, report) = collect(&dir);
+        assert_eq!(
+            records,
+            vec![
+                (0, b"solo-0".to_vec()),
+                (1, b"g-1".to_vec()),
+                (2, b"g-2".to_vec()),
+                (3, b"g-3".to_vec()),
+                (4, b"solo-4".to_vec()),
+            ]
+        );
+        assert_eq!(report.records, 5);
+        assert_eq!(report.last_seq, Some(4));
+        assert!(report.anomalies.is_empty());
+
+        // Reopen resumes the sequence after the group.
+        let wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+        assert_eq!(wal.next_seq(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_group_frame_drops_the_whole_group() {
+        let dir = tmp_dir("group-torn");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            wal.append(b"keep").unwrap();
+            wal.append_group(&[b"lost-1".to_vec(), b"lost-2".to_vec()])
+                .unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let (records, report) = collect(&dir);
+        assert_eq!(records, vec![(0, b"keep".to_vec())], "whole group dropped");
+        assert_eq!(report.corrupt_tails(), 1);
+
+        // Reopen repairs the tail; the group's sequence numbers are
+        // reissued to the re-committed records.
+        let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+        assert_eq!(wal.next_seq(), 1);
+        wal.append_group(&[b"redo-1".to_vec(), b"redo-2".to_vec()])
+            .unwrap();
+        wal.sync().unwrap();
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 3);
+        assert!(report.anomalies.is_empty(), "tail repaired: {report:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_resynchronizes_onto_a_group_frame() {
+        let dir = tmp_dir("group-resync");
+        {
+            let mut wal = WalWriter::open(&dir, WalConfig::default(), 0).unwrap();
+            wal.append(b"victim").unwrap();
+            wal.append_group(&[b"after-1".to_vec(), b"after-2".to_vec()])
+                .unwrap();
+        }
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut buf = fs::read(&path).unwrap();
+        buf[HEADER_LEN] ^= 0x10; // corrupt the first record's payload
+        fs::write(&path, &buf).unwrap();
+
+        let (records, report) = collect(&dir);
+        assert_eq!(
+            records,
+            vec![(1, b"after-1".to_vec()), (2, b"after-2".to_vec())],
+            "resync landed on the group frame"
+        );
+        assert_eq!(report.skipped_records(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_frames_rotate_segments_like_records() {
+        let dir = tmp_dir("group-rotate");
+        let config = WalConfig {
+            max_segment_bytes: 64,
+            ..WalConfig::default()
+        };
+        let mut wal = WalWriter::open(&dir, config, 0).unwrap();
+        for _ in 0..6 {
+            wal.append_group(&[vec![0xCD; 20], vec![0xCE; 20]]).unwrap();
+        }
+        wal.sync().unwrap();
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 1, "expected rotation: {segments:?}");
+        let (records, report) = collect(&dir);
+        assert_eq!(records.len(), 12);
+        assert_eq!(report.last_seq, Some(11));
+        assert!(report.anomalies.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -3,9 +3,12 @@
 //!
 //! The matrix crosses worker counts × snapshot cadences × crash points
 //! (including a torn final record, the canonical power-loss shape) over
-//! a fault-injected corpus, and separately proves graceful degradation:
-//! bit-flipped WAL segments and corrupted snapshots are skipped with
-//! attribution — never a panic, never silent data invention.
+//! a fault-injected corpus; a second matrix crosses worker counts ×
+//! group-commit window sizes × crash-vs-window alignments (inside a
+//! window, at a boundary, torn group frame). Separately it proves
+//! graceful degradation: bit-flipped WAL segments and corrupted
+//! snapshots are skipped with attribution — never a panic, never
+//! silent data invention.
 
 mod common;
 
@@ -198,6 +201,136 @@ fn crash_recover_resume_is_bit_identical_across_the_matrix() {
                 run_cell(&fx, workers, snapshot_every, crash);
             }
         }
+    }
+}
+
+/// Group-commit window sizes the group matrix crosses (1 = plain
+/// per-commit frames, the pre-group byte format).
+const GROUP_SIZES: [u64; 3] = [1, 8, 64];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupCrash {
+    /// Crash with the last group window partially filled. The drop-side
+    /// flush writes the partial window (clean-exit contract), so
+    /// recovery must replay every commit.
+    InsideWindow,
+    /// Crash exactly at a window boundary: every group frame complete.
+    AtBoundary,
+    /// Power loss mid-append: the final group frame is torn. Recovery
+    /// attributes one corrupt tail and loses at most that one window.
+    TornGroupFrame,
+}
+
+/// One cell of the group matrix: durably ingest a prefix under a group
+/// window, crash, recover, resume grouped, and demand the resumed state
+/// is byte-identical to the uninterrupted ungrouped reference.
+fn run_group_cell(fx: &Fixture, workers: usize, group_every: u64, crash: GroupCrash) {
+    let context = format!("workers={workers}/group_every={group_every}/{crash:?}");
+    let dir = scratch_dir(&format!("grp-{workers}-{group_every}-{crash:?}"));
+    // Align (or deliberately misalign) the crash point with the window:
+    // group boundaries are counted in *commits*, which the fault-laden
+    // corpus thins unpredictably, so alignment is best-effort — the
+    // contract under test must hold at any cut regardless.
+    let half = fx.trips.len() / 2;
+    let prefix = match crash {
+        GroupCrash::InsideWindow => (half + 1).min(fx.trips.len()),
+        GroupCrash::AtBoundary | GroupCrash::TornGroupFrame => half,
+    };
+
+    // Phase 1: the run that will crash.
+    {
+        let monitor = fx.world.monitor();
+        monitor.attach_store_grouped(Store::open(&dir).unwrap(), 0, group_every);
+        let _ = monitor.ingest_batch_received_parallel(
+            &fx.trips[..prefix],
+            &fx.received[..prefix],
+            workers,
+        );
+        // Crash: drop without the end-of-run checkpoint. The detach
+        // flush appends any buffered window — a SIGKILL that loses it
+        // is the TornGroupFrame cell below.
+    }
+    if crash == GroupCrash::TornGroupFrame {
+        let report = damage_store_dir(&dir, &WalFaultPlan::torn_tail(9), SEED).unwrap();
+        assert_eq!(report.tail_bytes_truncated, 9, "{context}: tail torn");
+    }
+
+    // Phase 2: recover and check attribution. A torn group frame is one
+    // corrupt tail no matter how many commits rode in it.
+    let (monitor, summary) = fx.recover(&dir);
+    assert_eq!(summary.skipped_records, 0, "{context}: {summary:?}");
+    if crash == GroupCrash::TornGroupFrame {
+        assert_eq!(summary.corrupt_tails, 1, "{context}: {summary:?}");
+    } else {
+        assert_eq!(summary.corrupt_tails, 0, "{context}: {summary:?}");
+    }
+
+    // Phase 3: resume grouped with the full corpus; committed trips
+    // dedup, commits lost with a torn window re-ingest.
+    monitor.attach_store_grouped(Store::open(&dir).unwrap(), 0, group_every);
+    let _ = monitor.ingest_batch_received_parallel(&fx.trips, &fx.received, workers);
+    monitor.checkpoint().unwrap().expect("store attached");
+    assert_eq!(
+        capture(&monitor, fx.end_s),
+        fx.reference,
+        "{context}: resumed state diverged from the uninterrupted run"
+    );
+
+    // Phase 4: a fresh recovery of the final directory reproduces the
+    // same state — group frames replay to exactly what they committed.
+    let (reloaded, summary) = fx.recover(&dir);
+    assert_eq!(summary.skipped_records, 0, "{context}: {summary:?}");
+    assert_eq!(summary.corrupt_tails, 0, "{context}: final log is clean");
+    assert_eq!(
+        capture(&reloaded, fx.end_s),
+        fx.reference,
+        "{context}: re-recovered state diverged"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn group_commit_crash_matrix_is_bit_identical() {
+    let fx = Fixture::build();
+    for workers in WORKER_COUNTS {
+        for group_every in GROUP_SIZES {
+            for crash in [
+                GroupCrash::InsideWindow,
+                GroupCrash::AtBoundary,
+                GroupCrash::TornGroupFrame,
+            ] {
+                run_group_cell(&fx, workers, group_every, crash);
+            }
+        }
+    }
+}
+
+/// Grouped and ungrouped logs replay to the same state: one corpus
+/// committed at every window size recovers bit-identically, even though
+/// the WAL bytes differ (BPG1 group frames vs per-commit BPW1 frames).
+#[test]
+fn every_group_size_recovers_to_the_same_state() {
+    let fx = Fixture::build();
+    for group_every in GROUP_SIZES {
+        let dir = scratch_dir(&format!("grpsame-{group_every}"));
+        {
+            let monitor = fx.world.monitor();
+            monitor.attach_store_grouped(Store::open(&dir).unwrap(), 0, group_every);
+            for (i, t) in fx.trips.iter().enumerate() {
+                monitor.ingest_upload(t, Some(fx.received[i]));
+            }
+            // Crash before any checkpoint: the WAL is the only copy.
+        }
+        let (monitor, summary) = fx.recover(&dir);
+        assert_eq!(summary.skipped_records, 0, "group_every={group_every}");
+        assert_eq!(summary.corrupt_tails, 0, "group_every={group_every}");
+        assert_eq!(
+            capture(&monitor, fx.end_s),
+            fx.reference,
+            "group_every={group_every}: WAL replay diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -349,6 +349,183 @@ fn trace_jsonl_is_byte_identical_at_all_worker_counts() {
     }
 }
 
+/// The durable-serve extension of the equivalence proof: the corpus
+/// streamed through the resident engine under the block policy with a
+/// WAL attached — per-commit frames and grouped windows alike — must
+/// leave the live monitor, and a fresh recovery of its state
+/// directory, bit-identical to the serial reference.
+#[test]
+fn durable_serve_block_policy_matches_serial_and_recovers_identically() {
+    use busprobe::serve::{protocol, FullPolicy, ServeConfig, ServeEngine};
+    use busprobe::store::Store;
+    use std::sync::Arc;
+
+    let world = TestWorld::new(66, 4);
+    let base = World::small(66).ride_corpus(60, 66);
+    let (trips, received) = faulted(&base, FaultPlan::calibrated(), 66);
+    let end_s = end_of(&trips);
+    let reference = run_serial(&world.monitor(), &trips, Some(&received));
+    let frames: Vec<String> = trips
+        .iter()
+        .enumerate()
+        .map(|(i, t)| protocol::upload_line(t, i as u64, Some(received[i])))
+        .collect();
+
+    for (workers, group_every) in [(1usize, 1u64), (1, 8), (4, 8)] {
+        let context = format!("serve-durable/workers={workers}/group={group_every}");
+        let state = std::env::temp_dir().join(format!(
+            "busprobe-diffserve-{workers}-{group_every}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&state);
+
+        let monitor = Arc::new(world.monitor());
+        monitor.attach_store_grouped(Store::open(&state).unwrap(), 0, group_every);
+        let engine = ServeEngine::start(
+            Arc::clone(&monitor),
+            ServeConfig {
+                queue_capacity: 4, // tiny: the block policy must actually stall
+                full_policy: FullPolicy::Block,
+                workers,
+                sync_every: group_every,
+                ..ServeConfig::default()
+            },
+        );
+        let handle = engine.handle();
+        for frame in &frames {
+            handle.handle_line(frame, None);
+        }
+        let summary = engine.join();
+        assert!(summary.fatal.is_none(), "{context}: {summary:?}");
+        assert_eq!(
+            summary.received,
+            trips.len() as u64,
+            "{context}: {summary:?}"
+        );
+        assert_eq!(
+            summary.shed_queue_full + summary.shed_deadline,
+            0,
+            "{context}: block policy shed: {summary:?}"
+        );
+
+        // The live monitor is the serial reference, bit for bit.
+        let got = capture(&monitor, Vec::new(), end_s);
+        assert_eq!(got.map_json, reference.map_json, "{context}: map diverged");
+        assert_eq!(
+            got.fusion_json, reference.fusion_json,
+            "{context}: fusion diverged"
+        );
+        assert_eq!(got.db_json, reference.db_json, "{context}: db diverged");
+        assert_eq!(got.seen, reference.seen, "{context}: seen set diverged");
+
+        // Durability held: flush the tail group, recover the directory
+        // from scratch, and the rebuilt state matches too.
+        monitor.sync_store().unwrap();
+        drop(monitor);
+        let (recovered, recovery) = TrafficMonitor::recover(
+            world.network.clone(),
+            world.db.clone(),
+            MonitorConfig::default(),
+            &state,
+        )
+        .unwrap();
+        assert_eq!(
+            recovery.skipped_records, 0,
+            "{context}: clean log skipped records: {recovery:?}"
+        );
+        let rec = capture(&recovered, Vec::new(), end_s);
+        assert_eq!(
+            rec.map_json, reference.map_json,
+            "{context}: recovered map diverged"
+        );
+        assert_eq!(
+            rec.fusion_json, reference.fusion_json,
+            "{context}: recovered fusion diverged"
+        );
+        assert_eq!(rec.seen, reference.seen, "{context}: recovered seen set");
+        let _ = std::fs::remove_dir_all(&state);
+    }
+}
+
+/// The WAL byte format is a golden snapshot: serially ingesting the
+/// committed golden corpus (`tests/golden/corpus.json`) with a store
+/// attached must produce a WAL whose leading bytes are exactly the
+/// committed prefix — any change to the frame header, the record
+/// encoding or the commit payload shows up as a reviewable hex diff.
+/// Regenerate after an intentional format change with
+/// `BUSPROBE_BLESS=1 cargo test --test differential`.
+#[test]
+fn golden_wal_byte_prefix_is_stable() {
+    use busprobe::store::Store;
+    use std::path::Path;
+
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let blessing = std::env::var_os("BUSPROBE_BLESS").is_some();
+    let corpus_path = golden_dir.join("corpus.json");
+    let Ok(committed) = std::fs::read_to_string(&corpus_path) else {
+        assert!(
+            blessing,
+            "missing golden corpus {}; regenerate with \
+             BUSPROBE_BLESS=1 cargo test --test golden",
+            corpus_path.display()
+        );
+        return; // first bless run: `golden.rs` writes the corpus
+    };
+    let (trips, received): (Vec<Trip>, Vec<f64>) = serde_json::from_str(&committed).unwrap();
+
+    // The same world as `golden.rs`, ingested serially and durably with
+    // per-commit frames (group window 1 = the canonical byte format).
+    let state = std::env::temp_dir().join(format!("busprobe-goldwal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let monitor = TestWorld::new(17, 5).monitor();
+    monitor.attach_store(Store::open(&state).unwrap(), 0);
+    for (i, t) in trips.iter().enumerate() {
+        monitor.ingest_upload(t, received.get(i).copied());
+    }
+    monitor.sync_store().unwrap();
+    drop(monitor);
+
+    // The first segment holds the oldest records; its leading bytes pin
+    // frame magic, sequence numbering, CRC placement and the commit
+    // record encoding all at once.
+    let mut segments: Vec<_> = std::fs::read_dir(&state)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    segments.sort();
+    let first = segments.first().expect("durable ingest wrote a WAL");
+    let bytes = std::fs::read(first).unwrap();
+    assert!(!bytes.is_empty(), "WAL segment is empty");
+    let prefix = &bytes[..bytes.len().min(2048)];
+    let hex: String = prefix
+        .chunks(32)
+        .map(|row| row.iter().map(|b| format!("{b:02x}")).collect::<String>() + "\n")
+        .collect();
+    let _ = std::fs::remove_dir_all(&state);
+
+    let golden_path = golden_dir.join("wal_prefix.hex");
+    if blessing {
+        std::fs::write(&golden_path, &hex).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden WAL prefix {} ({e}); regenerate with \
+             BUSPROBE_BLESS=1 cargo test --test differential",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        hex,
+        want.as_str(),
+        "WAL bytes diverged from {}; if the format change is intentional, \
+         regenerate with BUSPROBE_BLESS=1 cargo test --test differential \
+         and review the hex diff",
+        golden_path.display()
+    );
+}
+
 /// A worker count far beyond the batch size degenerates gracefully: the
 /// engine clamps to one worker per trip and stays bit-identical.
 #[test]

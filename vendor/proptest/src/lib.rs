@@ -81,6 +81,18 @@ pub mod strategy {
         {
             Map { source: self, func }
         }
+
+        /// Derive a second strategy from each generated value and draw
+        /// from it — dependent generation (e.g. an index into a
+        /// just-generated collection).
+        fn prop_flat_map<O, F>(self, func: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { source: self, func }
+        }
     }
 
     /// The strategy returned by [`Strategy::prop_map`].
@@ -99,6 +111,26 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> O {
             (self.func)(self.source.generate(rng))
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.func)(self.source.generate(rng)).generate(rng)
         }
     }
 
@@ -198,7 +230,7 @@ pub mod strategy {
     }
 }
 
-pub use strategy::{Just, Map, Strategy};
+pub use strategy::{FlatMap, Just, Map, Strategy};
 
 pub mod collection {
     //! Strategies for collections of strategy-generated elements.
@@ -536,6 +568,19 @@ mod tests {
         let mut rng = TestRng::new(3);
         for _ in 0..100 {
             assert!(strat.generate(&mut rng) <= 8);
+        }
+    }
+
+    #[test]
+    fn prop_flat_map_draws_from_the_derived_strategy() {
+        // A valid index into a just-generated vector: the dependent draw
+        // must stay in bounds for every case.
+        let strat =
+            collection::vec(0u32..100, 1..8).prop_flat_map(|v| (Just(v.clone()), 0usize..v.len()));
+        let mut rng = TestRng::new(19);
+        for _ in 0..200 {
+            let (v, i) = strat.generate(&mut rng);
+            assert!(i < v.len());
         }
     }
 
