@@ -147,18 +147,57 @@ grep -q "drained:" "$tmpdir/serve.out"
 grep -q "final checkpoint covers" "$tmpdir/serve.out"
 cmp "$tmpdir/jobs1.geojson" "$tmpdir/publish/map.geojson"
 
+echo "== CLI sharding drill: flat vs --shards 1 vs --shards 4 =="
+# The shards=1 bit-identity contract through the binary: a 1-shard
+# durable ingest must write byte-identical WAL files to the flat state
+# dir (one directory level down), and the federated GeoJSON must be
+# byte-identical to the flat export at every shard count. The sharded
+# recover path must print its per-shard narrative.
+./target/release/busprobe ingest --dir "$tmpdir" \
+  --state "$tmpdir/flat-state" >/dev/null
+./target/release/busprobe ingest --dir "$tmpdir" --shards 1 \
+  --state "$tmpdir/s1-state" --geojson "$tmpdir/s1.geojson" >/dev/null
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/s1.geojson"
+for wal in "$tmpdir"/flat-state/*.wal; do
+  cmp "$wal" "$tmpdir/s1-state/shard-0000/$(basename "$wal")"
+done
+./target/release/busprobe ingest --dir "$tmpdir" --shards 4 \
+  --geojson "$tmpdir/s4.geojson" > "$tmpdir/s4.out"
+cmp "$tmpdir/jobs1.geojson" "$tmpdir/s4.geojson"
+grep -q "conservation holds" "$tmpdir/s4.out"
+./target/release/busprobe recover --dir "$tmpdir" --state "$tmpdir/s1-state" \
+  > "$tmpdir/s1recover.out"
+grep -q "recovered sharded state" "$tmpdir/s1recover.out"
+
+echo "== metropolis smoke: 5k-stop city, aggregated GeoJSON at shards 1 vs 4 =="
+# A reduced-scale synthetic metropolis (the committed BENCH_city.json
+# full record is 100k stops / 1M trips) ingested end to end through
+# the sharded monitor; the aggregated city GeoJSON must be
+# byte-identical across shard counts, and conservation must hold.
+./target/release/busprobe city --stops 5000 --trips 4000 --shards 1 --jobs 1 \
+  --geojson "$tmpdir/city-s1.geojson" > "$tmpdir/city-s1.out"
+grep -q "conservation holds" "$tmpdir/city-s1.out"
+./target/release/busprobe city --stops 5000 --trips 4000 --shards 4 --jobs 1 \
+  --geojson "$tmpdir/city-s4.geojson" > "$tmpdir/city-s4.out"
+grep -q "conservation holds" "$tmpdir/city-s4.out"
+cmp "$tmpdir/city-s1.geojson" "$tmpdir/city-s4.geojson"
+
 echo "== perf regression check =="
 # Fresh matcher + end-to-end ingest + parallel-scaling + durable-store
-# + streaming-overload benchmarks compared against the committed
-# BENCH_matching.json / BENCH_pipeline.json / BENCH_parallel.json /
-# BENCH_store.json / BENCH_serve.json baselines; fails on a >20%
-# slowdown, on machines with >=4 cores also enforces the >=2.5x
-# speedup floor at 4 workers, and always enforces the absolute gates:
-# the >=1.25x ingest-speedup floor over the frozen pre-batching rate,
-# the WAL append-overhead ceilings (5% of the live bare run, 2% of the
-# frozen seed commit cost on the grouped path), and monotone paced
-# durable-serve throughput in the group-commit window (see README for
-# regenerating baselines).
+# + streaming-overload + city-scale-sharding benchmarks compared
+# against the committed BENCH_matching.json / BENCH_pipeline.json /
+# BENCH_parallel.json / BENCH_store.json / BENCH_serve.json /
+# BENCH_city.json baselines; fails on a >20% slowdown, on machines
+# with >=4 cores also enforces the >=2.5x speedup floor at 4 workers,
+# and always enforces the absolute gates: the >=1.25x ingest-speedup
+# floor over the frozen pre-batching rate, the WAL append-overhead
+# ceilings (5% of the live bare run, 2% of the frozen seed commit cost
+# on the grouped path), monotone paced durable-serve throughput in the
+# group-commit window, and the city gates (committed full record at or
+# above the 100k-site / 1M-trip acceptance scale, federated-map
+# identity across shard counts, clean full-city recovery; see README
+# for regenerating baselines — the full city record only rewrites in
+# write mode).
 ./target/release/busprobe bench --check
 
 echo "== cargo fmt --check =="

@@ -2,12 +2,13 @@
 //! fingerprint database and simulation scenario.
 
 use busprobe_cellular::{
-    CellTowerId, DeploymentSpec, Fingerprint, PropagationModel, Scanner, TowerDeployment,
+    CellObservation, CellScan, CellTowerId, DeploymentSpec, Fingerprint, PropagationModel, Scanner,
+    TowerDeployment,
 };
 use busprobe_core::{MatchConfig, MonitorConfig, StopFingerprintDb, TrafficMonitor};
 use busprobe_mobile::{CellularSample, Trip};
 use busprobe_network::StopSiteId;
-use busprobe_network::{NetworkGenerator, TransitNetwork};
+use busprobe_network::{compose_tiles, NetworkGenerator, TransitNetwork};
 use busprobe_sensors::trip_observations;
 use busprobe_sim::{RiderTrip, Scenario, SimOutput, SimTime, Simulation};
 use rand::rngs::StdRng;
@@ -116,6 +117,81 @@ impl World {
             .collect()
     }
 
+    /// A synthetic metropolis of at least `stops` stop sites with a
+    /// `trips`-upload corpus, built by tiling independently generated
+    /// calibrated districts onto one street grid (see
+    /// [`compose_tiles`]) and giving each tile a disjoint slice of
+    /// synthetic-cell space. Nothing here runs the radio simulation —
+    /// a 100k-stop city is far past what per-tower scan synthesis can
+    /// afford — so fingerprints use the corridor-style sliding-window
+    /// scheme of [`World::synthetic_db`] and trips fabricate their
+    /// scans straight from those fingerprints. Deterministic in
+    /// `seed`; trips are materialized lazily in chunks
+    /// ([`Metropolis::trips_chunk`]) because a million-trip corpus
+    /// does not fit in memory.
+    #[must_use]
+    pub fn metropolis(stops: usize, trips: usize, seed: u64) -> Metropolis {
+        assert!(stops >= 1, "need at least one stop");
+        // Generate calibrated tiles until their sites cover `stops`,
+        // then fill out the tiling rectangle.
+        let tile_of = |t: usize| {
+            NetworkGenerator::paper_region(seed.wrapping_add(t as u64))
+                .with_routes(16)
+                .generate()
+        };
+        let mut tiles = Vec::new();
+        let mut sites = 0usize;
+        while sites < stops {
+            let tile = tile_of(tiles.len());
+            sites += tile.sites().len();
+            tiles.push(tile);
+        }
+        let tiles_x = (tiles.len() as f64).sqrt().ceil() as usize;
+        let tiles_y = tiles.len().div_ceil(tiles_x);
+        while tiles.len() < tiles_x * tiles_y {
+            tiles.push(tile_of(tiles.len()));
+        }
+        let tile_sites: Vec<usize> = tiles.iter().map(|t| t.sites().len()).collect();
+        let network = compose_tiles(tiles_x, tiles_y, &tiles).expect("metropolis tiles compose");
+        drop(tiles);
+
+        // Synthetic fingerprints: the sliding-window scheme per tile,
+        // with a guard gap between tiles so no cell is ever shared
+        // across tiles — the partitioner's components stay within one
+        // district and sharded routing is exact.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0C17_1DB5_0C17_1DB5);
+        let mut entries = Vec::with_capacity(network.sites().len());
+        let mut cell_base = 0u32;
+        let mut site_base = 0u32;
+        for &n in &tile_sites {
+            for k in 0..n as u32 {
+                let len = rng.gen_range(6usize..12);
+                let base = cell_base + k * 3;
+                let mut cells: Vec<CellTowerId> = Vec::with_capacity(len);
+                while cells.len() < len {
+                    let cell = CellTowerId(base + rng.gen_range(0u32..40));
+                    if !cells.contains(&cell) {
+                        cells.push(cell);
+                    }
+                }
+                let fp: Fingerprint = cells.into_iter().collect();
+                entries.push((StopSiteId(site_base + k), fp));
+            }
+            site_base += n as u32;
+            // Last window starts at 3(n-1); +64 clears its 40-cell
+            // span with room to spare.
+            cell_base += n as u32 * 3 + 64;
+        }
+        Metropolis {
+            network,
+            db: entries.into_iter().collect(),
+            trips,
+            seed,
+            tiles_x,
+            tiles_y,
+        }
+    }
+
     fn with_network(network: TransitNetwork, seed: u64) -> Self {
         let region = network.grid().spec().region();
         let deployment = TowerDeployment::generate(region, DeploymentSpec::default(), seed);
@@ -215,6 +291,80 @@ impl World {
     }
 }
 
+/// A tiled synthetic city: the composed network, its fingerprint
+/// database, and a lazily materialized upload corpus.
+#[derive(Debug)]
+pub struct Metropolis {
+    /// The composed city network.
+    pub network: TransitNetwork,
+    /// Synthetic fingerprints, one per site, tile-disjoint in cell
+    /// space.
+    pub db: StopFingerprintDb,
+    /// Total corpus size ([`Metropolis::trips_chunk`] clamps to it).
+    pub trips: usize,
+    /// Master seed.
+    pub seed: u64,
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl Metropolis {
+    /// The tiling shape `(tiles_x, tiles_y)`.
+    #[must_use]
+    pub fn tiles(&self) -> (usize, usize) {
+        (self.tiles_x, self.tiles_y)
+    }
+
+    /// Materializes corpus trips `[start, start + count)` (clamped to
+    /// the corpus size). Each trip's RNG is seeded from its absolute
+    /// index, so any chunking — 1 × 1M or 100 × 10k — produces
+    /// byte-identical trips; a trip rides a 4–8-stop segment of a
+    /// random route with 2–3 taps per stop, and every tap's scan is
+    /// fabricated from the stop's database fingerprint (descending
+    /// synthetic RSS with sub-step jitter, so the scan's cell order is
+    /// exactly the fingerprint's).
+    #[must_use]
+    pub fn trips_chunk(&self, start: usize, count: usize) -> Vec<Trip> {
+        let routes = self.network.routes();
+        let end = self.trips.min(start.saturating_add(count));
+        (start..end.max(start))
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        ^ 0x7819_C17F_7819_C17F
+                        ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let route = &routes[rng.gen_range(0..routes.len())];
+                let n = route.stop_count();
+                let len = rng.gen_range(4..=n.min(8));
+                let seg_start = rng.gen_range(0..=n - len);
+                let taps = rng.gen_range(2usize..=3);
+                let hop_s = rng.gen_range(60.0..120.0);
+                let mut samples = Vec::with_capacity(len * taps);
+                for (k, stop) in route.stops()[seg_start..seg_start + len].iter().enumerate() {
+                    let fp = self.db.get(stop.site).expect("every site is fingerprinted");
+                    for tap in 0..taps {
+                        let observations = fp
+                            .cells()
+                            .iter()
+                            .enumerate()
+                            .map(|(rank, &tower)| CellObservation {
+                                tower,
+                                rss_dbm: -60.0 - 3.0 * rank as f64 + rng.gen_range(-1.0..1.0),
+                            })
+                            .collect();
+                        samples.push(CellularSample {
+                            time_s: k as f64 * hop_s + tap as f64 * 2.0,
+                            scan: CellScan::new(observations),
+                        });
+                    }
+                }
+                Trip { samples }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +421,34 @@ mod tests {
         let reports = monitor.ingest_batch(&a);
         let observations: usize = reports.iter().map(|r| r.observations).sum();
         assert!(observations > 0, "corpus must produce speed observations");
+    }
+
+    #[test]
+    fn metropolis_reaches_target_scale_and_is_chunk_invariant() {
+        let m = World::metropolis(300, 40, 5);
+        assert!(m.network.sites().len() >= 300);
+        assert_eq!(m.db.len(), m.network.sites().len());
+        let (tx, ty) = m.tiles();
+        assert!(tx * ty >= 2, "300 sites need more than one tile");
+        // Chunking is invisible.
+        let whole = m.trips_chunk(0, 40);
+        assert_eq!(whole.len(), 40);
+        let mut pieces = m.trips_chunk(0, 13);
+        pieces.extend(m.trips_chunk(13, 13));
+        pieces.extend(m.trips_chunk(26, 100));
+        assert_eq!(whole, pieces);
+        // Past-the-end chunks clamp.
+        assert!(m.trips_chunk(40, 10).is_empty());
+    }
+
+    #[test]
+    fn metropolis_trips_match_their_stops() {
+        let m = World::metropolis(150, 10, 9);
+        let monitor =
+            TrafficMonitor::new(m.network.clone(), m.db.clone(), MonitorConfig::default());
+        let reports = monitor.ingest_batch(&m.trips_chunk(0, 10));
+        let observations: usize = reports.iter().map(|r| r.observations).sum();
+        assert!(observations > 0, "fabricated scans must map to stops");
     }
 
     #[test]

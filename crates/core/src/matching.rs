@@ -182,6 +182,19 @@ pub struct MatchResult {
     pub common_cells: usize,
 }
 
+impl MatchResult {
+    /// The canonical candidate priority — higher score first, then more
+    /// common cells, then smaller site id — as a public comparator.
+    /// Federation layers (the shard router) use it to pick one global
+    /// winner across independently scored sub-databases bit-exactly:
+    /// because the order is total and sites are unique, the winner is
+    /// the same no matter how the candidate pool was split.
+    #[must_use]
+    pub fn rank_order(a: &MatchResult, b: &MatchResult) -> Ordering {
+        rank(a, b)
+    }
+}
+
 /// The full match deliberation for one scan, produced by
 /// [`Matcher::explain`] for the decision-provenance trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -668,6 +681,37 @@ impl Matcher {
             self.config.accept_threshold,
             |_, _, _, _| false,
         )
+    }
+
+    /// The best score any stored stop could reach against `sample` —
+    /// the first (largest) index bound, without running an alignment.
+    /// `None` when no stop shares a cell with the sample. The shard
+    /// router probes this per region to route an upload toward the
+    /// shard whose database can score it highest; it is an upper bound
+    /// on [`best_match`](Self::best_match)'s score, so a shard whose
+    /// bound loses to another shard's *achieved* score can be skipped
+    /// without changing any outcome.
+    ///
+    /// Falls back to the achieved best score when the index is
+    /// disabled (γ ≤ 0), keeping the probe meaningful — just not O(1).
+    #[must_use]
+    pub fn best_candidate_bound(&self, sample: &Fingerprint) -> Option<f64> {
+        if !self.indexed() {
+            return self.best_match_brute(sample).map(|m| m.score);
+        }
+        let mut bound = None;
+        self.index.visit_candidates(
+            sample,
+            self.config.match_score,
+            self.config.accept_threshold,
+            |_, _, _, b| {
+                // Candidates arrive in descending bound order: the
+                // first one is the maximum.
+                bound = Some(b);
+                false
+            },
+        );
+        bound
     }
 
     /// The full deliberation for one scan — what the tracing layer

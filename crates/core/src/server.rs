@@ -25,11 +25,12 @@ use crate::estimation::{SpeedObservation, TripEstimator};
 use crate::fusion::SegmentFusion;
 use crate::map::TrafficMap;
 use crate::mapping::{MappedVisit, TripMapper};
-use crate::matching::Matcher;
+use crate::matching::{MatchResult, Matcher};
 use crate::sanitize::{self, SanitizeConfig, SanitizeReport};
 use crate::telemetry::PipelineMetrics;
 use crate::updater::{DbUpdater, UpdaterConfig};
 use crate::{ClusterConfig, EstimatorConfig, MatchConfig};
+use busprobe_cellular::Fingerprint;
 use busprobe_mobile::{CellularSample, Trip};
 use busprobe_network::TransitNetwork;
 use busprobe_store::Store;
@@ -392,8 +393,21 @@ impl TrafficMonitor {
     /// `db`.
     #[must_use]
     pub fn new(network: TransitNetwork, db: StopFingerprintDb, config: MonitorConfig) -> Self {
+        Self::new_shared(Arc::new(network), db, config)
+    }
+
+    /// [`new`](Self::new) over an already-shared network. Regional
+    /// shards each run their own monitor over a sub-database but one
+    /// city network; sharing the `Arc` keeps a 16-shard city from
+    /// cloning a 100k-stop network 16 times.
+    #[must_use]
+    pub fn new_shared(
+        network: Arc<TransitNetwork>,
+        db: StopFingerprintDb,
+        config: MonitorConfig,
+    ) -> Self {
         TrafficMonitor {
-            network: Arc::new(network),
+            network,
             matcher: RwLock::new(Matcher::new(db, config.matching)),
             clusterer: Clusterer::new(config.clustering),
             updater: Mutex::new(DbUpdater::new(config.updater)),
@@ -444,6 +458,32 @@ impl TrafficMonitor {
     #[must_use]
     pub fn network(&self) -> &TransitNetwork {
         &self.network
+    }
+
+    /// A shared handle to the study region, for layers that fan one
+    /// network out across many monitors (regional shards).
+    #[must_use]
+    pub fn network_shared(&self) -> Arc<TransitNetwork> {
+        Arc::clone(&self.network)
+    }
+
+    /// Read-only matcher probe: the best score any stop in *this*
+    /// monitor's database could reach against `sample` (`None` when no
+    /// stop shares a cell). The shard router's fast path — no
+    /// alignment runs, only the index's bound walk.
+    #[must_use]
+    pub fn probe_route_bound(&self, sample: &Fingerprint) -> Option<f64> {
+        self.matcher.read().best_candidate_bound(sample)
+    }
+
+    /// Read-only matcher probe: the full best match of `sample`
+    /// against this monitor's database — the shard router's overflow
+    /// path, scored per shard in shard-id order so the global winner
+    /// under [`MatchResult::rank_order`] is bit-exact regardless of
+    /// shard count.
+    #[must_use]
+    pub fn probe_best_match(&self, sample: &Fingerprint) -> Option<MatchResult> {
+        self.matcher.read().best_match(sample)
     }
 
     /// The active configuration.
@@ -1318,6 +1358,19 @@ impl TrafficMonitor {
         config: MonitorConfig,
         dir: impl AsRef<Path>,
     ) -> io::Result<(Self, RecoverySummary)> {
+        Self::recover_shared(Arc::new(network), initial_db, config, dir)
+    }
+
+    /// [`recover`](Self::recover) over an already-shared network — the
+    /// multi-directory recovery entry point: a sharded city recovers
+    /// one monitor per `shard-NNNN` store directory, all borrowing the
+    /// same network.
+    pub fn recover_shared(
+        network: Arc<TransitNetwork>,
+        initial_db: StopFingerprintDb,
+        config: MonitorConfig,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<(Self, RecoverySummary)> {
         let recovered = Store::recover(dir.as_ref())?;
         let (monitor, snapshot_seq, mut commits) = match &recovered.snapshot {
             Some((seq, payload)) => {
@@ -1337,7 +1390,7 @@ impl TrafficMonitor {
                 }
                 let commits = state.commits.max(*seq);
                 let monitor = TrafficMonitor {
-                    network: Arc::new(network),
+                    network,
                     matcher: RwLock::new(Matcher::new(state.database, config.matching)),
                     clusterer: Clusterer::new(config.clustering),
                     updater: Mutex::new(state.updater),
@@ -1352,7 +1405,11 @@ impl TrafficMonitor {
                 };
                 (monitor, Some(*seq), commits)
             }
-            None => (TrafficMonitor::new(network, initial_db, config), None, 0),
+            None => (
+                TrafficMonitor::new_shared(network, initial_db, config),
+                None,
+                0,
+            ),
         };
 
         let mut replayed_commits = 0u64;

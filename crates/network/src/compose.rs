@@ -1,0 +1,242 @@
+//! Tiling district-sized networks into one metropolis.
+//!
+//! The generator's lattice walks are calibrated to the paper's 7 km ×
+//! 4 km district and cap out at a few dozen edges — run on a 100× grid
+//! they would cluster near their entry boundary instead of covering the
+//! city. The metropolis therefore *tiles*: many independently generated
+//! district networks are translated onto one large street grid and
+//! merged with globally renumbered ids. Adjacent tiles are separated by
+//! a one-block gutter so no two tiles can place a stop on the same
+//! block edge — tiles share no sites, no stops and no roads-with-stops,
+//! which is what lets a regional shard own whole tiles outright.
+
+use crate::grid::{Grid, GridSpec, RoadAxis};
+use crate::ids::{RoadId, RouteId, StopId, StopSiteId};
+use crate::network::{BlockEdge, NetworkError, TransitNetwork};
+use crate::route::BusRoute;
+use crate::stop::{BusStop, StopSite};
+use busprobe_geo::{Point, Polyline};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Blocks of empty street between adjacent tiles. One block is enough:
+/// a stop sits mid-edge, so distinct tiles can never share an edge, and
+/// the gutter keeps any partition line drawn between tiles from passing
+/// through a stop.
+pub const TILE_GUTTER_BLOCKS: usize = 1;
+
+/// The street grid a `tiles_x` × `tiles_y` metropolis of `tile` tiles
+/// occupies, gutters included.
+#[must_use]
+pub fn metropolis_spec(tile: &GridSpec, tiles_x: usize, tiles_y: usize) -> GridSpec {
+    let stride_x = tile.cols + TILE_GUTTER_BLOCKS;
+    let stride_y = tile.rows + TILE_GUTTER_BLOCKS;
+    GridSpec {
+        cols: tiles_x * stride_x - TILE_GUTTER_BLOCKS,
+        rows: tiles_y * stride_y - TILE_GUTTER_BLOCKS,
+        ..*tile
+    }
+}
+
+/// Merges `tiles_x * tiles_y` tile networks (row-major: tile `t` lands
+/// at column `t % tiles_x`, row `t / tiles_x`) into one metropolis
+/// network on the [`metropolis_spec`] grid. Every tile must share the
+/// same [`GridSpec`]; ids are renumbered globally in tile order, so the
+/// result is deterministic in the input order.
+///
+/// # Errors
+///
+/// Returns the underlying [`NetworkError`] if the merged parts fail
+/// [`TransitNetwork::assemble`]'s validation.
+///
+/// # Panics
+///
+/// Panics if the tile count does not equal `tiles_x * tiles_y` or a
+/// tile was generated under a different grid spec.
+pub fn compose_tiles(
+    tiles_x: usize,
+    tiles_y: usize,
+    tiles: &[TransitNetwork],
+) -> Result<TransitNetwork, NetworkError> {
+    assert!(
+        tiles_x >= 1 && tiles_y >= 1 && tiles.len() == tiles_x * tiles_y,
+        "need exactly {tiles_x}x{tiles_y} tiles, got {}",
+        tiles.len()
+    );
+    let tile_spec = *tiles[0].grid().spec();
+    let spec = metropolis_spec(&tile_spec, tiles_x, tiles_y);
+    let grid = Grid::new(spec);
+
+    let mut sites: Vec<StopSite> = Vec::new();
+    let mut stops: Vec<BusStop> = Vec::new();
+    let mut routes: Vec<BusRoute> = Vec::new();
+    let mut edge_routes: BTreeMap<BlockEdge, BTreeSet<RouteId>> = BTreeMap::new();
+
+    for (t, tile) in tiles.iter().enumerate() {
+        assert!(
+            tile.grid().spec() == &tile_spec,
+            "tile {t} was generated under a different grid spec"
+        );
+        let (tx, ty) = (t % tiles_x, t / tiles_x);
+        let oi = tx * (tile_spec.cols + TILE_GUTTER_BLOCKS);
+        let oj = ty * (tile_spec.rows + TILE_GUTTER_BLOCKS);
+        let shift = Point::new(oi as f64 * tile_spec.block_w, oj as f64 * tile_spec.block_h);
+        let site_base = sites.len() as u32;
+        let stop_base = stops.len() as u32;
+        let route_base = routes.len() as u32;
+
+        // Local road id → global road id, via the road's axis + line.
+        let road_of = |local: RoadId| -> RoadId {
+            let road = &tile.grid().roads()[local.index()];
+            match road.axis {
+                RoadAxis::Horizontal => RoadId((road.grid_index + oj) as u32),
+                RoadAxis::Vertical => RoadId((spec.rows + 1 + road.grid_index + oi) as u32),
+            }
+        };
+
+        for site in tile.sites() {
+            let id = StopSiteId(site_base + site.id.0);
+            sites.push(StopSite {
+                id,
+                name: format!("S{:05}", id.0),
+                position: translate(site.position, shift),
+                road: road_of(site.road),
+                stop_increasing: site.stop_increasing.map(|s| StopId(stop_base + s.0)),
+                stop_decreasing: site.stop_decreasing.map(|s| StopId(stop_base + s.0)),
+            });
+        }
+        for stop in tile.stops() {
+            stops.push(BusStop {
+                id: StopId(stop_base + stop.id.0),
+                site: StopSiteId(site_base + stop.site.0),
+                position: translate(stop.position, shift),
+                direction: stop.direction,
+            });
+        }
+        for route in tile.routes() {
+            let id = RouteId(route_base + route.id.0);
+            let path = Polyline::new(
+                route
+                    .path
+                    .vertices()
+                    .iter()
+                    .map(|&v| translate(v, shift))
+                    .collect(),
+            )
+            .expect("translated path keeps its vertices");
+            let stops = route
+                .stops()
+                .iter()
+                .map(|rs| crate::route::RouteStop {
+                    stop: StopId(stop_base + rs.stop.0),
+                    site: StopSiteId(site_base + rs.site.0),
+                    offset: rs.offset,
+                })
+                .collect();
+            routes.push(BusRoute::new(
+                id,
+                format!("t{t}/{}", route.name),
+                path,
+                stops,
+            ));
+        }
+        for (edge, served) in tile.edge_routes() {
+            let key = BlockEdge {
+                horizontal: edge.horizontal,
+                i: edge.i + oi,
+                j: edge.j + oj,
+            };
+            edge_routes.insert(
+                key,
+                served.iter().map(|r| RouteId(route_base + r.0)).collect(),
+            );
+        }
+    }
+
+    TransitNetwork::assemble(grid, sites, stops, routes, edge_routes)
+}
+
+fn translate(p: Point, by: Point) -> Point {
+    Point::new(p.x + by.x, p.y + by.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkGenerator;
+
+    fn metro(tiles_x: usize, tiles_y: usize, seed: u64) -> TransitNetwork {
+        let tiles: Vec<TransitNetwork> = (0..tiles_x * tiles_y)
+            .map(|t| NetworkGenerator::small(seed + t as u64).generate())
+            .collect();
+        compose_tiles(tiles_x, tiles_y, &tiles).expect("compose")
+    }
+
+    #[test]
+    fn single_tile_compose_preserves_structure() {
+        let tile = NetworkGenerator::small(5).generate();
+        let composed = compose_tiles(1, 1, std::slice::from_ref(&tile)).unwrap();
+        assert_eq!(composed.sites().len(), tile.sites().len());
+        assert_eq!(composed.routes().len(), tile.routes().len());
+        assert_eq!(composed.grid().spec(), tile.grid().spec());
+        for (a, b) in composed.sites().iter().zip(tile.sites()) {
+            assert_eq!(a.position, b.position);
+            assert_eq!(a.road, b.road);
+        }
+    }
+
+    #[test]
+    fn tiles_merge_with_dense_global_ids() {
+        let n = metro(2, 2, 9);
+        let tile = NetworkGenerator::small(9).generate();
+        assert!(n.sites().len() >= 4 * tile.sites().len() / 2);
+        for (k, s) in n.sites().iter().enumerate() {
+            assert_eq!(s.id.index(), k);
+        }
+        for (k, s) in n.stops().iter().enumerate() {
+            assert_eq!(s.id.index(), k);
+        }
+        for (k, r) in n.routes().iter().enumerate() {
+            assert_eq!(r.id.index(), k);
+        }
+    }
+
+    #[test]
+    fn tiles_never_share_positions() {
+        let n = metro(2, 2, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for s in n.sites() {
+            let key = (s.position.x.to_bits(), s.position.y.to_bits());
+            assert!(seen.insert(key), "two sites share a position");
+        }
+    }
+
+    #[test]
+    fn gutter_separates_tiles() {
+        // Tile 0 spans x in [0, cols*w]; tile 1 starts one gutter block
+        // later. No site may sit inside the gutter column.
+        let tile_spec = *NetworkGenerator::small(1).generate().grid().spec();
+        let n = metro(2, 1, 1);
+        let boundary_lo = tile_spec.cols as f64 * tile_spec.block_w;
+        let boundary_hi = (tile_spec.cols + TILE_GUTTER_BLOCKS) as f64 * tile_spec.block_w;
+        for s in n.sites() {
+            assert!(
+                !(s.position.x > boundary_lo && s.position.x < boundary_hi),
+                "site {} sits inside the gutter",
+                s.id.0
+            );
+        }
+    }
+
+    #[test]
+    fn composed_roads_match_site_positions() {
+        let n = metro(2, 2, 7);
+        for s in n.sites() {
+            let road = &n.grid().roads()[s.road.index()];
+            let on = match road.axis {
+                RoadAxis::Horizontal => (s.position.y - road.centerline.start().y).abs() < 1e-9,
+                RoadAxis::Vertical => (s.position.x - road.centerline.start().x).abs() < 1e-9,
+            };
+            assert!(on, "site {} not on its road's centerline", s.id.0);
+        }
+    }
+}

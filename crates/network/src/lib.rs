@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compose;
 mod generator;
 mod grid;
 mod ids;
@@ -48,6 +49,7 @@ mod network;
 mod route;
 mod stop;
 
+pub use compose::{compose_tiles, metropolis_spec, TILE_GUTTER_BLOCKS};
 pub use generator::NetworkGenerator;
 pub use grid::{Grid, GridSpec, Road, RoadAxis};
 pub use ids::{RoadId, RouteId, SegmentKey, StopId, StopSiteId};

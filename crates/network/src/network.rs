@@ -286,6 +286,12 @@ impl TransitNetwork {
         &self.routes
     }
 
+    /// Which routes traverse each grid block edge.
+    #[must_use]
+    pub fn edge_routes(&self) -> &BTreeMap<BlockEdge, BTreeSet<RouteId>> {
+        &self.edge_routes
+    }
+
     /// The site with the given id.
     ///
     /// # Panics

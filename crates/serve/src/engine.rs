@@ -507,6 +507,13 @@ impl EngineHandle {
         self.shared.commit_done.load(Ordering::Acquire)
     }
 
+    /// Uploads currently sitting in the admission queue — a sharded
+    /// front end exports this per shard.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
     fn respond(&self, reply: Option<&ReplySink>, line: &str) {
         if let Some(reply) = reply {
             reply.send_line(line, &self.shared.tele.reply_errors);

@@ -43,6 +43,6 @@ pub mod signal;
 pub use engine::{
     EngineHandle, FatalHook, FullPolicy, ReplySink, ServeConfig, ServeEngine, ServeSummary,
 };
-pub use net::{serve_stdio, serve_unix, StreamClient};
+pub use net::{serve_stdio, serve_unix, LineHandler, StreamClient};
 pub use protocol::{parse_line, Request};
 pub use queue::{BoundedQueue, Popped};

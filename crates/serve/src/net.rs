@@ -20,6 +20,36 @@ const READ_TIMEOUT: Duration = Duration::from_millis(100);
 /// Accept-loop poll interval.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// What a front end needs from whatever sits behind it. A single
+/// [`EngineHandle`] is the original implementor; a sharded router that
+/// fans lines out to several engines implements the same contract, so
+/// the socket/stdio loops below serve either without knowing which.
+pub trait LineHandler: Clone + Send + 'static {
+    /// Processes one complete wire line; replies (if any) go to `reply`.
+    fn handle_line(&self, line: &str, reply: Option<&ReplySink>);
+    /// True once a drain began — front ends stop admitting input.
+    fn is_draining(&self) -> bool;
+    /// True once the backing engine(s) exited.
+    fn finished(&self) -> bool;
+    /// The per-line frame limit, for reassembly-buffer sizing.
+    fn max_line_bytes(&self) -> usize;
+}
+
+impl LineHandler for EngineHandle {
+    fn handle_line(&self, line: &str, reply: Option<&ReplySink>) {
+        EngineHandle::handle_line(self, line, reply);
+    }
+    fn is_draining(&self) -> bool {
+        EngineHandle::is_draining(self)
+    }
+    fn finished(&self) -> bool {
+        EngineHandle::finished(self)
+    }
+    fn max_line_bytes(&self) -> usize {
+        EngineHandle::max_line_bytes(self)
+    }
+}
+
 /// Binds `socket_path` and serves connections until
 /// [`EngineHandle::is_draining`] turns true (or the engine dies).
 /// `tick` runs every accept-loop iteration — the resident CLI uses it
@@ -29,8 +59,8 @@ const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// unacknowledged uploads are still acked afterwards, because each
 /// [`Admission`]'s reply sink keeps its socket's write half alive
 /// through the commit loop's drain flush.
-pub fn serve_unix(
-    handle: &EngineHandle,
+pub fn serve_unix<H: LineHandler>(
+    handle: &H,
     socket_path: &Path,
     mut tick: impl FnMut(),
 ) -> std::io::Result<()> {
@@ -66,7 +96,7 @@ pub fn serve_unix(
 /// Reads newline-delimited frames off one connection, preserving
 /// partial lines across read timeouts (a `BufReader::read_line` would
 /// discard them), and feeds each complete line to the engine.
-fn serve_connection(handle: &EngineHandle, stream: UnixStream) {
+fn serve_connection<H: LineHandler>(handle: &H, stream: UnixStream) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let reply = match stream.try_clone() {
         Ok(write_half) => ReplySink::new(write_half),
@@ -115,7 +145,7 @@ fn serve_connection(handle: &EngineHandle, stream: UnixStream) {
 /// Serves the stream protocol over stdin/stdout until EOF or drain —
 /// the no-socket mode (`busprobe serve --stdin`), and handy for piping
 /// a corpus straight in.
-pub fn serve_stdio(handle: &EngineHandle) {
+pub fn serve_stdio<H: LineHandler>(handle: &H) {
     let reply = ReplySink::new(std::io::stdout());
     let stdin = std::io::stdin();
     let mut line = String::new();

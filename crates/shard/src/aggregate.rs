@@ -1,0 +1,96 @@
+//! Federating shard maps into one city map.
+//!
+//! Each shard's fusion state covers the road segments between its own
+//! stops, and a component-closed plan gives every segment both
+//! endpoints in one shard — so the union is normally disjoint and the
+//! merge is a pure set union over the `BTreeMap` of segment estimates.
+//! Should two shards ever report the same segment (only possible if a
+//! plan is built against a different database than the one that routed
+//! the data), the fresher estimate wins and ties go to the lower shard,
+//! keeping the merge deterministic rather than silently additive.
+
+use busprobe_core::TrafficMap;
+
+/// Merges per-shard traffic maps into one city-wide map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CityAggregator;
+
+impl CityAggregator {
+    /// The city map: segment-wise union of `maps` (index = shard id).
+    ///
+    /// For a one-element slice this is an exact copy — the aggregation
+    /// layer adds nothing for a single-shard plan, which is what the
+    /// byte-identity differential tests pin down.
+    #[must_use]
+    pub fn merge(maps: &[TrafficMap]) -> TrafficMap {
+        let mut city = TrafficMap::default();
+        for map in maps {
+            city.time_s = city.time_s.max(map.time_s);
+            for (&key, est) in &map.segments {
+                match city.segments.get(&key) {
+                    // Earlier (lower) shards win ties on freshness.
+                    Some(have) if have.updated_s >= est.updated_s => {}
+                    _ => {
+                        city.segments.insert(key, *est);
+                    }
+                }
+            }
+        }
+        city
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busprobe_core::{SegmentEstimate, SpeedLevel};
+    use busprobe_network::{SegmentKey, StopSiteId};
+
+    fn est(speed: f64, updated: f64) -> SegmentEstimate {
+        SegmentEstimate {
+            speed_mps: speed,
+            variance: 1.0,
+            level: SpeedLevel::from_kmh(speed * 3.6),
+            updated_s: updated,
+        }
+    }
+
+    fn key(a: u32, b: u32) -> SegmentKey {
+        SegmentKey::new(StopSiteId(a), StopSiteId(b))
+    }
+
+    #[test]
+    fn single_map_merges_to_identity() {
+        let mut map = TrafficMap {
+            time_s: 42.0,
+            ..Default::default()
+        };
+        map.segments.insert(key(0, 1), est(10.0, 40.0));
+        assert_eq!(CityAggregator::merge(&[map.clone()]), map);
+    }
+
+    #[test]
+    fn disjoint_maps_union() {
+        let mut a = TrafficMap::default();
+        a.segments.insert(key(0, 1), est(10.0, 1.0));
+        let mut b = TrafficMap::default();
+        b.segments.insert(key(2, 3), est(5.0, 2.0));
+        let city = CityAggregator::merge(&[a, b]);
+        assert_eq!(city.segments.len(), 2);
+    }
+
+    #[test]
+    fn collisions_prefer_fresher_then_lower_shard() {
+        let mut a = TrafficMap::default();
+        a.segments.insert(key(0, 1), est(10.0, 5.0));
+        let mut b = TrafficMap::default();
+        b.segments.insert(key(0, 1), est(20.0, 9.0));
+        let city = CityAggregator::merge(&[a.clone(), b.clone()]);
+        assert!((city.segments[&key(0, 1)].speed_mps - 20.0).abs() < 1e-12);
+
+        // Equal freshness: shard 0 wins.
+        b.segments.insert(key(0, 1), est(20.0, 5.0));
+        let city = CityAggregator::merge(&[a, b]);
+        assert!((city.segments[&key(0, 1)].speed_mps - 10.0).abs() < 1e-12);
+    }
+}

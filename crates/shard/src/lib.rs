@@ -1,0 +1,43 @@
+//! City-scale regional sharding for the traffic monitor.
+//!
+//! The single-shard pipeline tops out at one matcher index, one fusion
+//! state and one WAL — fine for the paper's 7 km × 4 km district,
+//! untenable for a metropolis. This crate slices the city into
+//! regional shards and federates them back into one map:
+//!
+//! * [`CityPlan`] — a deterministic partition of stop sites into
+//!   shards: connected components of "shares a route ∪ shares a
+//!   fingerprint cell" are kept atomic (so no upload can have match
+//!   candidates in two shards), ordered geographically and cut into
+//!   balanced shards. Pure function of (network, DB, shard count).
+//! * [`ShardRouter`] — routes an upload by probing each shard's
+//!   inverted matcher index for its best candidate score bound; ties
+//!   fall to a configurable [`OverflowPolicy`] that stays bit-exact by
+//!   scoring candidates in shard-id order.
+//! * [`ShardedMonitor`] — N `TrafficMonitor`s (own matcher, fusion,
+//!   duplicate state, WAL dir `<state>/shard-NNNN/`) behind one
+//!   batch-ingest façade with per-shard telemetry and conservation
+//!   accounting; recovery walks every shard directory.
+//! * [`CityAggregator`] — merges per-shard traffic maps into one city
+//!   map, byte-identical to the unsharded map for a single-shard plan.
+//! * [`ShardFront`] — a [`busprobe_serve::LineHandler`] that fans the
+//!   resident serve protocol out to per-shard engines, each with its
+//!   own admission queue and commit thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod monitor;
+mod partition;
+mod router;
+mod serve;
+
+pub use aggregate::CityAggregator;
+pub use monitor::{
+    is_sharded_state, read_manifest, shard_dir, CityManifest, ShardAccounting, ShardedMonitor,
+    CITY_FORMAT, CITY_MANIFEST,
+};
+pub use partition::CityPlan;
+pub use router::{OverflowPolicy, Routed, ShardRouter};
+pub use serve::ShardFront;

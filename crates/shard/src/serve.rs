@@ -1,0 +1,182 @@
+//! A sharded line-protocol front end: one [`LineHandler`] fanning
+//! uploads out to N per-shard [`ServeEngine`](busprobe_serve::ServeEngine)s.
+//!
+//! Each shard keeps its own admission queue, commit thread, WAL and
+//! checkpoint cadence — the front end only *routes*. An upload line is
+//! parsed once to probe the shard indexes, then the raw line is handed
+//! to the winning engine untouched, so acknowledgement semantics
+//! (withheld until that shard's WAL fsync) are exactly the single-shard
+//! engine's. Control lines fan out: `checkpoint` and `shutdown` reach
+//! every engine (the client reply comes from the front), `ping` and
+//! `stats` are answered by shard 0's engine.
+
+use crate::router::{OverflowPolicy, ShardRouter};
+use busprobe_core::TrafficMonitor;
+use busprobe_mobile::Trip;
+use busprobe_serve::{protocol, EngineHandle, LineHandler, ReplySink, Request};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct FrontInner {
+    engines: Vec<EngineHandle>,
+    monitors: Vec<Arc<TrafficMonitor>>,
+    router: ShardRouter,
+    /// Max finite sample timestamp seen (f64 bits), for the aggregated
+    /// publish horizon at drain. `u64::MAX` = none yet.
+    horizon_bits: AtomicU64,
+    queue_depth: Vec<busprobe_telemetry::Gauge>,
+    forwarded: Vec<busprobe_telemetry::Counter>,
+    routed: busprobe_telemetry::Counter,
+    overflow: busprobe_telemetry::Counter,
+}
+
+/// The sharded front door; cheap to clone into connection threads.
+#[derive(Clone)]
+pub struct ShardFront {
+    inner: Arc<FrontInner>,
+}
+
+impl ShardFront {
+    /// Builds a front over per-shard engines and their monitors
+    /// (parallel vectors, shard-id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or of different lengths.
+    #[must_use]
+    pub fn new(
+        engines: Vec<EngineHandle>,
+        monitors: Vec<Arc<TrafficMonitor>>,
+        policy: OverflowPolicy,
+    ) -> Self {
+        assert!(!engines.is_empty(), "need at least one shard engine");
+        assert_eq!(engines.len(), monitors.len(), "engines/monitors mismatch");
+        let queue_depth = (0..engines.len())
+            .map(|s| busprobe_telemetry::gauge(&format!("busprobe_shard_{s}_queue_depth")))
+            .collect();
+        let forwarded = (0..engines.len())
+            .map(|s| busprobe_telemetry::counter(&format!("busprobe_shard_{s}_forwarded_total")))
+            .collect();
+        ShardFront {
+            inner: Arc::new(FrontInner {
+                engines,
+                monitors,
+                router: ShardRouter::new(policy),
+                horizon_bits: AtomicU64::new(u64::MAX),
+                queue_depth,
+                forwarded,
+                routed: busprobe_telemetry::counter("busprobe_shard_routed_total"),
+                overflow: busprobe_telemetry::counter("busprobe_shard_overflow_total"),
+            }),
+        }
+    }
+
+    /// The per-shard engine handles, shard-id order.
+    #[must_use]
+    pub fn engines(&self) -> &[EngineHandle] {
+        &self.inner.engines
+    }
+
+    /// Stops admission on every shard.
+    pub fn begin_drain(&self) {
+        for engine in &self.inner.engines {
+            engine.begin_drain();
+        }
+    }
+
+    /// The first fatal diagnostic latched by any shard engine.
+    #[must_use]
+    pub fn fatal(&self) -> Option<String> {
+        self.inner.engines.iter().find_map(EngineHandle::fatal)
+    }
+
+    /// The max finite sample timestamp across every routed upload —
+    /// the drain-time publish horizon (plus the engine's usual grace).
+    #[must_use]
+    pub fn horizon(&self) -> Option<f64> {
+        match self.inner.horizon_bits.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            bits => Some(f64::from_bits(bits)),
+        }
+    }
+
+    fn observe_horizon(&self, trip: &Trip) {
+        let latest = trip
+            .samples
+            .iter()
+            .map(|s| s.time_s)
+            .filter(|t| t.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !latest.is_finite() {
+            return;
+        }
+        let inner = &self.inner;
+        let mut cur = inner.horizon_bits.load(Ordering::Relaxed);
+        loop {
+            if cur != u64::MAX && f64::from_bits(cur) >= latest {
+                return;
+            }
+            match inner.horizon_bits.compare_exchange_weak(
+                cur,
+                latest.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn export_queue_depths(&self) {
+        for (gauge, engine) in self.inner.queue_depth.iter().zip(&self.inner.engines) {
+            gauge.set(engine.queue_depth() as f64);
+        }
+    }
+}
+
+impl LineHandler for ShardFront {
+    fn handle_line(&self, line: &str, reply: Option<&ReplySink>) {
+        let inner = &self.inner;
+        // Oversized and unparseable frames go to shard 0, whose engine
+        // attributes and answers them exactly as a single shard would.
+        if line.len() > self.max_line_bytes() {
+            inner.engines[0].handle_line(line, reply);
+            return;
+        }
+        match protocol::parse_line(line) {
+            Err(_) | Ok(Request::Ping) | Ok(Request::Stats) => {
+                inner.engines[0].handle_line(line, reply);
+            }
+            Ok(Request::Checkpoint) | Ok(Request::Shutdown) => {
+                // Fan out; the client hears shard 0's answer.
+                for (s, engine) in inner.engines.iter().enumerate() {
+                    engine.handle_line(line, if s == 0 { reply } else { None });
+                }
+            }
+            Ok(Request::Upload { trip, .. }) => {
+                let routed = inner.router.route(&inner.monitors, &trip);
+                inner.routed.inc();
+                if routed.overflow {
+                    inner.overflow.inc();
+                }
+                self.observe_horizon(&trip);
+                inner.forwarded[routed.shard].inc();
+                inner.engines[routed.shard].handle_line(line, reply);
+                self.export_queue_depths();
+            }
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        self.inner.engines.iter().any(EngineHandle::is_draining)
+    }
+
+    fn finished(&self) -> bool {
+        self.inner.engines.iter().all(EngineHandle::finished)
+    }
+
+    fn max_line_bytes(&self) -> usize {
+        self.inner.engines[0].max_line_bytes()
+    }
+}

@@ -8,23 +8,31 @@
 //!                                                      (optionally perturbed by a fault plan)
 //! busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
 //!                   [--state DIR] [--snapshot-every N] [--group-every N] [--limit N]
-//!                                                      ingest uploads, print the traffic map
-//!                                                      (durably, when --state is given)
+//!                   [--shards N] [--overflow POLICY]   ingest uploads, print the traffic map
+//!                                                      (durably, when --state is given;
+//!                                                      regionally sharded with --shards)
 //! busprobe recover  --dir DIR --state DIR              rebuild state from a WAL + snapshot dir
+//!                                                      (flat or sharded, auto-detected)
 //! busprobe explain  --dir DIR [TRIP-ID] [--jobs N]     replay uploads traced, narrate one trip's
 //!                                                      decision chain (or list all outcomes)
 //! busprobe trace    --dir DIR [--out FILE] [--jsonl FILE] [--sample-every N] [--jobs N]
 //!                                                      replay uploads traced, export Chrome
 //!                                                      trace-event JSON and/or JSONL traces
 //! busprobe demo     [--seed N]                         all three steps in memory
-//! busprobe metrics  --dir DIR [--format text|json|prometheus]
+//! busprobe city     [--seed N] [--stops N] [--trips N] [--shards N]
+//!                                                      synthetic-metropolis smoke: tile the
+//!                                                      district into a city, ingest sharded
+//! busprobe metrics  --dir DIR [--format text|json|prometheus] [--shards N]
 //!                                                      ingest uploads, dump pipeline telemetry
 //! busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
-//!                                                      perf-regression harness: matcher + pipeline
+//!                   [--city-stops N] [--city-trips N]  perf-regression harness: matcher + pipeline
+//!                                                      + city-scale sharding (BENCH_city.json)
 //! busprobe serve    --dir DIR (--socket PATH | --stdin) [--state DIR] [--queue N]
 //!                   [--on-full block|reject|shed-oldest] [--latency-budget-ms N] [--jobs N]
-//!                   [--publish DIR] [--watchdog-s F]    resident streaming frontend: bounded
+//!                   [--publish DIR] [--watchdog-s F] [--shards N]
+//!                                                      resident streaming frontend: bounded
 //!                                                      admission, durable acks, graceful drain
+//!                                                      (per-region engines with --shards)
 //! busprobe send     --dir DIR --socket PATH [--stream-faults SPEC] [--limit N] [--from N]
 //!                                                      stream the stored corpus at a serve
 //!                                                      socket, wait for every ack/drop
@@ -51,6 +59,9 @@ use busprobe::mobile::{CellularSample, Trip};
 use busprobe::network::{NetworkGenerator, TransitNetwork};
 use busprobe::sensors::trip_observations;
 use busprobe::serve::{protocol, signal, FullPolicy, ServeConfig, ServeEngine, StreamClient};
+use busprobe::shard::{
+    is_sharded_state, read_manifest, OverflowPolicy, ShardAccounting, ShardFront, ShardedMonitor,
+};
 use busprobe::sim::{Scenario, SimTime, Simulation};
 use busprobe::store::Store;
 use busprobe::trace::{RecoveryTrace, TracePolicy, Tracer};
@@ -83,6 +94,7 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("city") => cmd_city(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -111,17 +123,21 @@ USAGE:
                       [--faults SPEC] [--fault-seed N]
     busprobe ingest   --dir DIR [--jobs N] [--snapshot HH:MM] [--regional] [--geojson FILE]
                       [--state DIR] [--snapshot-every N] [--group-every N] [--limit N]
+                      [--shards N] [--overflow score|lowest]
     busprobe recover  --dir DIR --state DIR [--snapshot HH:MM] [--geojson FILE]
     busprobe explain  --dir DIR [TRIP-ID] [--jobs N]
     busprobe trace    --dir DIR [--out FILE] [--jsonl FILE] [--sample-every N] [--jobs N]
     busprobe demo     [--seed N]
-    busprobe metrics  --dir DIR [--format text|json|prometheus] [--state DIR]
+    busprobe city     [--seed N] [--stops N] [--trips N] [--shards N] [--jobs N]
+                      [--overflow score|lowest] [--geojson FILE]
+    busprobe metrics  --dir DIR [--format text|json|prometheus] [--state DIR] [--shards N]
     busprobe bench    [--seed N] [--trips N] [--out DIR] [--check] [--tolerance F]
+                      [--city-stops N] [--city-trips N]
     busprobe serve    --dir DIR (--socket PATH | --stdin) [--state DIR] [--snapshot-every N]
                       [--queue N] [--on-full block|reject|shed-oldest] [--latency-budget-ms N]
                       [--jobs N] [--sync-every N] [--checkpoint-every N]
                       [--checkpoint-interval-s F] [--publish DIR] [--publish-interval-s F]
-                      [--watchdog-s F]
+                      [--watchdog-s F] [--shards N] [--overflow score|lowest]
     busprobe send     --dir DIR --socket PATH [--stream-faults SPEC] [--limit N] [--from N]
                       [--timeout-s F]
 
@@ -145,6 +161,21 @@ crashed and resumed) ingests accumulate bit-identically to one
 uninterrupted run. `--limit N` ingests only the first N uploads (crash
 drills). `recover` rebuilds and prints the state read-only, attributing
 any skipped/torn records, without ingesting anything.
+
+`--shards N` (on `ingest`, `serve` and `metrics`) partitions the city
+into N regional shards — each with its own matcher index, fusion state
+and WAL directory `<state>/shard-NNNN/` — and routes every upload to
+the region owning its best-matching stop; ambiguous boundary trips fall
+to the `--overflow` policy (`score`, the default, follows the globally
+best candidate; `lowest` pins ties to the lowest shard id). The
+federated city map (and its GeoJSON) is bit-identical at every shard
+count, and `--shards 1` writes byte-identical WAL files to the
+unsharded path. `recover` and `metrics` auto-detect a sharded state
+directory from its `city.json` manifest and print a per-shard recovery
+narrative plus conservation accounting. `city` builds a synthetic
+metropolis (tiled calibrated districts, `--stops` sites and `--trips`
+rider uploads) and ingests it through a sharded monitor end to end —
+the smoke test behind `BENCH_city.json`.
 
 `explain` replays the stored uploads with per-trip tracing on and
 narrates one upload's full decision chain — sanitize verdict, match
@@ -173,7 +204,11 @@ WAL append overhead must always stay under 10% of the per-trip commit
 cost. It also streams the corpus through a resident serve engine at 2x
 the measured batch capacity and records the admitted throughput, p99
 admission latency and shed rate (`BENCH_serve.json`, gated on admitted
-throughput).
+throughput), and sweeps a synthetic metropolis across 1/4/16 shards
+(`BENCH_city.json`: a full-city record at `--city-stops`/`--city-trips`,
+default 100k stops / 1M trips, plus a reduced check-scale record that
+`--check` re-runs and compares; the committed full record must stay at
+or above the acceptance scale).
 
 `serve` runs the monitor as a resident process speaking one JSON object
 per line over a unix socket (or stdin): uploads enter a bounded
@@ -530,6 +565,115 @@ fn durable_monitor_grouped(
     Ok(monitor)
 }
 
+/// Parses `--overflow score|lowest` — the sharded router's policy for
+/// boundary trips whose probe ties across regions.
+fn parse_overflow(args: &[String]) -> Result<OverflowPolicy, String> {
+    match flag_value(args, "--overflow") {
+        None => Ok(OverflowPolicy::Score),
+        Some(v) => OverflowPolicy::from_label(v)
+            .ok_or_else(|| format!("invalid --overflow `{v}` (score|lowest)")),
+    }
+}
+
+/// Per-shard recovery narrative table for a sharded state directory.
+fn print_shard_recovery(state: &Path, summaries: &[RecoverySummary]) {
+    println!(
+        "recovered sharded state from {state:?} ({} shards):",
+        summaries.len()
+    );
+    println!(
+        "{:>6} {:>9} {:>10} {:>9} {:>10} {:>8} {:>6} {:>9}",
+        "shard", "segments", "snapshot", "commits", "replayed", "skipped", "torn", "time"
+    );
+    for (s, summary) in summaries.iter().enumerate() {
+        println!(
+            "{:>6} {:>9} {:>10} {:>9} {:>10} {:>8} {:>6} {:>8.3}s",
+            format!("{s:04}"),
+            summary.wal_segments,
+            summary
+                .snapshot_seq
+                .map_or_else(|| "-".to_string(), |seq| seq.to_string()),
+            summary.commits,
+            summary.replayed_commits + summary.replayed_refreshes,
+            summary.skipped_records,
+            summary.corrupt_tails,
+            summary.duration_s
+        );
+    }
+}
+
+/// Per-shard ingest/drop table plus the conservation verdict: every
+/// routed upload must be accounted for by exactly one shard.
+fn print_shard_accounting(acc: &ShardAccounting) -> Result<(), String> {
+    println!("== shard accounting ==");
+    println!("{:>6} {:>10} {:>9}", "shard", "ingested", "dropped");
+    for (s, (ingested, dropped)) in acc.per_shard.iter().enumerate() {
+        println!("{:>6} {ingested:>10} {dropped:>9}", format!("{s:04}"));
+    }
+    let handled: u64 = acc.per_shard.iter().map(|(i, d)| i + d).sum();
+    println!(
+        "routed {} uploads ({} via the overflow policy); shards handled {handled} — \
+         conservation {}",
+        acc.routed,
+        acc.overflow,
+        if acc.conserved() { "holds" } else { "VIOLATED" }
+    );
+    if acc.conserved() {
+        Ok(())
+    } else {
+        Err(format!(
+            "shard conservation violated: {} routed but {handled} accounted for",
+            acc.routed
+        ))
+    }
+}
+
+/// Recovers a [`ShardedMonitor`] from `state` when it holds a city
+/// manifest, else starts cold; attaches per-shard grouped WAL stores
+/// either way. Refuses a flat (unsharded) store directory and a
+/// shard-count mismatch instead of guessing.
+fn durable_city_monitor(
+    network: &TransitNetwork,
+    db: &StopFingerprintDb,
+    state: &Path,
+    shards: usize,
+    policy: OverflowPolicy,
+    snapshot_every: u64,
+    group_every: u64,
+) -> Result<ShardedMonitor, String> {
+    let monitor = if is_sharded_state(state) {
+        let manifest = read_manifest(state).map_err(|e| format!("read {state:?} manifest: {e}"))?;
+        if manifest.shards != shards {
+            return Err(format!(
+                "{state:?} was written with --shards {}; re-run with --shards {} \
+                 (the WAL layout is per-shard) or pick a fresh state dir",
+                manifest.shards, manifest.shards
+            ));
+        }
+        let (monitor, summaries) =
+            ShardedMonitor::recover(network.clone(), db, MonitorConfig::default(), state)
+                .map_err(|e| format!("recover sharded state from {state:?}: {e}"))?;
+        print_shard_recovery(state, &summaries);
+        monitor
+    } else if Store::exists(state).map_err(|e| format!("inspect {state:?}: {e}"))? {
+        return Err(format!(
+            "{state:?} holds a flat (unsharded) store; drop --shards or pick a fresh dir"
+        ));
+    } else {
+        ShardedMonitor::new(
+            network.clone(),
+            db,
+            MonitorConfig::default(),
+            shards,
+            policy,
+        )
+    };
+    monitor
+        .attach_stores(state, snapshot_every, group_every)
+        .map_err(|e| format!("attach shard stores under {state:?}: {e}"))?;
+    Ok(monitor)
+}
+
 fn cmd_ingest(args: &[String]) -> Result<(), String> {
     let dir = dir_of(args)?;
     let (_, network, _) = load_world(&dir)?;
@@ -584,13 +728,35 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
         .transpose()
         .map_err(|_| "invalid --limit".to_string())?;
     announce_corpus(&dir, trips.len(), &received);
-    let monitor = match &state_dir {
-        Some(state) => durable_monitor_grouped(&network, db, state, snapshot_every, group_every)?,
-        None => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
-    };
     let ingest_trips = match limit {
         Some(n) if n < trips.len() => &trips[..n],
         _ => &trips[..],
+    };
+    // `--shards N` routes the same corpus through N regional monitors
+    // behind the deterministic city router instead of one monitor; the
+    // flagless path below is untouched (and bit-identical to
+    // `--shards 1` — proven in tests/differential.rs).
+    if let Some(shards) = parse_opt_flag::<usize>(args, "--shards")? {
+        return ingest_sharded(IngestShardedArgs {
+            network: &network,
+            db: &db,
+            trips: ingest_trips,
+            total: trips.len(),
+            received: received.as_deref(),
+            snapshot_s: snapshot_t.seconds(),
+            jobs,
+            shards,
+            policy: parse_overflow(args)?,
+            state_dir: state_dir.as_deref(),
+            snapshot_every,
+            group_every,
+            regional: flag_present(args, "--regional"),
+            geojson: flag_value(args, "--geojson"),
+        });
+    }
+    let monitor = match &state_dir {
+        Some(state) => durable_monitor_grouped(&network, db, state, snapshot_every, group_every)?,
+        None => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
     };
     // A durable run traps SIGINT and ingests in chunks: on interrupt it
     // finishes the in-flight chunk, checkpoints, and exits cleanly, so
@@ -679,6 +845,138 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Everything `ingest --shards` needs, bundled so the sharded leg reads
+/// like the flagless one.
+struct IngestShardedArgs<'a> {
+    network: &'a TransitNetwork,
+    db: &'a StopFingerprintDb,
+    trips: &'a [Trip],
+    total: usize,
+    received: Option<&'a [f64]>,
+    snapshot_s: f64,
+    jobs: usize,
+    shards: usize,
+    policy: OverflowPolicy,
+    state_dir: Option<&'a Path>,
+    snapshot_every: u64,
+    group_every: u64,
+    regional: bool,
+    geojson: Option<&'a str>,
+}
+
+/// The `--shards N` leg of `busprobe ingest`: the same corpus, flags and
+/// chunked SIGINT handling, but through a [`ShardedMonitor`] — N
+/// regional monitors with per-shard WAL directories under `--state` and
+/// a federated city map out the other end.
+fn ingest_sharded(a: IngestShardedArgs) -> Result<(), String> {
+    if a.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let monitor = match a.state_dir {
+        Some(state) => durable_city_monitor(
+            a.network,
+            a.db,
+            state,
+            a.shards,
+            a.policy,
+            a.snapshot_every,
+            a.group_every,
+        )?,
+        None => ShardedMonitor::new(
+            a.network.clone(),
+            a.db,
+            MonitorConfig::default(),
+            a.shards,
+            a.policy,
+        ),
+    };
+    let sizes = monitor.plan().shard_sizes();
+    eprintln!(
+        "city plan: {} shards over {} stop sites ({}..{} sites/shard), overflow policy `{}`",
+        a.shards,
+        sizes.iter().sum::<usize>(),
+        sizes.iter().min().copied().unwrap_or(0),
+        sizes.iter().max().copied().unwrap_or(0),
+        monitor.policy().label()
+    );
+
+    let received = a.received.map(|r| &r[..a.trips.len()]);
+    let mut interrupted = false;
+    let reports = if a.state_dir.is_some() {
+        // Same chunked SIGINT contract as the flagless durable path:
+        // finish the in-flight chunk, checkpoint every shard, exit
+        // cleanly.
+        signal::trap_termination();
+        let mut reports: Vec<IngestReport> = Vec::with_capacity(a.trips.len());
+        for (chunk_idx, chunk) in a.trips.chunks(SIGINT_CHUNK).enumerate() {
+            let start = chunk_idx * SIGINT_CHUNK;
+            let recv_chunk = received.map_or(&[][..], |r| &r[start..start + chunk.len()]);
+            reports.extend(monitor.ingest_batch_received_parallel(chunk, recv_chunk, a.jobs));
+            if signal::termination_requested() {
+                interrupted = true;
+                break;
+            }
+        }
+        reports
+    } else {
+        monitor.ingest_batch_received_parallel(a.trips, received.unwrap_or(&[]), a.jobs)
+    };
+    let matched: usize = reports.iter().map(|r| r.matched).sum();
+    let observations: usize = reports.iter().map(|r| r.observations).sum();
+    let quarantined: usize = reports.iter().map(|r| r.quarantined).sum();
+    if interrupted {
+        println!(
+            "interrupted: finished the in-flight chunk after {} of {} uploads; \
+             checkpointing before exit",
+            reports.len(),
+            a.trips.len()
+        );
+    }
+    println!(
+        "ingested {} of {} uploads: {matched} samples matched, {observations} speed observations, \
+         {quarantined} samples quarantined",
+        reports.len(),
+        a.total
+    );
+
+    let map = monitor.city_map_with_max_age(a.snapshot_s, f64::INFINITY);
+    println!();
+    print!("{}", map.render_text(a.network));
+    let regional = a.regional.then(|| {
+        let regional = infer_regional(&map, a.network, InferenceConfig::default());
+        println!();
+        println!(
+            "regional inference: {} measured + {} inferred segments ({:.0}% coverage)",
+            regional.measured_count(),
+            regional.inferred_count(),
+            100.0 * regional.coverage(a.network)
+        );
+        regional
+    });
+    if let Some(path) = a.geojson {
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = match &regional {
+            Some(r) => regional_to_geojson(r, a.network, &projection),
+            None => map_to_geojson(&map, a.network, &projection),
+        };
+        write_json(Path::new(path), &gj)?;
+        println!("wrote GeoJSON to {path}");
+    }
+    if let Some(state) = a.state_dir {
+        let coverage = monitor
+            .checkpoint_all()
+            .map_err(|e| format!("checkpoint to {state:?}: {e}"))?;
+        let covered: u64 = coverage.iter().map(|c| c.unwrap_or(0)).sum();
+        println!(
+            "saved sharded server state to {state:?} ({} shard dirs; snapshots cover \
+             {covered} records)",
+            coverage.len()
+        );
+    }
+    println!();
+    print_shard_accounting(&monitor.accounting())
+}
+
 /// `busprobe recover`: rebuild the monitor from a durable state directory
 /// — newest valid snapshot plus WAL-tail replay — and print what
 /// survived, without ingesting anything. The read-only half of the
@@ -691,6 +989,11 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| "missing --state".to_string())?;
     let (_, network, _) = load_world(&dir)?;
     let db: StopFingerprintDb = read_json(&dir.join("db.json"))?;
+    // A city manifest marks a sharded layout (`ingest --shards`): walk
+    // every shard directory instead of expecting a flat store.
+    if is_sharded_state(&state) {
+        return recover_sharded(args, &dir, &state, &network, &db);
+    }
     if !Store::exists(&state).map_err(|e| format!("inspect {state:?}: {e}"))? {
         return Err(format!(
             "{state:?} holds no WAL segments or snapshots; run `busprobe ingest --state` first"
@@ -702,13 +1005,27 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     println!("{}", recovery_line(&state, &summary));
     println!("{}", recovery_trace(&summary).narrative());
 
-    // Map horizon: --snapshot, or just after the stored corpus when one
-    // is present (matching `ingest`'s default so maps are comparable),
-    // else the recovered records themselves don't carry an end time — use
-    // an unbounded horizon at t = 0.
+    let snapshot_t = recover_horizon(args, &dir)?;
+    let map = monitor.snapshot_with_max_age(snapshot_t.seconds(), f64::INFINITY);
+    println!();
+    print!("{}", map.render_text(&network));
+    if let Some(path) = flag_value(args, "--geojson") {
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = map_to_geojson(&map, &network, &projection);
+        write_json(Path::new(path), &gj)?;
+        println!("wrote GeoJSON to {path}");
+    }
+    Ok(())
+}
+
+/// Map horizon for `recover`: `--snapshot`, or just after the stored
+/// corpus when one is present (matching `ingest`'s default so maps are
+/// comparable), else the recovered records themselves don't carry an
+/// end time — use an unbounded horizon at t = 0.
+fn recover_horizon(args: &[String], dir: &Path) -> Result<SimTime, String> {
     let trips_path = dir.join("trips.json");
-    let snapshot_t = match flag_value(args, "--snapshot") {
-        Some(v) => parse_hhmm(v)?,
+    match flag_value(args, "--snapshot") {
+        Some(v) => parse_hhmm(v),
         None if trips_path.exists() => {
             let trips: Vec<Trip> = read_json(&trips_path)?;
             let last = trips
@@ -717,16 +1034,49 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
                 .map(|s| s.time_s)
                 .filter(|t| t.is_finite())
                 .fold(0.0, f64::max);
-            SimTime::from_seconds(last + 60.0)
+            Ok(SimTime::from_seconds(last + 60.0))
         }
-        None => SimTime::from_seconds(0.0),
-    };
-    let map = monitor.snapshot_with_max_age(snapshot_t.seconds(), f64::INFINITY);
+        None => Ok(SimTime::from_seconds(0.0)),
+    }
+}
+
+/// The sharded leg of `busprobe recover`: replay every `shard-NNNN`
+/// directory under the city manifest, print the per-shard narrative
+/// table (plus a full narrative for any shard that took damage), and
+/// render the federated map.
+fn recover_sharded(
+    args: &[String],
+    dir: &Path,
+    state: &Path,
+    network: &TransitNetwork,
+    db: &StopFingerprintDb,
+) -> Result<(), String> {
+    let (monitor, summaries) =
+        ShardedMonitor::recover(network.clone(), db, MonitorConfig::default(), state)
+            .map_err(|e| format!("recover sharded state from {state:?}: {e}"))?;
+    print_shard_recovery(state, &summaries);
+    let damaged: u64 = summaries
+        .iter()
+        .map(|s| s.skipped_records + s.corrupt_tails + s.snapshots_skipped)
+        .sum();
+    for (s, summary) in summaries.iter().enumerate() {
+        if summary.skipped_records + summary.corrupt_tails + summary.snapshots_skipped > 0 {
+            println!();
+            println!("shard {s:04} took damage:");
+            println!("{}", recovery_trace(summary).narrative());
+        }
+    }
+    if damaged == 0 {
+        println!("all shards replayed clean");
+    }
+
+    let snapshot_t = recover_horizon(args, dir)?;
+    let map = monitor.city_map_with_max_age(snapshot_t.seconds(), f64::INFINITY);
     println!();
-    print!("{}", map.render_text(&network));
+    print!("{}", map.render_text(network));
     if let Some(path) = flag_value(args, "--geojson") {
         let projection = LocalProjection::new(1.34, 103.70);
-        let gj = map_to_geojson(&map, &network, &projection);
+        let gj = map_to_geojson(&map, network, &projection);
         write_json(Path::new(path), &gj)?;
         println!("wrote GeoJSON to {path}");
     }
@@ -787,6 +1137,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
     let queue_capacity = config.queue_capacity;
     let policy = config.full_policy;
+
+    // `--shards N` raises a sharded front: one engine (queue, commit
+    // thread, WAL, checkpoint cadence) per regional monitor, with the
+    // front end routing each upload line to its region.
+    if let Some(shards) = parse_opt_flag::<usize>(args, "--shards")? {
+        return serve_sharded(
+            &network,
+            db,
+            socket.as_deref(),
+            state_dir.as_deref(),
+            snapshot_every,
+            config,
+            shards,
+            parse_overflow(args)?,
+        );
+    }
 
     // Group commit: the WAL appends one group frame (one fsync) per
     // ack window, so `--sync-every` bounds both the fsync rate and the
@@ -853,6 +1219,144 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         println!("final checkpoint covers {seq} records");
     }
     if let Some(diag) = summary.fatal {
+        return Err(format!("serve ended fatally: {diag}"));
+    }
+    Ok(())
+}
+
+/// The `--shards N` leg of `busprobe serve`: N per-shard
+/// [`ServeEngine`]s behind one [`ShardFront`]. Each shard keeps its own
+/// admission queue, commit thread and WAL cadence; acknowledgement
+/// semantics are exactly the single-shard engine's, per shard. Because
+/// per-shard publishers would collide on one `--publish` dir, the
+/// sharded front publishes only the *aggregated* city map, at drain.
+#[allow(clippy::too_many_arguments)]
+fn serve_sharded(
+    network: &TransitNetwork,
+    db: StopFingerprintDb,
+    socket: Option<&Path>,
+    state_dir: Option<&Path>,
+    snapshot_every: u64,
+    config: ServeConfig,
+    shards: usize,
+    overflow: OverflowPolicy,
+) -> Result<(), String> {
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let monitor = match state_dir {
+        Some(state) => durable_city_monitor(
+            network,
+            &db,
+            state,
+            shards,
+            overflow,
+            snapshot_every,
+            config.sync_every,
+        )?,
+        None => ShardedMonitor::new(
+            network.clone(),
+            &db,
+            MonitorConfig::default(),
+            shards,
+            overflow,
+        ),
+    };
+    let publish = config.publish_dir.clone();
+    let queue_capacity = config.queue_capacity;
+    let policy = config.full_policy;
+    let shard_config = ServeConfig {
+        publish_dir: None,
+        ..config
+    };
+    signal::trap_termination();
+    let monitors: Vec<Arc<TrafficMonitor>> = monitor.shards().to_vec();
+    let engines: Vec<ServeEngine> = monitors
+        .iter()
+        .map(|m| {
+            ServeEngine::start_with(
+                Arc::clone(m),
+                shard_config.clone(),
+                Some(Box::new(|diag: &str| {
+                    eprintln!("fatal: {diag}");
+                    std::process::exit(2);
+                })),
+            )
+        })
+        .collect();
+    let handles = engines.iter().map(ServeEngine::handle).collect();
+    let front = ShardFront::new(handles, monitors, overflow);
+    eprintln!(
+        "serve: {shards} shards, queue capacity {queue_capacity} per shard (on-full: {}), \
+         durable: {}",
+        policy.as_str(),
+        state_dir.is_some(),
+    );
+    match socket {
+        Some(path) => {
+            eprintln!("listening on {}", path.display());
+            let drain = front.clone();
+            busprobe::serve::serve_unix(&front, path, move || {
+                if signal::termination_requested() {
+                    drain.begin_drain();
+                }
+            })
+            .map_err(|e| format!("serve on {path:?}: {e}"))?;
+        }
+        None => busprobe::serve::serve_stdio(&front),
+    }
+
+    front.begin_drain();
+    let horizon = front.horizon();
+    let summaries: Vec<_> = engines.into_iter().map(ServeEngine::join).collect();
+    let total =
+        |f: fn(&busprobe::serve::ServeSummary) -> u64| -> u64 { summaries.iter().map(f).sum() };
+    println!(
+        "drained {} shards: {} received, {} admitted, {} committed, {} acked",
+        summaries.len(),
+        total(|s| s.received),
+        total(|s| s.admitted),
+        total(|s| s.committed),
+        total(|s| s.acked)
+    );
+    if total(busprobe::serve::ServeSummary::dropped) > 0 || total(|s| s.refused_draining) > 0 {
+        println!(
+            "drops (all attributed): {} shed-queue-full, {} shed-deadline, {} oversized, \
+             {} unparseable; {} refused while draining",
+            total(|s| s.shed_queue_full),
+            total(|s| s.shed_deadline),
+            total(|s| s.oversized),
+            total(|s| s.unparseable),
+            total(|s| s.refused_draining)
+        );
+    }
+    for (s, summary) in summaries.iter().enumerate() {
+        println!(
+            "shard {s:04}: {} committed, queue high water {} of {queue_capacity}, \
+             {} checkpoint(s){}",
+            summary.committed,
+            summary.queue_high_water,
+            summary.checkpoints,
+            summary
+                .final_checkpoint_seq
+                .map_or_else(String::new, |seq| format!(
+                    "; final checkpoint covers {seq} records"
+                ))
+        );
+    }
+    // Aggregated publish at drain: the horizon is the latest sample
+    // timestamp any shard saw, plus the same grace `ingest` uses.
+    if let Some(pubdir) = &publish {
+        std::fs::create_dir_all(pubdir).map_err(|e| format!("create {pubdir:?}: {e}"))?;
+        let map = monitor.city_map_with_max_age(horizon.unwrap_or(0.0) + 60.0, f64::INFINITY);
+        let gj = map_to_geojson(&map, network, &LocalProjection::new(1.34, 103.70));
+        let tmp = pubdir.join(".map.geojson.tmp");
+        write_json(&tmp, &gj)?;
+        std::fs::rename(&tmp, pubdir.join("map.geojson"))
+            .map_err(|e| format!("publish map.geojson: {e}"))?;
+        println!("published aggregated map.geojson to {pubdir:?}");
+    }
+    if let Some(diag) = summaries.iter().find_map(|s| s.fatal.clone()) {
         return Err(format!("serve ended fatally: {diag}"));
     }
     Ok(())
@@ -1179,6 +1683,23 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     // same as `ingest --state`), so the store's WAL/snapshot/replay
     // instruments populate and appear in every output format.
     let state_dir = flag_value(args, "--state").map(PathBuf::from);
+    // `--shards N` — or a `--state` dir that already holds a city
+    // manifest — runs the same replay through the sharded monitor and
+    // adds the per-shard attribution + conservation check.
+    let shards_flag: Option<usize> = parse_opt_flag(args, "--shards")?;
+    let sharded_state = state_dir.as_deref().is_some_and(is_sharded_state);
+    if shards_flag.is_some() || sharded_state {
+        return metrics_sharded(
+            args,
+            format,
+            &network,
+            &db,
+            &trips,
+            received.as_deref(),
+            shards_flag,
+            state_dir.as_deref(),
+        );
+    }
     let monitor = match &state_dir {
         Some(state) => durable_monitor(&network, db, state, 0)?,
         None => TrafficMonitor::new(network.clone(), db, MonitorConfig::default()),
@@ -1202,6 +1723,83 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown --format `{other}` (text|json|prometheus)")),
     }
     Ok(())
+}
+
+/// The sharded leg of `busprobe metrics`: replay through a
+/// [`ShardedMonitor`] so the `busprobe_shard_<n>_*` counters populate,
+/// then emit the usual telemetry snapshot plus the per-shard
+/// conservation table. The shard count comes from `--shards` or the
+/// state directory's city manifest (which must agree when both are
+/// given — `durable_city_monitor` enforces that).
+#[allow(clippy::too_many_arguments)]
+fn metrics_sharded(
+    args: &[String],
+    format: &str,
+    network: &TransitNetwork,
+    db: &StopFingerprintDb,
+    trips: &[Trip],
+    received: Option<&[f64]>,
+    shards_flag: Option<usize>,
+    state_dir: Option<&Path>,
+) -> Result<(), String> {
+    let shards = match (shards_flag, state_dir) {
+        (Some(n), _) => n,
+        (None, Some(state)) => {
+            read_manifest(state)
+                .map_err(|e| format!("read {state:?} manifest: {e}"))?
+                .shards
+        }
+        (None, None) => unreachable!("caller checked a shard source exists"),
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let policy = parse_overflow(args)?;
+    let monitor = match state_dir {
+        Some(state) => durable_city_monitor(network, db, state, shards, policy, 0, 1)?,
+        None => ShardedMonitor::new(
+            network.clone(),
+            db,
+            MonitorConfig::default(),
+            shards,
+            policy,
+        ),
+    };
+    let reports = monitor.ingest_batch_received_parallel(trips, received.unwrap_or(&[]), 1);
+    for shard in monitor.shards() {
+        shard.refresh_database();
+    }
+    if state_dir.is_some() {
+        monitor
+            .checkpoint_all()
+            .map_err(|e| format!("checkpoint: {e}"))?;
+    }
+    let snapshot = busprobe::telemetry::snapshot();
+
+    match format {
+        "json" => println!("{}", snapshot.to_json()),
+        "prometheus" | "prom" => print!("{}", snapshot.to_prometheus()),
+        "text" => print_metrics_text(&snapshot, &reports),
+        other => return Err(format!("unknown --format `{other}` (text|json|prometheus)")),
+    }
+    if format == "text" {
+        println!();
+        print_shard_accounting(&monitor.accounting())?;
+        Ok(())
+    } else {
+        // The per-shard counters already rode along in the snapshot;
+        // the conservation check still gates the run.
+        let acc = monitor.accounting();
+        if acc.conserved() {
+            Ok(())
+        } else {
+            Err(format!(
+                "shard conservation violated: {} routed, {} accounted for",
+                acc.routed,
+                acc.per_shard.iter().map(|(i, d)| i + d).sum::<u64>()
+            ))
+        }
+    }
 }
 
 /// Human-readable telemetry report: counters, stage timings, histograms,
@@ -2037,17 +2635,310 @@ fn bench_serve(seed: u64, trip_count: usize) -> Result<ServeBench, String> {
     })
 }
 
+/// `BENCH_city.json`: the synthetic-metropolis sharding benchmark — a
+/// committed full-city record (the acceptance scale) plus a reduced
+/// check-scale record that `bench --check` re-runs and compares, so the
+/// gate stays minutes-cheap while the full-city numbers stay on record.
+#[derive(Debug, Serialize, Deserialize)]
+struct CityBench {
+    seed: u64,
+    /// The full-city record: at least [`CITY_FULL_STOPS_FLOOR`] stop
+    /// sites and [`CITY_FULL_TRIPS_FLOOR`] trips.
+    full: CityRun,
+    /// The record `bench --check` reproduces at its committed scale.
+    check: CityRun,
+}
+
+/// One complete city measurement at one scale.
+#[derive(Debug, Serialize, Deserialize)]
+struct CityRun {
+    /// Requested stop-site floor (the generator tiles past it).
+    stops_target: usize,
+    /// Stop sites actually composed.
+    sites: usize,
+    trips: usize,
+    tiles: [usize; 2],
+    /// Network + fingerprint-DB compose time, seconds.
+    build_s: f64,
+    /// Resident-set estimate (`/proc/self/statm`) after the largest
+    /// sharded build, bytes; 0 where statm is unavailable.
+    resident_bytes: u64,
+    /// One serial-ingest point per shard count.
+    points: Vec<CityPoint>,
+    /// The federated city-map JSON was byte-identical at every shard
+    /// count.
+    aggregate_identical: bool,
+    recovery: CityRecovery,
+}
+
+/// Serial ingest throughput behind one shard plan.
+#[derive(Debug, Serialize, Deserialize)]
+struct CityPoint {
+    shards: usize,
+    /// Partition plan + per-shard matcher index build time, seconds.
+    index_build_s: f64,
+    trips_per_s: f64,
+}
+
+/// Full-city durable ingest + recovery at the largest shard count.
+#[derive(Debug, Serialize, Deserialize)]
+struct CityRecovery {
+    shards: usize,
+    /// WAL records replayed across every shard directory.
+    replayed_records: u64,
+    /// Wall-clock to recover the whole city, seconds.
+    recover_s: f64,
+    records_per_s: f64,
+    /// No skipped records, torn tails or passed-over snapshots.
+    clean: bool,
+    /// Recovered per-shard commit counts matched the live run.
+    commit_counts_match: bool,
+}
+
+/// The shard counts the city benchmark sweeps.
+const CITY_SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+/// Scale of the check-scale record written into `BENCH_city.json`.
+const CITY_CHECK_STOPS: usize = 5_000;
+const CITY_CHECK_TRIPS: usize = 20_000;
+/// Floors on the committed full-city record — `bench --check` fails if
+/// the committed scale ever shrinks below the acceptance scale.
+const CITY_FULL_STOPS_FLOOR: usize = 100_000;
+const CITY_FULL_TRIPS_FLOOR: usize = 1_000_000;
+/// Fabricate/ingest window for the city sweep — bounds corpus memory.
+const CITY_BENCH_CHUNK: usize = 10_000;
+
+/// Resident-set size from `/proc/self/statm` (pages × 4 KiB), or 0
+/// where procfs is unavailable.
+fn resident_bytes_estimate() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|pages| pages.parse::<u64>().ok())
+        })
+        .map_or(0, |pages| pages * 4096)
+}
+
+/// One city measurement: compose the metropolis once, sweep serial
+/// ingest over [`CITY_SHARD_COUNTS`] with the federated-map identity
+/// checked across counts, then run the durable pass + full-city
+/// recovery at the largest count.
+fn bench_city(seed: u64, stops: usize, trips: usize) -> Result<CityRun, String> {
+    let t0 = Instant::now();
+    let m = World::metropolis(stops, trips, seed);
+    let build_s = t0.elapsed().as_secs_f64();
+    let (tiles_x, tiles_y) = m.tiles();
+    println!(
+        "composed {} stop sites / {} routes ({tiles_x}x{tiles_y} tiles) in {build_s:.1}s",
+        m.network.sites().len(),
+        m.network.routes().len()
+    );
+
+    let ingest_all = |monitor: &ShardedMonitor| -> Result<(f64, f64), String> {
+        // Returns (ingest seconds, horizon); fabrication is untimed.
+        let mut ingest_s = 0.0f64;
+        let mut horizon = 0.0f64;
+        let mut done = 0usize;
+        while done < trips {
+            let chunk = m.trips_chunk(done, CITY_BENCH_CHUNK.min(trips - done));
+            if chunk.is_empty() {
+                break;
+            }
+            horizon = chunk
+                .iter()
+                .flat_map(|t| t.samples.last())
+                .map(|s| s.time_s)
+                .filter(|t| t.is_finite())
+                .fold(horizon, f64::max);
+            let t = Instant::now();
+            let _ = monitor.ingest_batch_parallel(&chunk, 1);
+            ingest_s += t.elapsed().as_secs_f64();
+            done += chunk.len();
+        }
+        if !monitor.accounting().conserved() {
+            return Err("city ingest lost trips: shard conservation violated".into());
+        }
+        Ok((ingest_s, horizon))
+    };
+
+    let mut points = Vec::new();
+    let mut resident_bytes = 0u64;
+    let mut reference_map: Option<String> = None;
+    let mut aggregate_identical = true;
+    for &shards in &CITY_SHARD_COUNTS {
+        let t0 = Instant::now();
+        let monitor = ShardedMonitor::new(
+            m.network.clone(),
+            &m.db,
+            MonitorConfig::default(),
+            shards,
+            OverflowPolicy::Score,
+        );
+        let index_build_s = t0.elapsed().as_secs_f64();
+        let (ingest_s, horizon) = ingest_all(&monitor)?;
+        resident_bytes = resident_bytes.max(resident_bytes_estimate());
+        let map_json =
+            serde_json::to_string(&monitor.city_map_with_max_age(horizon + 60.0, f64::INFINITY))
+                .map_err(|e| format!("serialize city map: {e}"))?;
+        match &reference_map {
+            None => reference_map = Some(map_json),
+            Some(want) => aggregate_identical &= *want == map_json,
+        }
+        let trips_per_s = trips as f64 / ingest_s;
+        println!(
+            "{shards:>3} shard(s): index built in {index_build_s:.1}s, \
+             serial ingest {trips_per_s:.0} trips/s"
+        );
+        points.push(CityPoint {
+            shards,
+            index_build_s,
+            trips_per_s,
+        });
+    }
+    if !aggregate_identical {
+        return Err("federated city maps diverged across shard counts".into());
+    }
+
+    // Durable pass + full-city recovery at the largest shard count:
+    // no checkpoint before the handover, so recovery replays the whole
+    // WAL of every shard — the honest full-city recovery time.
+    let recovery_shards = *CITY_SHARD_COUNTS.last().expect("non-empty sweep");
+    let scratch =
+        std::env::temp_dir().join(format!("busprobe-bench-city-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let live = ShardedMonitor::new(
+        m.network.clone(),
+        &m.db,
+        MonitorConfig::default(),
+        recovery_shards,
+        OverflowPolicy::Score,
+    );
+    live.attach_stores(&scratch, 0, GROUP_BENCH_WINDOW as u64)
+        .map_err(|e| format!("attach city stores: {e}"))?;
+    ingest_all(&live)?;
+    live.sync_all()
+        .map_err(|e| format!("sync city WALs: {e}"))?;
+    let live_commits = live.commit_counts();
+    drop(live);
+    let t0 = Instant::now();
+    let (recovered, summaries) =
+        ShardedMonitor::recover(m.network.clone(), &m.db, MonitorConfig::default(), &scratch)
+            .map_err(|e| format!("recover city: {e}"))?;
+    let recover_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&scratch);
+    let replayed_records: u64 = summaries
+        .iter()
+        .map(|s| s.replayed_commits + s.replayed_refreshes)
+        .sum();
+    let clean = summaries
+        .iter()
+        .all(|s| s.skipped_records + s.corrupt_tails + s.snapshots_skipped == 0);
+    let commit_counts_match = recovered.commit_counts() == live_commits;
+    println!(
+        "full-city recovery ({recovery_shards} shards): {replayed_records} records in \
+         {recover_s:.1}s ({:.0} records/s){}",
+        replayed_records as f64 / recover_s,
+        if clean && commit_counts_match {
+            " — clean, commit counts match"
+        } else {
+            " — DAMAGED"
+        }
+    );
+    if !clean || !commit_counts_match {
+        return Err("full-city recovery diverged from the live run".into());
+    }
+
+    Ok(CityRun {
+        stops_target: stops,
+        sites: m.network.sites().len(),
+        trips,
+        tiles: [tiles_x, tiles_y],
+        build_s,
+        resident_bytes,
+        points,
+        aggregate_identical,
+        recovery: CityRecovery {
+            shards: recovery_shards,
+            replayed_records,
+            recover_s,
+            records_per_s: replayed_records as f64 / recover_s,
+            clean,
+            commit_counts_match,
+        },
+    })
+}
+
+/// The city leg of `bench --check`: re-run at the committed check scale
+/// and compare, plus hold the committed full record to the acceptance
+/// floors and its own invariants.
+fn check_city(fresh: &CityRun, base: &CityBench, tolerance: f64, violations: &mut Vec<String>) {
+    if base.full.sites < CITY_FULL_STOPS_FLOOR || base.full.trips < CITY_FULL_TRIPS_FLOOR {
+        violations.push(format!(
+            "committed full-city record shrank below the acceptance scale: {} sites / {} \
+             trips (floors {CITY_FULL_STOPS_FLOOR} / {CITY_FULL_TRIPS_FLOOR})",
+            base.full.sites, base.full.trips
+        ));
+    }
+    for run in [&base.full, &base.check] {
+        if !run.aggregate_identical || !run.recovery.clean || !run.recovery.commit_counts_match {
+            violations.push(format!(
+                "committed city record at {} sites fails its own invariants",
+                run.sites
+            ));
+        }
+    }
+    for fresh_point in &fresh.points {
+        let Some(base_point) = base
+            .check
+            .points
+            .iter()
+            .find(|b| b.shards == fresh_point.shards)
+        else {
+            continue;
+        };
+        if fresh_point.trips_per_s < base_point.trips_per_s * (1.0 - tolerance) {
+            violations.push(format!(
+                "city ingest at {} shards regressed: {:.0} trips/s vs baseline {:.0}",
+                fresh_point.shards, fresh_point.trips_per_s, base_point.trips_per_s
+            ));
+        }
+    }
+    // Recovery replay is fsync/page-cache bound and swings well beyond
+    // the ingest noise floor on shared containers, so it gets twice the
+    // headroom of the CPU-bound gates.
+    if fresh.recovery.records_per_s < base.check.recovery.records_per_s * (1.0 - 2.0 * tolerance) {
+        violations.push(format!(
+            "city recovery regressed: {:.0} records/s vs baseline {:.0}",
+            fresh.recovery.records_per_s, base.check.recovery.records_per_s
+        ));
+    }
+}
+
+/// The fresh measurements `bench --check` compares against the
+/// committed BENCH_*.json files.
+struct FreshBenches<'a> {
+    matching: &'a MatchingBench,
+    pipeline: &'a PipelineBench,
+    parallel: &'a ParallelBench,
+    store: &'a StoreBench,
+    serve: &'a ServeBench,
+    /// Fresh check-scale city run, paired with the committed record it
+    /// is compared against (the full record is gated on floors only).
+    city: (&'a CityRun, &'a CityBench),
+}
+
 /// Compares a fresh run against the committed baselines; a metric may be
 /// slower than baseline by at most `tolerance` (faster is always fine).
-fn check_baselines(
-    out: &Path,
-    matching: &MatchingBench,
-    pipeline: &PipelineBench,
-    parallel: &ParallelBench,
-    store: &StoreBench,
-    serve: &ServeBench,
-    tolerance: f64,
-) -> Result<(), String> {
+fn check_baselines(out: &Path, fresh: FreshBenches, tolerance: f64) -> Result<(), String> {
+    let FreshBenches {
+        matching,
+        pipeline,
+        parallel,
+        store,
+        serve,
+        city,
+    } = fresh;
     let base_matching: MatchingBench = read_json(&out.join("BENCH_matching.json"))?;
     let base_pipeline: PipelineBench = read_json(&out.join("BENCH_pipeline.json"))?;
     let base_parallel: ParallelBench = read_json(&out.join("BENCH_parallel.json"))?;
@@ -2154,6 +3045,7 @@ fn check_baselines(
             serve.admitted_per_s, base_serve.admitted_per_s
         ));
     }
+    check_city(city.0, city.1, tolerance, &mut violations);
     if !parallel.speedup_enforced {
         println!(
             "note: {}-core machine — the >={PARALLEL_SPEEDUP_FLOOR}x-at-4-workers gate is \
@@ -2281,19 +3173,66 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     );
 
     if flag_present(args, "--check") {
+        let city_base: CityBench = read_json(&out.join("BENCH_city.json"))?;
+        println!();
+        println!(
+            "== city-scale sharded ingest (check scale: {} stops / {} trips) ==",
+            city_base.check.stops_target, city_base.check.trips
+        );
+        let city_fresh = bench_city(seed, city_base.check.stops_target, city_base.check.trips)?;
         check_baselines(
-            &out, &matching, &pipeline, &parallel, &store, &serve, tolerance,
+            &out,
+            FreshBenches {
+                matching: &matching,
+                pipeline: &pipeline,
+                parallel: &parallel,
+                store: &store,
+                serve: &serve,
+                city: (&city_fresh, &city_base),
+            },
+            tolerance,
         )
     } else {
+        // The full-city record is the expensive part (tens of minutes at
+        // the default 100k-stop / 1M-trip scale); --city-stops /
+        // --city-trips shrink it for local iteration, but the committed
+        // file must stay at or above the acceptance floors to pass
+        // `bench --check`.
+        let city_stops: usize = flag_value(args, "--city-stops")
+            .unwrap_or(&CITY_FULL_STOPS_FLOOR.to_string())
+            .parse()
+            .map_err(|_| "invalid --city-stops".to_string())?;
+        let city_trips: usize = flag_value(args, "--city-trips")
+            .unwrap_or(&CITY_FULL_TRIPS_FLOOR.to_string())
+            .parse()
+            .map_err(|_| "invalid --city-trips".to_string())?;
+        println!();
+        println!(
+            "== city-scale sharded ingest (check scale: {CITY_CHECK_STOPS} stops / \
+             {CITY_CHECK_TRIPS} trips) =="
+        );
+        let city_check = bench_city(seed, CITY_CHECK_STOPS, CITY_CHECK_TRIPS)?;
+        println!();
+        println!(
+            "== city-scale sharded ingest (full scale: {city_stops} stops / {city_trips} trips) =="
+        );
+        let city_full = bench_city(seed, city_stops, city_trips)?;
+        let city = CityBench {
+            seed,
+            full: city_full,
+            check: city_check,
+        };
+
         write_json(&out.join("BENCH_matching.json"), &matching)?;
         write_json(&out.join("BENCH_pipeline.json"), &pipeline)?;
         write_json(&out.join("BENCH_parallel.json"), &parallel)?;
         write_json(&out.join("BENCH_store.json"), &store)?;
         write_json(&out.join("BENCH_serve.json"), &serve)?;
+        write_json(&out.join("BENCH_city.json"), &city)?;
         println!();
         println!(
             "wrote BENCH_matching.json, BENCH_pipeline.json, BENCH_parallel.json, \
-             BENCH_store.json and BENCH_serve.json to {out:?}"
+             BENCH_store.json, BENCH_serve.json and BENCH_city.json to {out:?}"
         );
         Ok(())
     }
@@ -2319,4 +3258,89 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     cmd_ingest(&["--dir".into(), dir_arg.clone(), "--regional".into()])?;
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
+}
+
+/// `busprobe city`: the synthetic-metropolis smoke — tile the
+/// calibrated district into a city, fabricate a rider corpus, ingest it
+/// through a sharded monitor, and report throughput plus federated
+/// accounting. `--geojson` exports the aggregated map, which is
+/// byte-identical at every `--shards` count (ci.sh compares 1 vs 4).
+fn cmd_city(args: &[String]) -> Result<(), String> {
+    let seed = parse_seed(args)?;
+    let stops: usize = parse_flag(args, "--stops", 5_000)?;
+    let trips: usize = parse_flag(args, "--trips", 20_000)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    let jobs: usize = parse_flag(args, "--jobs", 0)?;
+    let policy = parse_overflow(args)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+
+    let t0 = Instant::now();
+    let m = World::metropolis(stops, trips, seed);
+    let (tiles_x, tiles_y) = m.tiles();
+    println!(
+        "metropolis: {} stop sites, {} routes ({tiles_x}x{tiles_y} tiles) in {:.1}s",
+        m.network.sites().len(),
+        m.network.routes().len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let t0 = Instant::now();
+    let monitor = ShardedMonitor::new(
+        m.network.clone(),
+        &m.db,
+        MonitorConfig::default(),
+        shards,
+        policy,
+    );
+    let sizes = monitor.plan().shard_sizes();
+    println!(
+        "built {shards} shard indexes in {:.1}s ({}..{} sites/shard)",
+        t0.elapsed().as_secs_f64(),
+        sizes.iter().min().copied().unwrap_or(0),
+        sizes.iter().max().copied().unwrap_or(0)
+    );
+
+    // Fabricate and ingest in bounded chunks so a million-trip city
+    // never holds the whole corpus in memory.
+    const CITY_CHUNK: usize = 10_000;
+    let mut horizon = 0.0f64;
+    let mut fabricate_s = 0.0f64;
+    let mut ingest_s = 0.0f64;
+    let mut done = 0usize;
+    while done < trips {
+        let t = Instant::now();
+        let chunk = m.trips_chunk(done, CITY_CHUNK.min(trips - done));
+        fabricate_s += t.elapsed().as_secs_f64();
+        if chunk.is_empty() {
+            break;
+        }
+        horizon = chunk
+            .iter()
+            .flat_map(|t| t.samples.last())
+            .map(|s| s.time_s)
+            .filter(|t| t.is_finite())
+            .fold(horizon, f64::max);
+        let t = Instant::now();
+        let _ = monitor.ingest_batch_parallel(&chunk, jobs);
+        ingest_s += t.elapsed().as_secs_f64();
+        done += chunk.len();
+    }
+    println!(
+        "ingested {done} trips at {:.0} trips/s ({:.1}s ingest + {:.1}s fabrication)",
+        done as f64 / ingest_s.max(f64::MIN_POSITIVE),
+        ingest_s,
+        fabricate_s
+    );
+
+    let map = monitor.city_map_with_max_age(horizon + 60.0, f64::INFINITY);
+    println!("federated map covers {} segments", map.segments.len());
+    if let Some(path) = flag_value(args, "--geojson") {
+        let projection = LocalProjection::new(1.34, 103.70);
+        let gj = map_to_geojson(&map, &m.network, &projection);
+        write_json(Path::new(path), &gj)?;
+        println!("wrote GeoJSON to {path}");
+    }
+    println!();
+    print_shard_accounting(&monitor.accounting())
 }

@@ -29,6 +29,7 @@
 //! | [`trace`] | per-upload decision provenance: trip traces, sampling, JSONL/Chrome exports |
 //! | [`core`] | **the paper's contribution**: matching, clustering, mapping, estimation, fusion, serving |
 //! | [`serve`] | resident streaming frontend: bounded admission, backpressure, shedding, drain |
+//! | [`shard`] | city-scale regional sharding: partition plan, upload router, federated aggregation |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@ pub use busprobe_mobile as mobile;
 pub use busprobe_network as network;
 pub use busprobe_sensors as sensors;
 pub use busprobe_serve as serve;
+pub use busprobe_shard as shard;
 pub use busprobe_sim as sim;
 pub use busprobe_store as store;
 pub use busprobe_telemetry as telemetry;

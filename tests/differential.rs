@@ -526,6 +526,214 @@ fn golden_wal_byte_prefix_is_stable() {
     );
 }
 
+/// All WAL segments in `dir`, name-sorted, with their full contents —
+/// the unit of the byte-for-byte durability comparisons below.
+fn wal_files(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&p).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// The sharding extension of the equivalence proof: a single-shard
+/// [`ShardedMonitor`] is the unsharded monitor, **bit for bit** — same
+/// per-trip reports and drop attribution, same federated map and
+/// GeoJSON, and the same WAL bytes on disk (`<state>/shard-0000/`
+/// versus the flat state directory), on a fault-injected corpus.
+#[test]
+fn single_shard_is_bit_identical_to_unsharded() {
+    use busprobe::shard::{shard_dir, OverflowPolicy, ShardedMonitor};
+    use busprobe::store::Store;
+
+    let world = TestWorld::new(67, 4);
+    let base = World::small(67).ride_corpus(120, 67);
+    let (trips, received) = faulted(&base, FaultPlan::calibrated(), 19);
+    let end_s = end_of(&trips);
+    let projection = LocalProjection::new(1.34, 103.70);
+
+    let flat_state = std::env::temp_dir().join(format!("busprobe-diffflat-{}", std::process::id()));
+    let city_state = std::env::temp_dir().join(format!("busprobe-diffcity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&flat_state);
+    let _ = std::fs::remove_dir_all(&city_state);
+
+    // The reference: the flat monitor with a per-commit WAL.
+    let flat = world.monitor();
+    flat.attach_store_grouped(Store::open(&flat_state).unwrap(), 0, 1);
+    let flat_reports = flat.ingest_batch_received_parallel(&trips, &received, 1);
+    flat.sync_store().unwrap();
+    let flat_map = flat.snapshot_with_max_age(end_s, f64::INFINITY);
+    let flat_geojson = map_to_geojson(&flat_map, &world.network, &projection).to_string();
+
+    // The same corpus through a 1-shard city.
+    let city = ShardedMonitor::new(
+        world.network.clone(),
+        &world.db,
+        MonitorConfig::default(),
+        1,
+        OverflowPolicy::Score,
+    );
+    city.attach_stores(&city_state, 0, 1).unwrap();
+    let city_reports = city.ingest_batch_received_parallel(&trips, &received, 1);
+    city.sync_all().unwrap();
+    let city_map = city.city_map_with_max_age(end_s, f64::INFINITY);
+    let city_geojson = map_to_geojson(&city_map, &world.network, &projection).to_string();
+
+    assert_eq!(city_reports, flat_reports, "shards=1: reports diverged");
+    let drops = |rs: &[IngestReport]| -> Vec<Option<DropReason>> {
+        rs.iter().map(IngestReport::drop_reason).collect()
+    };
+    assert_eq!(
+        drops(&city_reports),
+        drops(&flat_reports),
+        "shards=1: drop attribution diverged"
+    );
+    assert_eq!(
+        serde_json::to_string(&city_map).unwrap(),
+        serde_json::to_string(&flat_map).unwrap(),
+        "shards=1: federated map diverged from the flat map"
+    );
+    assert_eq!(
+        city_geojson, flat_geojson,
+        "shards=1: GeoJSON diverged from the flat export"
+    );
+
+    // The WAL bytes are the same files with the same contents, one
+    // directory level down.
+    let flat_wal = wal_files(&flat_state);
+    let shard_wal = wal_files(&shard_dir(&city_state, 0));
+    assert!(!flat_wal.is_empty(), "flat ingest wrote a WAL");
+    assert_eq!(
+        shard_wal, flat_wal,
+        "shards=1: shard-0000 WAL bytes diverged from the flat WAL"
+    );
+
+    let _ = std::fs::remove_dir_all(&flat_state);
+    let _ = std::fs::remove_dir_all(&city_state);
+}
+
+/// The sharded crash matrix: a 4-shard metropolis ingests durably, the
+/// process "dies" (drop without checkpoint), and one shard's WAL takes
+/// storage damage. Recovery must (a) attribute the damaged shard's loss
+/// — skipped records / torn tails in its summary, a commit count at or
+/// below the live run's — and (b) bring every *other* shard back
+/// bit-identical to its live state. Blast radius is one region, never
+/// the city.
+#[test]
+fn sharded_crash_damage_is_contained_to_one_shard() {
+    use busprobe::faults::{damage_store_dir, WalFaultPlan};
+    use busprobe::shard::{shard_dir, OverflowPolicy, ShardedMonitor};
+
+    const SHARDS: usize = 4;
+    let m = World::metropolis(200, 120, 68);
+    let trips = m.trips_chunk(0, 120);
+    let end_s = end_of(&trips) + 60.0;
+
+    let state = std::env::temp_dir().join(format!("busprobe-diffcrash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+
+    let live = ShardedMonitor::new(
+        m.network.clone(),
+        &m.db,
+        MonitorConfig::default(),
+        SHARDS,
+        OverflowPolicy::Score,
+    );
+    live.attach_stores(&state, 0, 1).unwrap();
+    let _ = live.ingest_batch_parallel(&trips, 1);
+    live.sync_all().unwrap();
+    assert!(live.accounting().conserved());
+
+    // Per-shard live state, captured before the "crash".
+    let live_commits = live.commit_counts();
+    let live_fusion: Vec<String> = live
+        .shards()
+        .iter()
+        .map(|s| serde_json::to_string(&s.export_state().fusion).unwrap())
+        .collect();
+    let live_maps: Vec<String> = live
+        .shards()
+        .iter()
+        .map(|s| serde_json::to_string(&s.snapshot_with_max_age(end_s, f64::INFINITY)).unwrap())
+        .collect();
+    drop(live); // kill -9: no checkpoint, no orderly shutdown
+
+    // The corpus must actually spread, or containment proves nothing.
+    let busy: Vec<usize> = (0..SHARDS).filter(|&s| live_commits[s] > 0).collect();
+    assert!(
+        busy.len() > 1,
+        "metropolis corpus must span shards: {live_commits:?}"
+    );
+    let victim = *busy.iter().max_by_key(|&&s| live_commits[s]).unwrap();
+
+    // Storage damage inside exactly one shard's directory: a torn tail
+    // plus bit flips mid-log.
+    let report = damage_store_dir(
+        shard_dir(&state, victim),
+        &WalFaultPlan {
+            truncate_tail_bytes: 48,
+            torn_append_bytes: 0,
+            bit_flips: 2,
+            snapshot_bit_flips: 0,
+        },
+        68,
+    )
+    .unwrap();
+    assert!(report.tail_bytes_truncated > 0 || report.wal_bits_flipped > 0);
+
+    let (recovered, summaries) =
+        ShardedMonitor::recover(m.network.clone(), &m.db, MonitorConfig::default(), &state)
+            .unwrap();
+    assert_eq!(summaries.len(), SHARDS);
+    let recovered_commits = recovered.commit_counts();
+
+    for s in 0..SHARDS {
+        let sum = &summaries[s];
+        let fusion = serde_json::to_string(&recovered.shards()[s].export_state().fusion).unwrap();
+        let map = serde_json::to_string(
+            &recovered.shards()[s].snapshot_with_max_age(end_s, f64::INFINITY),
+        )
+        .unwrap();
+        if s == victim {
+            // The damaged region lost *at most* the damaged records —
+            // and recovery says so out loud.
+            assert!(
+                sum.skipped_records + sum.corrupt_tails > 0,
+                "victim shard {s}: damage went unattributed: {sum:?}"
+            );
+            assert!(
+                recovered_commits[s] <= live_commits[s],
+                "victim shard {s}: recovered more than was committed"
+            );
+        } else {
+            // Every other region is bit-identical to its live state.
+            assert_eq!(
+                sum.skipped_records + sum.corrupt_tails,
+                0,
+                "shard {s}: clean log reported damage: {sum:?}"
+            );
+            assert_eq!(
+                recovered_commits[s], live_commits[s],
+                "shard {s}: commit count diverged"
+            );
+            assert_eq!(fusion, live_fusion[s], "shard {s}: fusion state diverged");
+            assert_eq!(map, live_maps[s], "shard {s}: traffic map diverged");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&state);
+}
+
 /// A worker count far beyond the batch size degenerates gracefully: the
 /// engine clamps to one worker per trip and stays bit-identical.
 #[test]
